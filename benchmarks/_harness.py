@@ -1,0 +1,59 @@
+"""Shared reporting helpers for the benchmark / experiment harness.
+
+Every experiment (see DESIGN.md, Section 2) produces a small table of
+measured quantities -- empirical optimality gaps, approximation ratios,
+runtimes -- alongside the pytest-benchmark timing statistics.  The helpers
+here print those tables and persist them under ``benchmarks/results/`` so the
+numbers recorded in EXPERIMENTS.md can be regenerated with a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIRECTORY = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(
+    header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(column)) for column in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append(" | ".join(str(c).ljust(w) for c, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def report(
+    experiment: str,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Print an experiment table and persist it under benchmarks/results/."""
+    table = format_table(header, rows)
+    body = f"[{experiment}] {title}\n{table}"
+    if notes:
+        body += f"\n{notes}"
+    print("\n" + body)
+    os.makedirs(RESULTS_DIRECTORY, exist_ok=True)
+    path = os.path.join(RESULTS_DIRECTORY, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(body + "\n")
+    return body

@@ -1,0 +1,95 @@
+"""Experiment E3: consensus worlds under the Jaccard distance (Lemmas 1-2).
+
+Validates the prefix-scan mean world for tuple-independent databases and the
+BID median world against brute force, and measures the cost of one Lemma-1
+expected-distance evaluation as the database grows.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from _harness import report
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.jaccard import (
+    expected_jaccard_distance_to_world,
+    mean_world_jaccard_tuple_independent,
+    median_world_jaccard_bid,
+)
+from repro.core.consensus_bruteforce import (
+    brute_force_mean_world_jaccard,
+    brute_force_median_world,
+)
+from repro.core.distances import jaccard_distance
+from repro.workloads.generators import (
+    random_bid_database,
+    random_tuple_independent_database,
+)
+
+
+def test_e3_mean_world_optimality(benchmark):
+    rows = []
+    for seed in range(5):
+        database = random_tuple_independent_database(6, rng=seed)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        answer, value = mean_world_jaccard_tuple_independent(tree)
+        _, oracle = brute_force_mean_world_jaccard(distribution)
+        rows.append((seed, len(answer), value, oracle))
+        assert math.isclose(value, oracle, abs_tol=1e-9)
+    report(
+        "E3a",
+        "Jaccard mean world (Lemma 2 prefix scan) vs brute force",
+        ("seed", "answer size", "prefix scan", "oracle"),
+        rows,
+    )
+    sample = random_tuple_independent_database(6, rng=0)
+    benchmark(lambda: mean_world_jaccard_tuple_independent(sample.tree))
+
+
+def test_e3_bid_median_world(benchmark):
+    rows = []
+    for seed in range(5):
+        database = random_bid_database(5, rng=seed, max_alternatives=2)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        answer, value = median_world_jaccard_bid(tree)
+        _, oracle = brute_force_median_world(
+            distribution, distance=jaccard_distance
+        )
+        rows.append((seed, len(answer), value, oracle, value / oracle if oracle else 1.0))
+        assert value >= oracle - 1e-9
+    report(
+        "E3b",
+        "Jaccard median world for BID (best-alternative prefix scan) vs brute force",
+        ("seed", "answer size", "prefix scan", "oracle", "ratio"),
+        rows,
+    )
+    sample = random_bid_database(5, rng=0, max_alternatives=2)
+    benchmark(lambda: median_world_jaccard_bid(sample.tree))
+
+
+def test_e3_lemma1_evaluation_cost(benchmark):
+    rows = []
+    for n in (10, 20, 40, 60):
+        database = random_tuple_independent_database(n, rng=n)
+        tree = database.tree
+        candidate = frozenset(tree.alternatives()[: n // 2])
+        start = time.perf_counter()
+        expected_jaccard_distance_to_world(tree, candidate)
+        elapsed = time.perf_counter() - start
+        rows.append((n, elapsed))
+    report(
+        "E3c",
+        "Cost of one Lemma-1 expected Jaccard distance evaluation",
+        ("tuples", "seconds"),
+        rows,
+        notes="Polynomial (cubic) growth from the untruncated bivariate "
+              "generating function.",
+    )
+
+    database = random_tuple_independent_database(40, rng=1)
+    tree = database.tree
+    candidate = frozenset(tree.alternatives()[:20])
+    benchmark(lambda: expected_jaccard_distance_to_world(tree, candidate))

@@ -1,0 +1,94 @@
+"""Experiment E4 (part 2): comparing ranking semantics with expected distance.
+
+The paper's motivation: prior Top-k semantics (U-Top-k, U-Rank-k,
+Global-Top-k, expected rank, expected score) lack a unified yardstick.  The
+consensus framework supplies one -- the expected distance between an answer
+and the random world's Top-k.  This experiment scores every semantics under
+the three Top-k metrics; the consensus answer for a metric should win its own
+column (Global-Top-k ties it for d_Delta by Theorem 3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from _harness import report
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.baselines.ranking import (
+    expected_rank_topk,
+    expected_score_topk,
+    global_topk,
+    u_rank_topk,
+    u_topk,
+)
+from repro.consensus.topk.footrule import (
+    expected_topk_footrule_distance,
+    mean_topk_footrule,
+)
+from repro.consensus.topk.intersection import (
+    expected_topk_intersection_distance,
+    mean_topk_intersection,
+)
+from repro.consensus.topk.symmetric_difference import (
+    expected_topk_symmetric_difference,
+    mean_topk_symmetric_difference,
+)
+from repro.workloads.generators import random_bid_database
+
+K = 5
+
+
+def test_e4_ranking_semantics_comparison(benchmark):
+    database = random_bid_database(
+        40, rng=2009, max_alternatives=2, exhaustive=True
+    )
+    statistics = RankStatistics(database.tree)
+
+    answers = {
+        "consensus mean d_Delta": mean_topk_symmetric_difference(statistics, K)[0],
+        "consensus mean d_I": mean_topk_intersection(statistics, K)[0],
+        "consensus mean d_F": mean_topk_footrule(statistics, K)[0],
+        "Global-Top-k": global_topk(statistics, K),
+        "U-Rank-k": u_rank_topk(statistics, K),
+        "expected rank": expected_rank_topk(statistics, K),
+        "expected score": expected_score_topk(statistics, K),
+        "U-Top-k (sampled)": u_topk(
+            statistics, K, method="sample", samples=2000, rng=random.Random(0)
+        ),
+    }
+
+    rows = []
+    best = {"d_Delta": None, "d_I": None, "d_F": None}
+    for name, answer in answers.items():
+        d_delta = expected_topk_symmetric_difference(statistics, answer, K)
+        d_i = expected_topk_intersection_distance(statistics, tuple(answer), K)
+        d_f = expected_topk_footrule_distance(statistics, tuple(answer), K)
+        rows.append((name, d_delta, d_i, d_f))
+        for metric, value in (("d_Delta", d_delta), ("d_I", d_i), ("d_F", d_f)):
+            if best[metric] is None or value < best[metric]:
+                best[metric] = value
+
+    # The consensus answer of each metric must achieve that metric's minimum.
+    consensus_values = {
+        "d_Delta": rows[0][1],
+        "d_I": rows[1][2],
+        "d_F": rows[2][3],
+    }
+    for metric, value in consensus_values.items():
+        assert value <= best[metric] + 1e-9
+
+    report(
+        "E4c",
+        f"Expected distance of each ranking semantics (n = 40, k = {K})",
+        ("semantics", "E[d_Delta]", "E[d_I]", "E[d_F]"),
+        rows,
+        notes=(
+            "Each consensus answer attains the minimum of its own column; "
+            "Global-Top-k ties the d_Delta consensus (Theorem 3), while the "
+            "other prior semantics are measurably worse on at least one "
+            "metric -- the paper's argument for a principled, "
+            "distance-driven choice of answer."
+        ),
+    )
+
+    benchmark(lambda: mean_topk_intersection(statistics, K))

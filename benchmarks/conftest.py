@@ -1,0 +1,16 @@
+"""Pytest configuration for the benchmark harness.
+
+Ensures the shared harness helpers (``_harness.py``) are importable and that
+the package itself can be imported straight from a source checkout.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(__file__)
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)

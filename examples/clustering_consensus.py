@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Consensus clustering of entities with uncertain attributes.
+
+A data-integration pipeline assigns every customer record an uncertain
+"segment" attribute.  Every possible world therefore induces a clustering of
+the records (records with the same segment cluster together, Section 6.2);
+the consensus clustering is the single partition minimising the expected
+number of pairwise disagreements with the random world's clustering.
+
+The example builds a segmentation workload with planted structure, runs the
+pivot-based consensus clustering, and compares it against the two trivial
+clusterings and (because the instance is small) the brute-force optimum.
+
+Run it with ``python examples/clustering_consensus.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.clustering import (
+    co_clustering_probabilities,
+    consensus_clustering,
+    expected_clustering_distance,
+)
+from repro.core.consensus_bruteforce import brute_force_mean_clustering
+from repro.models.bid import BlockIndependentDatabase
+
+
+def build_database() -> BlockIndependentDatabase:
+    """Eight customer records with planted two-cluster structure plus noise."""
+    rng = random.Random(5)
+    blocks = {}
+    planted = {
+        "alice": "premium", "bob": "premium", "carol": "premium",
+        "dave": "budget", "erin": "budget", "frank": "budget",
+        "grace": None, "heidi": None,  # genuinely ambiguous records
+    }
+    segments = ["premium", "budget", "dormant"]
+    for name, true_segment in planted.items():
+        if true_segment is None:
+            weights = [rng.uniform(0.2, 0.5) for _ in segments]
+        else:
+            weights = [
+                0.75 if segment == true_segment else rng.uniform(0.05, 0.2)
+                for segment in segments
+            ]
+        total = sum(weights)
+        blocks[name] = [
+            (segment, weight / total) for segment, weight in zip(segments, weights)
+        ]
+    return BlockIndependentDatabase(blocks, name="customer_segments")
+
+
+def pretty(clustering) -> str:
+    return ", ".join(
+        "{" + ", ".join(sorted(map(str, cluster))) + "}"
+        for cluster in sorted(clustering, key=lambda c: sorted(map(str, c)))
+    )
+
+
+def main() -> None:
+    database = build_database()
+    tree = database.tree
+    universe = tree.keys()
+    print(f"Clustering {len(universe)} customer records with uncertain segments.\n")
+
+    weights = co_clustering_probabilities(tree)
+    print("Pairwise co-clustering probabilities above 0.5:")
+    for pair, weight in sorted(weights.items(), key=lambda item: -item[1]):
+        if weight > 0.5:
+            first, second = sorted(pair, key=str)
+            print(f"  {first:6s} ~ {second:6s}: {weight:.3f}")
+
+    answer, value = consensus_clustering(tree, rng=random.Random(0))
+    singletons = frozenset(frozenset((key,)) for key in universe)
+    together = frozenset((frozenset(universe),))
+    print(f"\nConsensus clustering (pivot): {pretty(answer)}")
+    print(f"  expected pairwise disagreements: {value:.3f}")
+    print(f"  all-singletons baseline        : "
+          f"{expected_clustering_distance(singletons, weights, universe):.3f}")
+    print(f"  one-big-cluster baseline       : "
+          f"{expected_clustering_distance(together, weights, universe):.3f}")
+
+    distribution = enumerate_worlds(tree)
+    optimum, optimal_value = brute_force_mean_clustering(distribution, universe)
+    print(f"  brute-force optimum            : {optimal_value:.3f} "
+          f"({pretty(optimum)})")
+    ratio = value / optimal_value if optimal_value else 1.0
+    print(f"  empirical approximation ratio  : {ratio:.3f} "
+          "(the pivot guarantee is a small constant)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Consensus group-by count answers for information-extraction data.
+
+An information-extraction pipeline produces "mention" tuples whose company
+attribution is uncertain (each mention surely refers to exactly one company,
+with a probability distribution over candidates).  The analyst asks
+
+    SELECT company, COUNT(*) FROM mentions GROUP BY company
+
+Section 6.1 of the paper defines the mean answer (expected counts) and a
+median answer (a count vector achievable by some possible world) computed by
+rounding the mean with a minimum-cost flow.  This example reports both,
+verifies the mean's optimality numerically, and shows the 4-approximation
+guarantee of Corollary 2 is loose in practice (the rounded answer is
+essentially optimal).
+
+Run it with ``python examples/extraction_groupby.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.consensus.aggregates import GroupByCountConsensus
+from repro.core.distances import squared_euclidean_distance
+from repro.workloads.scenarios import extraction_groupby_scenario
+
+SAMPLES = 4000
+
+
+def main() -> None:
+    scenario = extraction_groupby_scenario(
+        mention_count=30, company_count=5, rng=17
+    )
+    database = scenario.database
+    print(f"Scenario: {scenario.description}\n")
+
+    consensus = GroupByCountConsensus.from_bid_tree(database.tree)
+    groups = consensus.groups
+    mean = consensus.mean_answer()
+    median, median_value = consensus.median_answer_approximation()
+
+    print(f"{'company':12s} | {'E[count]':>9s} | {'median answer':>13s}")
+    print("-" * 40)
+    for group, expected, rounded in zip(groups, mean, median):
+        print(f"{str(group):12s} | {expected:9.3f} | {rounded:13d}")
+    print(f"{'total':12s} | {sum(mean):9.3f} | {sum(median):13d}")
+
+    # The mean answer minimises the expected squared distance over all real
+    # vectors; its value is exactly the total count variance.
+    variance = consensus.count_variance()
+    print(f"\nExpected squared distance of the mean answer : {variance:.4f}")
+    print(f"Expected squared distance of the median answer: {median_value:.4f}")
+    print(f"Ratio median / lower-bound (Corollary 2 allows up to 4): "
+          f"{median_value / variance:.3f}")
+
+    # Monte-Carlo sanity check of the expected distances.
+    rng = random.Random(0)
+    total_mean = 0.0
+    total_median = 0.0
+    for world in database.sample_worlds(SAMPLES, rng):
+        counts = world.group_by_count(groups)
+        total_mean += squared_euclidean_distance(mean, counts)
+        total_median += squared_euclidean_distance(median, counts)
+    print(
+        f"\nMonte-Carlo check over {SAMPLES} sampled worlds: "
+        f"mean answer {total_mean / SAMPLES:.4f}, "
+        f"median answer {total_median / SAMPLES:.4f}"
+    )
+
+    # Which mentions does the median answer implicitly assign where?
+    _, witness = consensus.closest_possible_answer()
+    print("\nA witnessing attribution realising the median counts "
+          "(first 10 mentions):")
+    for index, group in list(enumerate(witness))[:10]:
+        print(f"  mention{index + 1:<3d} -> {group}")
+
+
+if __name__ == "__main__":
+    main()

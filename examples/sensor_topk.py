@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Top-k consensus over a simulated noisy sensor network.
+
+The paper's introduction cites sensor networks as a canonical source of
+probabilistic data: every sensor surely exists, but its reported reading is
+uncertain (attribute-level uncertainty).  The analyst wants the "k hottest
+sensors" -- but each possible world may rank the sensors differently.
+
+This example
+
+1. builds a synthetic sensor network (every sensor has 2-3 candidate
+   calibrated readings with confidences),
+2. computes the consensus Top-k answer under each of the paper's metrics, and
+3. compares them against the prior ranking semantics (U-Top-k, expected rank,
+   Global-Top-k) using the paper's own yardstick: the expected distance to
+   the Top-k answer of the random possible world, estimated by Monte-Carlo
+   sampling.
+
+Run it with ``python examples/sensor_topk.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.ranking import (
+    expected_rank_topk,
+    expected_score_topk,
+    global_topk,
+    u_topk,
+)
+from repro.consensus.topk import (
+    approximate_topk_intersection,
+    mean_topk_footrule,
+    mean_topk_intersection,
+    mean_topk_symmetric_difference,
+    median_topk_symmetric_difference,
+)
+from repro.core.topk_distances import (
+    topk_footrule_distance,
+    topk_intersection_distance,
+    topk_symmetric_difference,
+)
+from repro.workloads.scenarios import sensor_network_scenario
+
+K = 4
+SENSORS = 14
+SAMPLES = 3000
+
+
+def monte_carlo_distance(database, answer, distance, samples=SAMPLES, seed=0):
+    """Estimate E[distance(answer, top-k of the random world)] by sampling."""
+    rng = random.Random(seed)
+    total = 0.0
+    for world in database.sample_worlds(samples, rng):
+        total += distance(answer, world.top_k(K))
+    return total / samples
+
+
+def main() -> None:
+    scenario = sensor_network_scenario(sensor_count=SENSORS, rng=2026)
+    database = scenario.database
+    statistics = database.rank_statistics()
+    print(f"Scenario: {scenario.description}")
+    print(f"Asking for the Top-{K} hottest sensors.\n")
+
+    answers = {
+        "consensus d_Delta (mean)": mean_topk_symmetric_difference(statistics, K)[0],
+        "consensus d_Delta (median)": median_topk_symmetric_difference(statistics, K)[0],
+        "consensus intersection (exact)": mean_topk_intersection(statistics, K)[0],
+        "consensus intersection (Y_H)": approximate_topk_intersection(statistics, K)[0],
+        "consensus footrule": mean_topk_footrule(statistics, K)[0],
+        "baseline Global-Top-k": global_topk(statistics, K),
+        "baseline expected rank": expected_rank_topk(statistics, K),
+        "baseline expected score": expected_score_topk(statistics, K),
+        "baseline U-Top-k (sampled)": u_topk(
+            statistics, K, method="sample", samples=2000, rng=random.Random(1)
+        ),
+    }
+
+    metrics = {
+        "d_Delta": lambda a, b: topk_symmetric_difference(a, b, k=K),
+        "d_I": lambda a, b: topk_intersection_distance(a, b, k=K),
+        "d_F": lambda a, b: topk_footrule_distance(a, b, k=K),
+    }
+
+    header = f"{'answer semantics':34s} | {'Top-' + str(K) + ' sensors':42s} | " + " | ".join(
+        f"E[{name}]" for name in metrics
+    )
+    print(header)
+    print("-" * len(header))
+    for name, answer in answers.items():
+        estimates = [
+            monte_carlo_distance(database, tuple(answer), metric)
+            for metric in metrics.values()
+        ]
+        answer_text = ", ".join(str(key) for key in answer)
+        print(
+            f"{name:34s} | {answer_text:42s} | "
+            + " | ".join(f"{value:7.4f}" for value in estimates)
+        )
+
+    print(
+        "\nThe consensus answer for each metric minimises the corresponding "
+        "column (up to sampling noise), which is exactly the unified "
+        "yardstick the paper proposes for comparing ranking semantics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro: consensus answers for queries over probabilistic databases.
+
+A from-scratch reproduction of Li & Deshpande, "Consensus Answers for Queries
+over Probabilistic Databases" (PODS 2009, arXiv:0812.2049).
+
+The package is organised bottom-up:
+
+* :mod:`repro.core` -- tuples, possible worlds, answer distances.
+* :mod:`repro.polynomials` -- generating-function arithmetic.
+* :mod:`repro.andxor` -- the probabilistic and/xor tree model (Section 3).
+* :mod:`repro.models` -- tuple-independent / BID / x-tuple convenience models.
+* :mod:`repro.matching`, :mod:`repro.flows` -- assignment and min-cost-flow
+  substrates.
+* :mod:`repro.rankagg` -- classical rank aggregation (Kemeny, footrule,
+  pivot, Borda).
+* :mod:`repro.consensus` -- the paper's consensus-answer algorithms
+  (Sections 4-6).
+* :mod:`repro.baselines` -- prior Top-k ranking semantics.
+* :mod:`repro.algebra` -- a lineage-based probabilistic SPJ algebra.
+* :mod:`repro.workloads` -- synthetic workload generators and scenarios.
+
+Quickstart
+----------
+>>> from repro import BlockIndependentDatabase, mean_topk_symmetric_difference
+>>> database = BlockIndependentDatabase({
+...     "t1": [(90, 0.6), (40, 0.4)],
+...     "t2": [(80, 1.0)],
+...     "t3": [(70, 0.5)],
+... })
+>>> answer, distance = mean_topk_symmetric_difference(database.tree, k=2)
+"""
+
+from repro.core.tuples import TupleAlternative
+from repro.core.worlds import PossibleWorld, WorldDistribution
+from repro.andxor.tree import AndXorTree
+from repro.andxor.nodes import AndNode, Leaf, XorNode
+from repro.andxor.builders import (
+    bid_tree,
+    coexistence_group_tree,
+    from_explicit_worlds,
+    tuple_independent_tree,
+    x_tuple_tree,
+)
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.models import (
+    BlockIndependentDatabase,
+    ProbabilisticRelation,
+    TupleIndependentDatabase,
+    XTupleDatabase,
+)
+from repro.consensus import (
+    GroupByCountConsensus,
+    approximate_topk_intersection,
+    approximate_topk_kendall,
+    consensus_clustering,
+    expected_jaccard_distance_to_world,
+    expected_symmetric_difference_to_world,
+    mean_topk_footrule,
+    mean_topk_intersection,
+    mean_topk_symmetric_difference,
+    mean_world_jaccard_tuple_independent,
+    mean_world_symmetric_difference,
+    median_topk_symmetric_difference,
+    median_world_jaccard_bid,
+    median_world_symmetric_difference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TupleAlternative",
+    "PossibleWorld",
+    "WorldDistribution",
+    "AndXorTree",
+    "Leaf",
+    "XorNode",
+    "AndNode",
+    "tuple_independent_tree",
+    "bid_tree",
+    "x_tuple_tree",
+    "from_explicit_worlds",
+    "coexistence_group_tree",
+    "enumerate_worlds",
+    "RankStatistics",
+    "ProbabilisticRelation",
+    "TupleIndependentDatabase",
+    "BlockIndependentDatabase",
+    "XTupleDatabase",
+    "mean_world_symmetric_difference",
+    "median_world_symmetric_difference",
+    "expected_symmetric_difference_to_world",
+    "mean_world_jaccard_tuple_independent",
+    "median_world_jaccard_bid",
+    "expected_jaccard_distance_to_world",
+    "mean_topk_symmetric_difference",
+    "median_topk_symmetric_difference",
+    "mean_topk_intersection",
+    "approximate_topk_intersection",
+    "mean_topk_footrule",
+    "approximate_topk_kendall",
+    "GroupByCountConsensus",
+    "consensus_clustering",
+]

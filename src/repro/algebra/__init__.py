@@ -1,0 +1,65 @@
+"""A small probabilistic relational algebra with lineage.
+
+Section 1 of the paper motivates consensus answers with select-project-join
+(SPJ) queries whose result tuples are arbitrarily correlated even when the
+input relations are tuple-independent or BID.  This package provides the
+substrate needed to reproduce that setting:
+
+* boolean *lineage* formulas over base-tuple events
+  (:mod:`repro.algebra.lineage`),
+* deterministic and probabilistic relations whose rows carry lineage
+  (:mod:`repro.algebra.relations`),
+* the SPJ operators -- selection, projection (with duplicate elimination),
+  join, union -- that combine lineage (:mod:`repro.algebra.operators`), and
+* exact probability evaluation of result tuples and of full possible answers
+  by enumerating the (few) base events a lineage formula mentions
+  (:mod:`repro.algebra.evaluation`).
+
+The MAX-2-SAT hardness construction of Section 4.1 is an instance of this
+machinery: a join of a certain relation with a BID relation followed by a
+projection.
+"""
+
+from repro.algebra.lineage import (
+    AtomEvent,
+    Conjunction,
+    Disjunction,
+    FalseEvent,
+    LineageFormula,
+    Negation,
+    TrueEvent,
+)
+from repro.algebra.relations import (
+    DeterministicRelation,
+    EventSpace,
+    ProbabilisticAlgebraRelation,
+)
+from repro.algebra.operators import (
+    join,
+    project,
+    select,
+    union,
+)
+from repro.algebra.evaluation import (
+    answer_distribution,
+    result_probabilities,
+)
+
+__all__ = [
+    "LineageFormula",
+    "AtomEvent",
+    "TrueEvent",
+    "FalseEvent",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "EventSpace",
+    "DeterministicRelation",
+    "ProbabilisticAlgebraRelation",
+    "select",
+    "project",
+    "join",
+    "union",
+    "result_probabilities",
+    "answer_distribution",
+]

@@ -1,0 +1,84 @@
+"""Probability evaluation of SPJ query results.
+
+Two evaluation modes are provided:
+
+* :func:`result_probabilities` -- the marginal probability of every result
+  row, evaluated exactly on its lineage (exponential only in the number of
+  base blocks the lineage touches).
+* :func:`answer_distribution` -- the full distribution over *possible
+  answers* (sets of result rows), obtained by enumerating the joint outcomes
+  of every block any result row depends on.  This is the distribution the
+  consensus machinery of Section 4 operates on; combined with
+  :func:`repro.andxor.builders.from_explicit_worlds` it lets arbitrary SPJ
+  answers flow into the and/xor-tree algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+from repro.algebra.relations import ProbabilisticAlgebraRelation
+from repro.exceptions import EnumerationLimitError
+
+# A result row is frozen into a tuple of (attribute, value) pairs so it can
+# be used as a dictionary key / set element.
+FrozenRow = Tuple[Tuple[Hashable, Hashable], ...]
+
+
+def freeze_row(row: Dict[Hashable, Hashable]) -> FrozenRow:
+    """Canonical immutable representation of a result row."""
+    return tuple(sorted(row.items(), key=lambda item: repr(item[0])))
+
+
+def result_probabilities(
+    relation: ProbabilisticAlgebraRelation, limit: int = 1 << 20
+) -> List[Tuple[Dict[Hashable, Hashable], float]]:
+    """Marginal probability of every result row of ``relation``."""
+    out: List[Tuple[Dict[Hashable, Hashable], float]] = []
+    for row, lineage in relation.rows():
+        probability = relation.event_space.formula_probability(
+            lineage, limit=limit
+        )
+        out.append((row, probability))
+    return out
+
+
+def answer_distribution(
+    relation: ProbabilisticAlgebraRelation, limit: int = 1 << 18
+) -> Dict[FrozenSet[FrozenRow], float]:
+    """The exact distribution over possible answers (sets of result rows).
+
+    The joint outcomes of every block touched by any result row's lineage are
+    enumerated; the answer of each outcome is the set of rows whose lineage
+    evaluates to true.  Raises
+    :class:`~repro.exceptions.EnumerationLimitError` when the number of joint
+    outcomes exceeds ``limit``.
+    """
+    rows = relation.rows()
+    all_atoms = set()
+    for _, lineage in rows:
+        all_atoms |= lineage.atoms()
+    distribution: Dict[FrozenSet[FrozenRow], float] = {}
+    if not all_atoms:
+        answer = frozenset(
+            freeze_row(row)
+            for row, lineage in rows
+            if lineage.evaluate(frozenset())
+        )
+        return {answer: 1.0}
+    outcome_count = 0
+    for true_atoms, probability in relation.event_space.outcomes_over(
+        all_atoms, limit=limit
+    ):
+        outcome_count += 1
+        if outcome_count > limit:
+            raise EnumerationLimitError(
+                f"more than {limit} joint outcomes to enumerate"
+            )
+        answer = frozenset(
+            freeze_row(row)
+            for row, lineage in rows
+            if lineage.evaluate(true_atoms)
+        )
+        distribution[answer] = distribution.get(answer, 0.0) + probability
+    return distribution

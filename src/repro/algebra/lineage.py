@@ -1,0 +1,239 @@
+"""Boolean lineage formulas over base-tuple events.
+
+A lineage formula records how a result tuple of an SPJ query depends on the
+base tuples: a join conjoins lineages, a duplicate-eliminating projection
+disjoins them.  Atoms refer to entries of an
+:class:`~repro.algebra.relations.EventSpace` (a BID-style collection of
+mutually exclusive alternatives grouped into independent blocks).
+
+Formulas are immutable and evaluated against a concrete choice of one
+alternative (or nothing) per block.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Mapping, Tuple
+
+from repro.exceptions import LineageError
+
+
+class LineageFormula:
+    """Abstract base class for lineage formulas."""
+
+    __slots__ = ()
+
+    def atoms(self) -> FrozenSet[Hashable]:
+        """The set of atom identifiers mentioned by the formula."""
+        raise NotImplementedError
+
+    def evaluate(self, true_atoms: Mapping[Hashable, bool] | Iterable[Hashable]) -> bool:
+        """Evaluate the formula against the set (or mapping) of true atoms."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "LineageFormula") -> "LineageFormula":
+        return Conjunction((self, other)).simplified()
+
+    def __or__(self, other: "LineageFormula") -> "LineageFormula":
+        return Disjunction((self, other)).simplified()
+
+    def __invert__(self) -> "LineageFormula":
+        return Negation(self).simplified()
+
+    def simplified(self) -> "LineageFormula":
+        """Return a lightly simplified equivalent formula."""
+        return self
+
+
+def _truth_lookup(
+    true_atoms: Mapping[Hashable, bool] | Iterable[Hashable]
+) -> Mapping[Hashable, bool]:
+    if isinstance(true_atoms, Mapping):
+        return true_atoms
+    atoms = set(true_atoms)
+    return {atom: True for atom in atoms}
+
+
+class TrueEvent(LineageFormula):
+    """The always-true lineage (certain tuples)."""
+
+    __slots__ = ()
+
+    def atoms(self) -> FrozenSet[Hashable]:
+        return frozenset()
+
+    def evaluate(self, true_atoms) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TRUE"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TrueEvent)
+
+    def __hash__(self) -> int:
+        return hash("TrueEvent")
+
+
+class FalseEvent(LineageFormula):
+    """The always-false lineage (impossible tuples)."""
+
+    __slots__ = ()
+
+    def atoms(self) -> FrozenSet[Hashable]:
+        return frozenset()
+
+    def evaluate(self, true_atoms) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "FALSE"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FalseEvent)
+
+    def __hash__(self) -> int:
+        return hash("FalseEvent")
+
+
+class AtomEvent(LineageFormula):
+    """An atomic event: "this base alternative is present"."""
+
+    __slots__ = ("identifier",)
+
+    def __init__(self, identifier: Hashable) -> None:
+        self.identifier = identifier
+
+    def atoms(self) -> FrozenSet[Hashable]:
+        return frozenset((self.identifier,))
+
+    def evaluate(self, true_atoms) -> bool:
+        lookup = _truth_lookup(true_atoms)
+        return bool(lookup.get(self.identifier, False))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Atom({self.identifier!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AtomEvent) and self.identifier == other.identifier
+
+    def __hash__(self) -> int:
+        return hash(("AtomEvent", self.identifier))
+
+
+class Negation(LineageFormula):
+    """Logical negation of a lineage formula."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: LineageFormula) -> None:
+        if not isinstance(operand, LineageFormula):
+            raise LineageError("Negation expects a LineageFormula")
+        self.operand = operand
+
+    def atoms(self) -> FrozenSet[Hashable]:
+        return self.operand.atoms()
+
+    def evaluate(self, true_atoms) -> bool:
+        return not self.operand.evaluate(true_atoms)
+
+    def simplified(self) -> LineageFormula:
+        if isinstance(self.operand, TrueEvent):
+            return FalseEvent()
+        if isinstance(self.operand, FalseEvent):
+            return TrueEvent()
+        if isinstance(self.operand, Negation):
+            return self.operand.operand
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Not({self.operand!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Negation) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("Negation", self.operand))
+
+
+class _NaryFormula(LineageFormula):
+    """Shared implementation of conjunction and disjunction."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[LineageFormula]) -> None:
+        flattened = []
+        for operand in operands:
+            if not isinstance(operand, LineageFormula):
+                raise LineageError(
+                    f"expected a LineageFormula, got {type(operand).__name__}"
+                )
+            if isinstance(operand, type(self)):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        self.operands: Tuple[LineageFormula, ...] = tuple(flattened)
+
+    def atoms(self) -> FrozenSet[Hashable]:
+        out: FrozenSet[Hashable] = frozenset()
+        for operand in self.operands:
+            out |= operand.atoms()
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+
+class Conjunction(_NaryFormula):
+    """Logical AND of lineage formulas (join lineage)."""
+
+    __slots__ = ()
+
+    def evaluate(self, true_atoms) -> bool:
+        lookup = _truth_lookup(true_atoms)
+        return all(operand.evaluate(lookup) for operand in self.operands)
+
+    def simplified(self) -> LineageFormula:
+        operands = [
+            operand for operand in self.operands
+            if not isinstance(operand, TrueEvent)
+        ]
+        if any(isinstance(operand, FalseEvent) for operand in operands):
+            return FalseEvent()
+        if not operands:
+            return TrueEvent()
+        if len(operands) == 1:
+            return operands[0]
+        return Conjunction(operands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "And(" + ", ".join(repr(o) for o in self.operands) + ")"
+
+
+class Disjunction(_NaryFormula):
+    """Logical OR of lineage formulas (projection / duplicate elimination)."""
+
+    __slots__ = ()
+
+    def evaluate(self, true_atoms) -> bool:
+        lookup = _truth_lookup(true_atoms)
+        return any(operand.evaluate(lookup) for operand in self.operands)
+
+    def simplified(self) -> LineageFormula:
+        operands = [
+            operand for operand in self.operands
+            if not isinstance(operand, FalseEvent)
+        ]
+        if any(isinstance(operand, TrueEvent) for operand in operands):
+            return TrueEvent()
+        if not operands:
+            return FalseEvent()
+        if len(operands) == 1:
+            return operands[0]
+        return Disjunction(operands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Or(" + ", ".join(repr(o) for o in self.operands) + ")"

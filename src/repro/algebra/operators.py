@@ -1,0 +1,110 @@
+"""SPJ operators over probabilistic relations with lineage.
+
+The operators follow the standard intensional (lineage-based) semantics:
+
+* selection keeps rows whose values satisfy the predicate, lineage unchanged;
+* projection keeps the requested attributes and merges duplicate rows by
+  disjoining their lineages;
+* join concatenates compatible rows and conjoins their lineages;
+* union concatenates relations defined over the same event space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.algebra.lineage import (
+    Conjunction,
+    Disjunction,
+    LineageFormula,
+)
+from repro.algebra.relations import ProbabilisticAlgebraRelation, Row
+from repro.exceptions import LineageError
+
+Predicate = Callable[[Row], bool]
+
+
+def select(
+    relation: ProbabilisticAlgebraRelation,
+    predicate: Predicate,
+    name: str | None = None,
+) -> ProbabilisticAlgebraRelation:
+    """Selection ``σ_predicate(relation)``."""
+    rows = [
+        (row, lineage)
+        for row, lineage in relation.rows()
+        if predicate(row)
+    ]
+    return relation.with_rows(rows, name=name or f"select({relation.name})")
+
+
+def project(
+    relation: ProbabilisticAlgebraRelation,
+    attributes: Sequence[Hashable],
+    name: str | None = None,
+) -> ProbabilisticAlgebraRelation:
+    """Projection ``π_attributes(relation)`` with duplicate elimination.
+
+    Duplicate projected rows are merged and their lineages disjoined, so the
+    probability of a result row is the probability that *any* contributing
+    base combination is present.
+    """
+    merged: Dict[Tuple[Tuple[Hashable, Hashable], ...], LineageFormula] = {}
+    order: List[Tuple[Tuple[Hashable, Hashable], ...]] = []
+    for row, lineage in relation.rows():
+        projected = tuple((attribute, row.get(attribute)) for attribute in attributes)
+        if projected not in merged:
+            merged[projected] = lineage
+            order.append(projected)
+        else:
+            merged[projected] = Disjunction(
+                (merged[projected], lineage)
+            ).simplified()
+    rows = [(dict(projected), merged[projected]) for projected in order]
+    return relation.with_rows(rows, name=name or f"project({relation.name})")
+
+
+def join(
+    left: ProbabilisticAlgebraRelation,
+    right: ProbabilisticAlgebraRelation,
+    on: Sequence[Hashable] | None = None,
+    name: str | None = None,
+) -> ProbabilisticAlgebraRelation:
+    """Natural (equi-)join of two relations over the same event space.
+
+    ``on`` defaults to the attributes the two schemas share; rows agreeing on
+    those attributes are combined and their lineages conjoined.
+    """
+    if left.event_space is not right.event_space:
+        raise LineageError(
+            "join requires both relations to share the same event space"
+        )
+    if on is None:
+        on = [a for a in left.attributes() if a in set(right.attributes())]
+    rows: List[Tuple[Row, LineageFormula]] = []
+    for left_row, left_lineage in left.rows():
+        for right_row, right_lineage in right.rows():
+            if all(left_row.get(a) == right_row.get(a) for a in on):
+                combined = dict(left_row)
+                combined.update(right_row)
+                lineage = Conjunction((left_lineage, right_lineage)).simplified()
+                rows.append((combined, lineage))
+    return left.with_rows(
+        rows, name=name or f"join({left.name}, {right.name})"
+    )
+
+
+def union(
+    left: ProbabilisticAlgebraRelation,
+    right: ProbabilisticAlgebraRelation,
+    name: str | None = None,
+) -> ProbabilisticAlgebraRelation:
+    """Bag union of two relations over the same event space."""
+    if left.event_space is not right.event_space:
+        raise LineageError(
+            "union requires both relations to share the same event space"
+        )
+    rows = left.rows() + right.rows()
+    return left.with_rows(
+        rows, name=name or f"union({left.name}, {right.name})"
+    )

@@ -1,0 +1,274 @@
+"""Relations for the probabilistic SPJ algebra.
+
+Two relation kinds are provided:
+
+* :class:`DeterministicRelation` -- a plain bag of rows (dictionaries), each
+  carrying the always-true lineage.
+* :class:`ProbabilisticAlgebraRelation` -- rows annotated with lineage
+  formulas over an :class:`EventSpace`.
+
+The :class:`EventSpace` models the base uncertainty in BID style: atoms are
+grouped into independent blocks, the atoms of one block are mutually
+exclusive, and each atom has a marginal probability.  Tuple-independent
+relations are the special case of singleton blocks.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.algebra.lineage import AtomEvent, LineageFormula, TrueEvent
+from repro.exceptions import EnumerationLimitError, LineageError, ProbabilityError
+
+Row = Mapping[Hashable, Hashable]
+
+
+class EventSpace:
+    """Independent blocks of mutually exclusive atomic events.
+
+    Parameters
+    ----------
+    blocks:
+        Mapping from block identifier to a mapping from atom identifier to
+        probability.  Atom identifiers must be globally unique; each block's
+        probabilities must sum to at most one.
+    """
+
+    def __init__(
+        self, blocks: Mapping[Hashable, Mapping[Hashable, float]]
+    ) -> None:
+        self._blocks: Dict[Hashable, Dict[Hashable, float]] = {}
+        self._block_of_atom: Dict[Hashable, Hashable] = {}
+        for block_id, atoms in blocks.items():
+            block: Dict[Hashable, float] = {}
+            total = 0.0
+            for atom_id, probability in atoms.items():
+                probability = float(probability)
+                if probability < 0.0:
+                    raise ProbabilityError(
+                        f"negative atom probability {probability}"
+                    )
+                if atom_id in self._block_of_atom:
+                    raise LineageError(
+                        f"atom identifier {atom_id!r} appears in two blocks"
+                    )
+                block[atom_id] = probability
+                self._block_of_atom[atom_id] = block_id
+                total += probability
+            if total > 1.0 + 1e-9:
+                raise ProbabilityError(
+                    f"block {block_id!r} probabilities sum to {total} > 1"
+                )
+            self._blocks[block_id] = block
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def independent(
+        cls, atoms: Mapping[Hashable, float]
+    ) -> "EventSpace":
+        """An event space of independent atoms (singleton blocks)."""
+        return cls({atom_id: {atom_id: p} for atom_id, p in atoms.items()})
+
+    def blocks(self) -> Dict[Hashable, Dict[Hashable, float]]:
+        """The block specification."""
+        return {block: dict(atoms) for block, atoms in self._blocks.items()}
+
+    def block_of(self, atom_id: Hashable) -> Hashable:
+        """The block containing a given atom."""
+        if atom_id not in self._block_of_atom:
+            raise LineageError(f"unknown atom {atom_id!r}")
+        return self._block_of_atom[atom_id]
+
+    def atom_probability(self, atom_id: Hashable) -> float:
+        """Marginal probability of an atom."""
+        return self._blocks[self.block_of(atom_id)][atom_id]
+
+    # ------------------------------------------------------------------
+    def outcomes_over(
+        self,
+        atom_ids: Iterable[Hashable],
+        limit: int = 1 << 20,
+    ) -> Iterator[Tuple[FrozenSet[Hashable], float]]:
+        """Enumerate joint outcomes of the blocks touching the given atoms.
+
+        Yields ``(true_atoms, probability)`` pairs where ``true_atoms`` is the
+        set of atoms (restricted to the touched blocks) that are present.
+        Only the blocks containing one of ``atom_ids`` are enumerated, so the
+        cost is exponential in the number of *relevant* blocks only.
+        """
+        relevant_blocks: List[Hashable] = []
+        seen = set()
+        for atom_id in atom_ids:
+            block_id = self.block_of(atom_id)
+            if block_id not in seen:
+                seen.add(block_id)
+                relevant_blocks.append(block_id)
+        per_block_options: List[List[Tuple[FrozenSet[Hashable], float]]] = []
+        total_outcomes = 1
+        for block_id in relevant_blocks:
+            atoms = self._blocks[block_id]
+            options: List[Tuple[FrozenSet[Hashable], float]] = []
+            none_probability = 1.0 - sum(atoms.values())
+            if none_probability > 1e-12:
+                options.append((frozenset(), none_probability))
+            for atom_id, probability in atoms.items():
+                if probability > 0.0:
+                    options.append((frozenset((atom_id,)), probability))
+            per_block_options.append(options)
+            total_outcomes *= max(len(options), 1)
+            if total_outcomes > limit:
+                raise EnumerationLimitError(
+                    f"enumerating {total_outcomes} joint outcomes exceeds "
+                    f"the limit {limit}"
+                )
+        for combination in product(*per_block_options):
+            true_atoms: FrozenSet[Hashable] = frozenset().union(
+                *(option[0] for option in combination)
+            ) if combination else frozenset()
+            probability = 1.0
+            for _, option_probability in combination:
+                probability *= option_probability
+            if probability > 0.0:
+                yield true_atoms, probability
+
+    def formula_probability(
+        self, formula: LineageFormula, limit: int = 1 << 20
+    ) -> float:
+        """Exact probability that a lineage formula is true."""
+        atoms = formula.atoms()
+        if not atoms:
+            return 1.0 if formula.evaluate(frozenset()) else 0.0
+        total = 0.0
+        for true_atoms, probability in self.outcomes_over(atoms, limit=limit):
+            if formula.evaluate(true_atoms):
+                total += probability
+        return total
+
+
+class DeterministicRelation:
+    """A deterministic relation: a list of rows (mappings)."""
+
+    def __init__(
+        self, rows: Iterable[Row], name: str = "relation"
+    ) -> None:
+        self._rows: List[Dict[Hashable, Hashable]] = [dict(row) for row in rows]
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    def rows(self) -> List[Dict[Hashable, Hashable]]:
+        """The rows of the relation."""
+        return [dict(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def as_probabilistic(
+        self, event_space: EventSpace
+    ) -> "ProbabilisticAlgebraRelation":
+        """Lift to a probabilistic relation with always-true lineage."""
+        return ProbabilisticAlgebraRelation(
+            event_space,
+            [(row, TrueEvent()) for row in self._rows],
+            name=self._name,
+        )
+
+
+class ProbabilisticAlgebraRelation:
+    """A probabilistic relation for the SPJ algebra: rows with lineage."""
+
+    def __init__(
+        self,
+        event_space: EventSpace,
+        rows: Iterable[Tuple[Row, LineageFormula]],
+        name: str = "relation",
+    ) -> None:
+        self._event_space = event_space
+        self._rows: List[Tuple[Dict[Hashable, Hashable], LineageFormula]] = []
+        for row, lineage in rows:
+            if not isinstance(lineage, LineageFormula):
+                raise LineageError(
+                    f"row lineage must be a LineageFormula, got "
+                    f"{type(lineage).__name__}"
+                )
+            self._rows.append((dict(row), lineage))
+        self._name = name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bid_blocks(
+        cls,
+        blocks: Mapping[Hashable, Sequence[Tuple[Row, float]]],
+        name: str = "relation",
+    ) -> "ProbabilisticAlgebraRelation":
+        """Build a BID relation: per-key mutually exclusive alternative rows.
+
+        ``blocks`` maps a block key to a sequence of ``(row, probability)``
+        alternatives.  Atoms are identified by ``(block key, row index)``.
+        """
+        event_blocks: Dict[Hashable, Dict[Hashable, float]] = {}
+        rows: List[Tuple[Row, LineageFormula]] = []
+        for block_key, alternatives in blocks.items():
+            atom_probabilities: Dict[Hashable, float] = {}
+            for index, (row, probability) in enumerate(alternatives):
+                atom_id = (block_key, index)
+                atom_probabilities[atom_id] = float(probability)
+                rows.append((row, AtomEvent(atom_id)))
+            event_blocks[block_key] = atom_probabilities
+        return cls(EventSpace(event_blocks), rows, name=name)
+
+    @classmethod
+    def tuple_independent(
+        cls,
+        rows: Sequence[Tuple[Row, float]],
+        name: str = "relation",
+    ) -> "ProbabilisticAlgebraRelation":
+        """Build a tuple-independent relation (one singleton block per row)."""
+        blocks = {
+            (name, index): [(row, probability)]
+            for index, (row, probability) in enumerate(rows)
+        }
+        return cls.from_bid_blocks(blocks, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def event_space(self) -> EventSpace:
+        """The underlying event space."""
+        return self._event_space
+
+    def rows(self) -> List[Tuple[Dict[Hashable, Hashable], LineageFormula]]:
+        """The annotated rows ``(row, lineage)``."""
+        return [(dict(row), lineage) for row, lineage in self._rows]
+
+    def attributes(self) -> List[Hashable]:
+        """The attribute names appearing in the rows (first-appearance order)."""
+        seen = set()
+        out: List[Hashable] = []
+        for row, _ in self._rows:
+            for attribute in row:
+                if attribute not in seen:
+                    seen.add(attribute)
+                    out.append(attribute)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def with_rows(
+        self,
+        rows: Iterable[Tuple[Row, LineageFormula]],
+        name: str | None = None,
+    ) -> "ProbabilisticAlgebraRelation":
+        """A new relation over the same event space with different rows."""
+        return ProbabilisticAlgebraRelation(
+            self._event_space, rows, name=name or self._name
+        )

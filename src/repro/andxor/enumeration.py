@@ -1,0 +1,103 @@
+"""Exact possible-world enumeration for and/xor trees.
+
+Enumeration is exponential in general and only used on small instances: the
+polynomial consensus algorithms never call it, but the test-suite and the
+benchmark harness use it to produce ground-truth world distributions that
+every theorem of the paper is checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.core.worlds import WorldDistribution
+from repro.exceptions import EnumerationLimitError, ModelError
+
+_WorldMap = Dict[FrozenSet[TupleAlternative], float]
+
+
+def _merge_scaled(target: _WorldMap, source: _WorldMap, scale: float) -> None:
+    for world, probability in source.items():
+        if probability * scale <= 0.0:
+            continue
+        target[world] = target.get(world, 0.0) + probability * scale
+
+
+def _enumerate_node(node: Node, limit: int) -> _WorldMap:
+    if isinstance(node, Leaf):
+        return {frozenset((node.alternative,)): 1.0}
+    if isinstance(node, XorNode):
+        worlds: _WorldMap = {}
+        none_probability = node.none_probability
+        if none_probability > 0.0:
+            worlds[frozenset()] = none_probability
+        for child, probability in node.edges():
+            if probability <= 0.0:
+                continue
+            child_worlds = _enumerate_node(child, limit)
+            _merge_scaled(worlds, child_worlds, probability)
+            if len(worlds) > limit:
+                raise EnumerationLimitError(
+                    f"more than {limit} distinct possible worlds"
+                )
+        return worlds
+    if isinstance(node, AndNode):
+        worlds = {frozenset(): 1.0}
+        for child in node.children():
+            child_worlds = _enumerate_node(child, limit)
+            combined: _WorldMap = {}
+            for world, probability in worlds.items():
+                for child_world, child_probability in child_worlds.items():
+                    key = world | child_world
+                    combined[key] = (
+                        combined.get(key, 0.0) + probability * child_probability
+                    )
+            worlds = combined
+            if len(worlds) > limit:
+                raise EnumerationLimitError(
+                    f"more than {limit} distinct possible worlds"
+                )
+        return worlds
+    raise ModelError(f"unsupported node type {type(node).__name__}")
+
+
+def enumerate_worlds(
+    tree: AndXorTree, limit: int = 1 << 18
+) -> WorldDistribution:
+    """Enumerate the full possible-world distribution of a tree.
+
+    Parameters
+    ----------
+    tree:
+        The and/xor tree to enumerate.
+    limit:
+        Maximum number of distinct possible worlds to materialise; a
+        :class:`~repro.exceptions.EnumerationLimitError` is raised when
+        exceeded.
+    """
+    worlds = _enumerate_node(tree.root, limit)
+    return WorldDistribution(
+        ((alternatives, probability) for alternatives, probability in worlds.items()),
+        require_normalized=True,
+    )
+
+
+def count_worlds_upper_bound(tree: AndXorTree) -> int:
+    """A cheap upper bound on the number of distinct possible worlds."""
+
+    def bound(node: Node) -> int:
+        if isinstance(node, Leaf):
+            return 1
+        if isinstance(node, XorNode):
+            return 1 + sum(bound(child) for child in node.children())
+        product = 1
+        for child in node.children():
+            product *= bound(child)
+            if product > 1 << 62:
+                return 1 << 62
+        return product
+
+    return bound(tree.root)

@@ -1,0 +1,182 @@
+"""The generating-function framework of Section 3.3 (Theorem 1).
+
+Given an and/xor tree and an assignment of a formal variable (or the constant
+1) to each leaf, the generating function is defined recursively:
+
+* a leaf contributes its variable (or 1),
+* a xor node contributes ``(1 - Σ p_i) + Σ p_i * F_i``,
+* an and node contributes ``Π F_i``.
+
+Theorem 1 states that the coefficient of ``Π x_j^{i_j}`` equals the total
+probability of the possible worlds containing exactly ``i_j`` leaves labelled
+``x_j`` for every ``j``.  All probability computations in the paper --
+world-size distributions, rank-position probabilities, Jaccard distances,
+co-occurrence probabilities -- are coefficient extractions from such
+polynomials.
+
+Three entry points are provided, matching the three polynomial
+representations in :mod:`repro.polynomials`; degree truncation keeps Top-k
+computations polynomial in ``k`` rather than in the database size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
+from repro.andxor.tree import AndXorTree
+from repro.exceptions import ModelError
+from repro.polynomials import (
+    BivariatePolynomial,
+    MultivariatePolynomial,
+    UnivariatePolynomial,
+)
+
+LeafVariable = Callable[[Leaf], Optional[str]]
+LeafPredicate = Callable[[Leaf], bool]
+
+
+# ----------------------------------------------------------------------
+# General multivariate generating function
+# ----------------------------------------------------------------------
+def generating_function(
+    tree: AndXorTree,
+    variable_of: LeafVariable,
+    variables: Sequence[str],
+    max_degrees: Mapping[str, int] | None = None,
+) -> MultivariatePolynomial:
+    """Evaluate the generating function with an arbitrary variable assignment.
+
+    Parameters
+    ----------
+    tree:
+        The and/xor tree.
+    variable_of:
+        Function mapping each leaf to the name of its variable, or ``None``
+        for the constant 1.
+    variables:
+        The ordered universe of variable names.
+    max_degrees:
+        Optional per-variable truncation degrees.
+    """
+    variables = tuple(variables)
+    one = MultivariatePolynomial.one(variables, max_degrees=max_degrees)
+
+    def recurse(node: Node) -> MultivariatePolynomial:
+        if isinstance(node, Leaf):
+            name = variable_of(node)
+            if name is None:
+                return one
+            return MultivariatePolynomial.variable(
+                variables, name, max_degrees=max_degrees
+            )
+        if isinstance(node, XorNode):
+            result = MultivariatePolynomial.constant(
+                variables, node.none_probability, max_degrees=max_degrees
+            )
+            for child, probability in node.edges():
+                if probability == 0.0:
+                    continue
+                result = result + recurse(child) * probability
+            return result
+        if isinstance(node, AndNode):
+            result = one
+            for child in node.children():
+                result = result * recurse(child)
+            return result
+        raise ModelError(f"unsupported node type {type(node).__name__}")
+
+    return recurse(tree.root)
+
+
+# ----------------------------------------------------------------------
+# Univariate specialisation
+# ----------------------------------------------------------------------
+def univariate_generating_function(
+    tree: AndXorTree,
+    marked: LeafPredicate | None = None,
+    max_degree: int | None = None,
+) -> UnivariatePolynomial:
+    """Generating function with one variable ``x`` on the marked leaves.
+
+    ``marked`` defaults to marking every leaf, in which case the coefficient
+    of ``x**i`` is ``Pr(|pw| = i)`` (Example 1 of the paper).  Marking only a
+    subset ``S`` gives ``Pr(|pw ∩ S| = i)`` (Example 2).
+    """
+    if marked is None:
+        marked = lambda leaf: True  # noqa: E731 - tiny predicate
+
+    variable = UnivariatePolynomial.variable(max_degree=max_degree)
+    one = UnivariatePolynomial.one(max_degree=max_degree)
+
+    def recurse(node: Node) -> UnivariatePolynomial:
+        if isinstance(node, Leaf):
+            return variable if marked(node) else one
+        if isinstance(node, XorNode):
+            result = UnivariatePolynomial.constant(
+                node.none_probability, max_degree=max_degree
+            )
+            for child, probability in node.edges():
+                if probability == 0.0:
+                    continue
+                result = result + recurse(child) * probability
+            return result
+        if isinstance(node, AndNode):
+            result = one
+            for child in node.children():
+                result = result * recurse(child)
+            return result
+        raise ModelError(f"unsupported node type {type(node).__name__}")
+
+    return recurse(tree.root)
+
+
+# ----------------------------------------------------------------------
+# Bivariate specialisation
+# ----------------------------------------------------------------------
+def bivariate_generating_function(
+    tree: AndXorTree,
+    variable_of: LeafVariable,
+    max_degree_x: int | None = None,
+    max_degree_y: int | None = None,
+) -> BivariatePolynomial:
+    """Generating function in two variables ``x`` and ``y``.
+
+    ``variable_of`` must return ``"x"``, ``"y"`` or ``None`` for each leaf.
+    This is the workhorse for rank-position probabilities (Example 3) and
+    expected Jaccard distances (Lemma 1).
+    """
+    x = BivariatePolynomial.variable_x(max_degree_x, max_degree_y)
+    y = BivariatePolynomial.variable_y(max_degree_x, max_degree_y)
+    one = BivariatePolynomial.one(max_degree_x, max_degree_y)
+
+    def recurse(node: Node) -> BivariatePolynomial:
+        if isinstance(node, Leaf):
+            name = variable_of(node)
+            if name is None:
+                return one
+            if name == "x":
+                return x
+            if name == "y":
+                return y
+            raise ModelError(
+                f"bivariate generating function expects 'x', 'y' or None, "
+                f"got {name!r}"
+            )
+        if isinstance(node, XorNode):
+            result = BivariatePolynomial.constant(
+                node.none_probability, max_degree_x, max_degree_y
+            )
+            for child, probability in node.edges():
+                if probability == 0.0:
+                    continue
+                result = result + recurse(child) * probability
+            return result
+        if isinstance(node, AndNode):
+            result = one
+            for child in node.children():
+                result = result * recurse(child)
+            return result
+        raise ModelError(f"unsupported node type {type(node).__name__}")
+
+    return recurse(tree.root)

@@ -1,0 +1,144 @@
+"""Node classes for probabilistic and/xor trees.
+
+The tree has three kinds of nodes (Definition 1 of the paper):
+
+* :class:`Leaf` -- a tuple alternative (a key-attribute pair, optionally with
+  a score used by ranking queries).
+* :class:`XorNode` (∨©) -- *mutual exclusion*: at most one child subtree
+  materialises, child ``i`` with probability ``p_i`` and nothing with
+  probability ``1 - Σ p_i``.
+* :class:`AndNode` (∧©) -- *coexistence*: all child subtrees materialise
+  independently.
+
+Nodes are plain data containers; validation and probability computations
+live in :class:`repro.andxor.tree.AndXorTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import ProbabilityError
+
+
+class Node:
+    """Abstract base class for and/xor tree nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Sequence["Node"]:
+        """Return the child nodes (empty for leaves)."""
+        raise NotImplementedError
+
+    def is_leaf(self) -> bool:
+        """Return True for leaf nodes."""
+        return False
+
+
+class Leaf(Node):
+    """A leaf: one tuple alternative.
+
+    Each :class:`Leaf` object has its own identity even when two leaves carry
+    an equal :class:`~repro.core.tuples.TupleAlternative`; this matters for
+    trees built from explicit world lists where the same alternative can
+    appear under several xor branches.
+    """
+
+    __slots__ = ("alternative",)
+
+    def __init__(self, alternative: TupleAlternative) -> None:
+        if not isinstance(alternative, TupleAlternative):
+            raise TypeError(
+                "Leaf expects a TupleAlternative, got "
+                f"{type(alternative).__name__}"
+            )
+        self.alternative = alternative
+
+    def children(self) -> Sequence[Node]:
+        return ()
+
+    def is_leaf(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Leaf({self.alternative!r})"
+
+
+class XorNode(Node):
+    """A mutual-exclusion node (∨© in the paper).
+
+    Parameters
+    ----------
+    children:
+        Iterable of ``(node, probability)`` pairs.  The probabilities must be
+        non-negative and sum to at most 1 (the remaining mass is the
+        probability that the node produces nothing).
+    """
+
+    __slots__ = ("_children", "_probabilities")
+
+    def __init__(
+        self, children: Iterable[Tuple[Node, float]] = ()
+    ) -> None:
+        nodes: List[Node] = []
+        probabilities: List[float] = []
+        for child, probability in children:
+            if not isinstance(child, Node):
+                raise TypeError(
+                    f"XorNode child must be a Node, got {type(child).__name__}"
+                )
+            probability = float(probability)
+            if probability < -1e-12:
+                raise ProbabilityError(
+                    f"negative xor edge probability {probability}"
+                )
+            nodes.append(child)
+            probabilities.append(max(probability, 0.0))
+        self._children = tuple(nodes)
+        self._probabilities = tuple(probabilities)
+
+    def children(self) -> Sequence[Node]:
+        return self._children
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        """Edge probabilities aligned with :meth:`children`."""
+        return self._probabilities
+
+    @property
+    def none_probability(self) -> float:
+        """Probability that this node produces the empty set."""
+        return max(0.0, 1.0 - sum(self._probabilities))
+
+    def edges(self) -> Sequence[Tuple[Node, float]]:
+        """Return ``(child, probability)`` pairs."""
+        return tuple(zip(self._children, self._probabilities))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"XorNode({len(self._children)} children)"
+
+
+class AndNode(Node):
+    """A coexistence node (∧© in the paper): all children materialise."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, children: Iterable[Node] = ()) -> None:
+        nodes = []
+        for child in children:
+            if not isinstance(child, Node):
+                raise TypeError(
+                    f"AndNode child must be a Node, got {type(child).__name__}"
+                )
+            nodes.append(child)
+        self._children = tuple(nodes)
+
+    def children(self) -> Sequence[Node]:
+        return self._children
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AndNode({len(self._children)} children)"
+
+
+AnyNode = Union[Leaf, XorNode, AndNode]

@@ -1,0 +1,361 @@
+"""Rank-position probabilities over and/xor trees (Example 3, Section 5).
+
+Ranking queries score every alternative and rank the tuples of a possible
+world by decreasing score; ``r(t)`` denotes the (random) rank of tuple ``t``
+with ``r(t) = ∞`` when ``t`` is absent.  This module computes
+
+* ``Pr(r(t) = i)`` for every tuple and position (Example 3 of the paper),
+* the cumulative probabilities ``Pr(r(t) <= i)`` used throughout Section 5,
+* pairwise preference probabilities ``Pr(r(t_i) < r(t_j))`` needed by the
+  Kendall-tau approximation (Section 5.5), and
+* Cormode-style expected ranks used as a baseline ranking semantics.
+
+The computation follows the paper: for an alternative ``(t, a)`` with score
+``s``, build the generating function that assigns ``y`` to that leaf and
+``x`` to every leaf of a *different* key with score larger than ``s``; the
+coefficient of ``x^(j-1) y`` is the probability that ``t`` is ranked at
+position ``j`` through this alternative.  Probabilities of a tuple's
+alternatives add up because alternatives are mutually exclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.andxor.generating import bivariate_generating_function
+from repro.andxor.nodes import Leaf
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import ModelError
+
+
+class RankStatistics:
+    """Caches rank-position probabilities for one and/xor tree.
+
+    Parameters
+    ----------
+    tree:
+        The and/xor tree.  Every leaf must carry a numeric score (either an
+        explicit score or a numeric value attribute).
+    validate_scores:
+        When True (default) scores of alternatives belonging to *different*
+        tuples must be pairwise distinct, matching the paper's no-ties
+        assumption.
+    """
+
+    def __init__(
+        self,
+        tree: AndXorTree,
+        validate_scores: bool = True,
+        use_fast_path: bool = True,
+    ) -> None:
+        self._tree = tree
+        self._scores: Dict[TupleAlternative, float] = {
+            alternative: alternative.effective_score()
+            for alternative in tree.alternatives()
+        }
+        if validate_scores:
+            self._validate_scores()
+        self._rank_cache: Dict[Tuple[Hashable, int], List[float]] = {}
+        # Fast path: pure tuple-level uncertainty over independent tuples
+        # (every xor block holds a single leaf).  The rank distributions of
+        # all tuples can then be computed in one O(n * max_rank) sweep.
+        self._fast_layout: Optional[List[Tuple[Hashable, float, float]]] = (
+            self._detect_fast_layout() if use_fast_path else None
+        )
+        self._fast_cache: Dict[int, Dict[Hashable, List[float]]] = {}
+
+    def _detect_fast_layout(
+        self,
+    ) -> Optional[List[Tuple[Hashable, float, float]]]:
+        """Detect the tuple-independent layout enabling the O(n k) sweep.
+
+        Returns, when applicable, the list of ``(key, probability, score)``
+        triples sorted by decreasing score; otherwise None.
+        """
+        from repro.andxor.nodes import AndNode, XorNode  # local import
+
+        root = self._tree.root
+        if not isinstance(root, AndNode):
+            return None
+        layout: List[Tuple[Hashable, float, float]] = []
+        for child in root.children():
+            if not isinstance(child, XorNode):
+                return None
+            edges = child.edges()
+            if len(edges) != 1 or not edges[0][0].is_leaf():
+                return None
+            leaf, probability = edges[0]
+            layout.append(
+                (
+                    leaf.alternative.key,
+                    probability,
+                    self._scores[leaf.alternative],
+                )
+            )
+        if len({key for key, _, _ in layout}) != len(layout):
+            return None
+        layout.sort(key=lambda item: -item[2])
+        return layout
+
+    def _fast_rank_table(self, max_rank: int) -> Dict[Hashable, List[float]]:
+        """One-pass rank distributions for tuple-independent databases.
+
+        Processing tuples in decreasing score order while maintaining the
+        truncated generating function ``Π (1 - p_i + p_i x)`` of the
+        already-processed (higher-scoring) tuples, the probability that the
+        current tuple has rank ``j`` is its own probability times the
+        coefficient of ``x^(j-1)``.
+        """
+        cached = self._fast_cache.get(max_rank)
+        if cached is not None:
+            return cached
+        assert self._fast_layout is not None
+        coefficients = [1.0] + [0.0] * (max_rank - 1)
+        table: Dict[Hashable, List[float]] = {}
+        for key, probability, _ in self._fast_layout:
+            table[key] = [probability * c for c in coefficients]
+            # Multiply the running product by (1 - p + p x), truncated.
+            previous = 0.0
+            for index in range(max_rank):
+                current = coefficients[index]
+                coefficients[index] = (
+                    current * (1.0 - probability) + previous * probability
+                )
+                previous = current
+        self._fast_cache[max_rank] = table
+        return table
+
+    def _validate_scores(self) -> None:
+        by_score: Dict[float, TupleAlternative] = {}
+        for alternative, score in self._scores.items():
+            other = by_score.get(score)
+            if other is not None and other.key != alternative.key:
+                raise ModelError(
+                    f"alternatives {other!r} and {alternative!r} of different "
+                    f"tuples share score {score}; ranking assumes distinct "
+                    "scores"
+                )
+            by_score[score] = alternative
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> AndXorTree:
+        """The underlying and/xor tree."""
+        return self._tree
+
+    def independent_tuple_layout(
+        self,
+    ) -> Optional[List[Tuple[Hashable, float, float]]]:
+        """``(key, probability, score)`` triples when the database is
+        tuple-independent with tuple-level uncertainty, else None.
+
+        The list is sorted by decreasing score.  Consensus algorithms use it
+        to switch to specialised linear-time routines (e.g. the median Top-k
+        answer); callers must not mutate the returned list.
+        """
+        if self._fast_layout is None:
+            return None
+        return [tuple(item) for item in self._fast_layout]
+
+    def keys(self) -> List[Hashable]:
+        """The tuple keys of the tree."""
+        return self._tree.keys()
+
+    def number_of_tuples(self) -> int:
+        """Number of distinct tuple keys."""
+        return len(self._tree.keys())
+
+    def score_of(self, alternative: TupleAlternative) -> float:
+        """The ranking score of an alternative."""
+        return self._scores[alternative]
+
+    # ------------------------------------------------------------------
+    # Rank-position probabilities
+    # ------------------------------------------------------------------
+    def rank_position_probabilities(
+        self, key: Hashable, max_rank: int | None = None
+    ) -> List[float]:
+        """Return ``[Pr(r(t) = 1), ..., Pr(r(t) = max_rank)]`` for tuple ``t``.
+
+        ``max_rank`` defaults to the number of tuples in the tree.
+        """
+        if max_rank is None:
+            max_rank = self.number_of_tuples()
+        cached = self._rank_cache.get((key, max_rank))
+        if cached is not None:
+            return list(cached)
+        if self._fast_layout is not None:
+            table = self._fast_rank_table(max_rank)
+            if key not in table:
+                raise ModelError(f"unknown tuple key {key!r}")
+            return list(table[key])
+        result = [0.0] * max_rank
+        for alternative in self._tree.alternatives_of(key):
+            score = self._scores[alternative]
+
+            def variable_of(
+                leaf: Leaf,
+                target: TupleAlternative = alternative,
+                threshold: float = score,
+            ) -> Optional[str]:
+                if leaf.alternative == target:
+                    return "y"
+                if (
+                    leaf.alternative.key != target.key
+                    and self._scores[leaf.alternative] > threshold
+                ):
+                    return "x"
+                return None
+
+            polynomial = bivariate_generating_function(
+                self._tree,
+                variable_of,
+                max_degree_x=max_rank - 1,
+                max_degree_y=1,
+            )
+            for position in range(1, max_rank + 1):
+                result[position - 1] += polynomial.coefficient(position - 1, 1)
+        self._rank_cache[(key, max_rank)] = list(result)
+        return result
+
+    def rank_at_most(self, key: Hashable, k: int) -> float:
+        """``Pr(r(t) <= k)`` -- the probability that ``t`` is in the Top-k."""
+        return sum(self.rank_position_probabilities(key, max_rank=k))
+
+    def rank_at_most_table(self, k: int) -> Dict[Hashable, List[float]]:
+        """``Pr(r(t) <= i)`` for every tuple and every ``i`` in ``1..k``."""
+        table: Dict[Hashable, List[float]] = {}
+        for key in self.keys():
+            positions = self.rank_position_probabilities(key, max_rank=k)
+            cumulative = []
+            running = 0.0
+            for probability in positions:
+                running += probability
+                cumulative.append(running)
+            table[key] = cumulative
+        return table
+
+    def top_k_membership_probabilities(self, k: int) -> Dict[Hashable, float]:
+        """``Pr(r(t) <= k)`` for every tuple key."""
+        return {key: self.rank_at_most(key, k) for key in self.keys()}
+
+    # ------------------------------------------------------------------
+    # Pairwise preferences and expected ranks
+    # ------------------------------------------------------------------
+    def pairwise_preference(
+        self, first_key: Hashable, second_key: Hashable
+    ) -> float:
+        """``Pr(r(t_i) < r(t_j))`` for two distinct tuples.
+
+        ``t_i`` is ranked strictly higher than ``t_j`` exactly when ``t_i``
+        is present and either ``t_j`` is absent or ``t_i``'s realised score
+        exceeds ``t_j``'s.  Only pairwise joint probabilities are needed,
+        which the and/xor tree provides in closed form.
+        """
+        if first_key == second_key:
+            return 0.0
+        first_alternatives = self._tree.alternatives_of(first_key)
+        second_alternatives = self._tree.alternatives_of(second_key)
+        presence_first = self._tree.key_probability(first_key)
+        both_with_second_higher = 0.0
+        for first in first_alternatives:
+            for second in second_alternatives:
+                if self._scores[second] > self._scores[first]:
+                    both_with_second_higher += (
+                        self._tree.joint_alternative_probability(first, second)
+                    )
+        return presence_first - both_with_second_higher
+
+    def pairwise_preference_matrix(
+        self, keys: Sequence[Hashable] | None = None
+    ) -> Dict[Tuple[Hashable, Hashable], float]:
+        """``Pr(r(t_i) < r(t_j))`` for every ordered pair of distinct tuples."""
+        if keys is None:
+            keys = self.keys()
+        matrix: Dict[Tuple[Hashable, Hashable], float] = {}
+        for first in keys:
+            for second in keys:
+                if first != second:
+                    matrix[(first, second)] = self.pairwise_preference(
+                        first, second
+                    )
+        return matrix
+
+    def expected_rank(self, key: Hashable) -> float:
+        """Cormode-style expected rank of tuple ``t``.
+
+        In a possible world the rank of a present tuple is one plus the
+        number of present tuples with a higher score; an absent tuple is
+        charged rank ``|pw| + 1``.  Unlike ``r(t)`` itself (which is infinite
+        for absent tuples) this quantity has a finite expectation, which is
+        the "expected rank" ranking semantics of Cormode, Li and Yi used as a
+        baseline in the benchmark harness.
+        """
+        alternatives = self._tree.alternatives_of(key)
+        higher_and_present = 0.0
+        for alternative in alternatives:
+            for other in self._tree.alternatives():
+                if other.key == key:
+                    continue
+                if self._scores[other] > self._scores[alternative]:
+                    higher_and_present += (
+                        self._tree.joint_alternative_probability(
+                            alternative, other
+                        )
+                    )
+        absent_size = 0.0
+        for other_key in self.keys():
+            if other_key == key:
+                continue
+            p_other = self._tree.key_probability(other_key)
+            p_both = 0.0
+            for alternative in alternatives:
+                for other in self._tree.alternatives_of(other_key):
+                    p_both += self._tree.joint_alternative_probability(
+                        alternative, other
+                    )
+            absent_size += p_other - p_both
+        return 1.0 + higher_and_present + absent_size
+
+    def expected_rank_table(self) -> Dict[Hashable, float]:
+        """Expected rank of every tuple key."""
+        return {key: self.expected_rank(key) for key in self.keys()}
+
+
+# ----------------------------------------------------------------------
+# Convenience functions
+# ----------------------------------------------------------------------
+def rank_position_probabilities(
+    tree: AndXorTree, max_rank: int | None = None
+) -> Dict[Hashable, List[float]]:
+    """``Pr(r(t) = i)`` for every tuple key and position ``i <= max_rank``."""
+    statistics = RankStatistics(tree)
+    if max_rank is None:
+        max_rank = statistics.number_of_tuples()
+    return {
+        key: statistics.rank_position_probabilities(key, max_rank=max_rank)
+        for key in statistics.keys()
+    }
+
+
+def rank_at_most_probabilities(
+    tree: AndXorTree, k: int
+) -> Dict[Hashable, float]:
+    """``Pr(r(t) <= k)`` for every tuple key."""
+    statistics = RankStatistics(tree)
+    return statistics.top_k_membership_probabilities(k)
+
+
+def pairwise_preference_probability(
+    tree: AndXorTree, first_key: Hashable, second_key: Hashable
+) -> float:
+    """``Pr(r(t_i) < r(t_j))`` for two tuples of the tree."""
+    return RankStatistics(tree).pairwise_preference(first_key, second_key)
+
+
+def expected_rank(tree: AndXorTree, key: Hashable) -> float:
+    """Cormode-style expected rank of one tuple."""
+    return RankStatistics(tree).expected_rank(key)

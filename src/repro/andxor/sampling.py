@@ -1,0 +1,77 @@
+"""Monte-Carlo sampling of possible worlds from and/xor trees.
+
+Sampling follows the independent generative process of Definition 1: every
+xor node independently picks one child (or nothing) according to its edge
+probabilities, every and node takes the union of its children's samples.
+
+Sampling is used by the benchmark harness to estimate expected distances on
+instances too large for exact enumeration, and by property tests as an
+independent consistency check of the generating-function computations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Set
+
+from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.core.worlds import PossibleWorld
+from repro.exceptions import ModelError
+
+
+def _sample_node(
+    node: Node, rng: random.Random, out: Set[TupleAlternative]
+) -> None:
+    if isinstance(node, Leaf):
+        out.add(node.alternative)
+        return
+    if isinstance(node, XorNode):
+        draw = rng.random()
+        cumulative = 0.0
+        for child, probability in node.edges():
+            cumulative += probability
+            if draw < cumulative:
+                _sample_node(child, rng, out)
+                return
+        return  # nothing produced
+    if isinstance(node, AndNode):
+        for child in node.children():
+            _sample_node(child, rng, out)
+        return
+    raise ModelError(f"unsupported node type {type(node).__name__}")
+
+
+def sample_world(
+    tree: AndXorTree, rng: random.Random | None = None
+) -> PossibleWorld:
+    """Draw one possible world from the tree's distribution."""
+    rng = rng or random.Random()
+    alternatives: Set[TupleAlternative] = set()
+    _sample_node(tree.root, rng, alternatives)
+    return PossibleWorld(alternatives)
+
+
+def sample_worlds(
+    tree: AndXorTree, count: int, rng: random.Random | None = None
+) -> List[PossibleWorld]:
+    """Draw ``count`` independent possible worlds."""
+    rng = rng or random.Random()
+    return [sample_world(tree, rng) for _ in range(count)]
+
+
+def estimate_expectation(
+    tree: AndXorTree,
+    function,
+    samples: int,
+    rng: random.Random | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``E[function(world)]``."""
+    rng = rng or random.Random()
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    total = 0.0
+    for _ in range(samples):
+        total += function(sample_world(tree, rng))
+    return total / samples

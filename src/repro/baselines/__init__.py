@@ -1,0 +1,27 @@
+"""Baseline ranking semantics from prior work.
+
+The paper motivates consensus answers by the profusion of competing Top-k
+semantics for probabilistic databases (U-Top-k, U-Rank-k, PT-k, Global-Top-k,
+expected rank, expected score).  This package implements those baselines so
+the benchmark harness can compare them against the consensus answers under
+the paper's expected-distance framework -- the "unified and systematic
+analysis framework" the introduction calls for.
+"""
+
+from repro.baselines.ranking import (
+    expected_rank_topk,
+    expected_score_topk,
+    global_topk,
+    probabilistic_threshold_topk,
+    u_rank_topk,
+    u_topk,
+)
+
+__all__ = [
+    "u_topk",
+    "u_rank_topk",
+    "probabilistic_threshold_topk",
+    "global_topk",
+    "expected_rank_topk",
+    "expected_score_topk",
+]

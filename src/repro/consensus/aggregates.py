@@ -1,0 +1,308 @@
+"""Consensus answers for group-by count queries (Section 6.1).
+
+The query ``SELECT groupname, COUNT(*) FROM R GROUP BY groupname`` over a
+probabilistic relation of ``n`` independent tuples with attribute uncertainty
+is specified by an ``n x m`` matrix ``P`` where ``p[i][j]`` is the
+probability that tuple ``i`` falls into group ``j`` (rows sum to one).  A
+deterministic answer is an ``m``-vector of counts, compared with the squared
+Euclidean distance.
+
+* The **mean** answer is simply the expectation vector ``r̄ = 1 P``
+  (linearity of expectation), and it minimises the expected squared distance
+  over all real vectors.
+* The **median** answer must be a *possible* count vector.  Lemma 3 shows the
+  possible vector closest to ``r̄`` rounds every coordinate to its floor or
+  ceiling, and Theorem 5 computes it with a min-cost-flow; Corollary 2 shows
+  this closest possible vector is a 4-approximation of the median.
+
+This module implements the closest-possible-vector computation with a
+min-cost flow whose group->sink edges carry the *exact* convex marginal costs
+``(u - r̄_j)^2 - (u - 1 - r̄_j)^2`` for the ``u``-th unit, which finds the
+possible vector closest to ``r̄`` directly (and, as a property test confirms,
+its coordinates always land on the floor/ceiling of ``r̄`` exactly as Lemma 3
+predicts).  The paper's original floor/ceiling construction is also provided
+for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.andxor.tree import AndXorTree
+from repro.exceptions import ConsensusError, FlowError, ProbabilityError
+from repro.flows.mincost import min_cost_flow
+from repro.flows.network import FlowNetwork
+
+
+class GroupByCountConsensus:
+    """Consensus answers for a group-by count query.
+
+    Parameters
+    ----------
+    probabilities:
+        One mapping per tuple from group name to the probability that the
+        tuple takes this group.  Each tuple's probabilities must sum to one
+        (every tuple belongs to exactly one group, which group is uncertain).
+    groups:
+        Optional explicit group ordering; defaults to first-appearance order.
+    """
+
+    def __init__(
+        self,
+        probabilities: Sequence[Mapping[Hashable, float]],
+        groups: Sequence[Hashable] | None = None,
+    ) -> None:
+        self._rows: List[Dict[Hashable, float]] = []
+        discovered: List[Hashable] = []
+        seen = set()
+        for index, row in enumerate(probabilities):
+            row = {group: float(p) for group, p in row.items() if p > 0.0}
+            total = sum(row.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ProbabilityError(
+                    f"tuple {index} group probabilities sum to {total}, "
+                    "expected 1"
+                )
+            self._rows.append(row)
+            for group in row:
+                if group not in seen:
+                    seen.add(group)
+                    discovered.append(group)
+        if groups is None:
+            self._groups: List[Hashable] = discovered
+        else:
+            self._groups = list(groups)
+            missing = seen - set(self._groups)
+            if missing:
+                raise ConsensusError(
+                    f"groups {sorted(map(repr, missing))} appear in the "
+                    "probabilities but not in the explicit group list"
+                )
+        if not self._rows:
+            raise ConsensusError("at least one tuple is required")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: Sequence[Sequence[float]],
+        groups: Sequence[Hashable] | None = None,
+    ) -> "GroupByCountConsensus":
+        """Build from an ``n x m`` probability matrix (rows sum to one)."""
+        if not matrix:
+            raise ConsensusError("at least one tuple is required")
+        m = len(matrix[0])
+        if groups is None:
+            groups = list(range(m))
+        rows = [
+            {groups[j]: row[j] for j in range(m) if row[j] > 0.0}
+            for row in matrix
+        ]
+        return cls(rows, groups=groups)
+
+    @classmethod
+    def from_bid_tree(cls, tree: AndXorTree) -> "GroupByCountConsensus":
+        """Build from a BID and/xor tree whose value attribute is the group.
+
+        Every block must be exhaustive (its alternative probabilities sum to
+        one) to match the paper's model of attribute-level uncertainty.
+        """
+        rows: List[Dict[Hashable, float]] = []
+        for key in tree.keys():
+            row: Dict[Hashable, float] = {}
+            for alternative in tree.alternatives_of(key):
+                row[alternative.value] = (
+                    row.get(alternative.value, 0.0)
+                    + tree.alternative_probability(alternative)
+                )
+            rows.append(row)
+        return cls(rows)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> List[Hashable]:
+        """The group names, in answer-vector order."""
+        return list(self._groups)
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of tuples ``n``."""
+        return len(self._rows)
+
+    def probability(self, tuple_index: int, group: Hashable) -> float:
+        """``Pr(tuple i takes the given group)``."""
+        return self._rows[tuple_index].get(group, 0.0)
+
+    # ------------------------------------------------------------------
+    # Mean answer
+    # ------------------------------------------------------------------
+    def mean_answer(self) -> Tuple[float, ...]:
+        """The expectation vector ``r̄`` (the mean consensus answer)."""
+        totals = {group: 0.0 for group in self._groups}
+        for row in self._rows:
+            for group, probability in row.items():
+                totals[group] += probability
+        return tuple(totals[group] for group in self._groups)
+
+    def count_variance(self) -> float:
+        """``Σ_j Var(r_pw[j]) = Σ_i Σ_j p_ij (1 - p_ij)``.
+
+        This is the expected squared distance between the mean answer and the
+        random answer, and therefore a lower bound on the expected distance of
+        *any* answer.
+        """
+        total = 0.0
+        for row in self._rows:
+            for probability in row.values():
+                total += probability * (1.0 - probability)
+        return total
+
+    def expected_squared_distance(
+        self, candidate: Sequence[float]
+    ) -> float:
+        """Expected squared distance between ``candidate`` and the random answer.
+
+        Because tuples choose their groups independently,
+        ``E[||c - r_pw||^2] = ||c - r̄||^2 + Σ_j Var(r_pw[j])``.
+        """
+        if len(candidate) != len(self._groups):
+            raise ConsensusError(
+                f"candidate has {len(candidate)} entries, expected "
+                f"{len(self._groups)}"
+            )
+        mean = self.mean_answer()
+        bias = sum((c - m) ** 2 for c, m in zip(candidate, mean))
+        return bias + self.count_variance()
+
+    # ------------------------------------------------------------------
+    # Median answer (closest possible vector, Theorem 5)
+    # ------------------------------------------------------------------
+    def closest_possible_answer(self) -> Tuple[Tuple[int, ...], List[Hashable]]:
+        """The possible count vector closest to the mean answer (Theorem 5).
+
+        Returns the count vector and a witnessing group assignment (one group
+        per tuple, chosen among the groups the tuple supports) realising it.
+        Solved as a min-cost flow: source -> tuple edges of capacity one,
+        tuple -> group edges for supported groups, and group -> sink edges
+        whose ``u``-th unit costs ``(u - r̄_j)^2 - (u - 1 - r̄_j)^2`` so that
+        the total cost of a flow equals ``||r - r̄||^2`` up to a constant.
+        """
+        mean = dict(zip(self._groups, self.mean_answer()))
+        network = FlowNetwork()
+        source = ("source",)
+        sink = ("sink",)
+        network.add_vertex(source)
+        network.add_vertex(sink)
+        tuple_edge_ids: List[int] = []
+        assignment_edges: Dict[int, Tuple[int, Hashable]] = {}
+        for index, row in enumerate(self._rows):
+            tuple_vertex = ("tuple", index)
+            tuple_edge_ids.append(
+                network.add_edge(source, tuple_vertex, capacity=1, cost=0.0)
+            )
+            for group in row:
+                edge_id = network.add_edge(
+                    tuple_vertex, ("group", group), capacity=1, cost=0.0
+                )
+                assignment_edges[edge_id] = (index, group)
+        # Convex group -> sink edges: the u-th unit of group j costs the
+        # increase of (count - mean_j)^2 when the count goes from u-1 to u.
+        supporters = {
+            group: sum(1 for row in self._rows if group in row)
+            for group in self._groups
+        }
+        for group in self._groups:
+            for unit in range(1, supporters[group] + 1):
+                marginal = (unit - mean[group]) ** 2 - (
+                    unit - 1 - mean[group]
+                ) ** 2
+                network.add_edge(
+                    ("group", group), sink, capacity=1, cost=marginal
+                )
+        try:
+            min_cost_flow(network, source, sink, required_flow=len(self._rows))
+        except FlowError as error:  # pragma: no cover - defensive
+            raise ConsensusError(
+                "no possible group assignment exists for the query"
+            ) from error
+        counts = {group: 0 for group in self._groups}
+        witness: List[Hashable] = [None] * len(self._rows)
+        for edge_id, (index, group) in assignment_edges.items():
+            if network.flow_on(edge_id) > 0:
+                counts[group] += 1
+                witness[index] = group
+        vector = tuple(counts[group] for group in self._groups)
+        return vector, witness
+
+    def median_answer_approximation(self) -> Tuple[Tuple[int, ...], float]:
+        """The 4-approximate median answer of Corollary 2.
+
+        Returns the possible vector closest to the mean answer together with
+        its expected squared distance to the random answer.
+        """
+        vector, _ = self.closest_possible_answer()
+        return vector, self.expected_squared_distance(vector)
+
+    # ------------------------------------------------------------------
+    # The paper's original floor/ceiling network (for cross-checking)
+    # ------------------------------------------------------------------
+    def closest_possible_answer_floor_ceiling(self) -> Tuple[int, ...]:
+        """Theorem 5's original construction restricted to floor/ceiling counts.
+
+        Builds the paper's network: every group receives at least the floor of
+        its mean count (modelled with zero-cost units made irresistible by a
+        large negative cost) plus at most one extra unit whose cost is the
+        squared-error difference between ceiling and floor.  Provided for
+        cross-checking against :meth:`closest_possible_answer`; both agree
+        because of Lemma 3.
+        """
+        import math
+
+        mean = dict(zip(self._groups, self.mean_answer()))
+        network = FlowNetwork()
+        source = ("source",)
+        sink = ("sink",)
+        network.add_vertex(source)
+        network.add_vertex(sink)
+        assignment_edges: Dict[int, Tuple[int, Hashable]] = {}
+        for index, row in enumerate(self._rows):
+            tuple_vertex = ("tuple", index)
+            network.add_edge(source, tuple_vertex, capacity=1, cost=0.0)
+            for group in row:
+                edge_id = network.add_edge(
+                    tuple_vertex, ("group", group), capacity=1, cost=0.0
+                )
+                assignment_edges[edge_id] = (index, group)
+        # A cost low enough to force the floor units to be used first but
+        # bounded so no negative cycle headaches arise.
+        forcing_cost = -4.0 * (len(self._rows) + 1)
+        for group in self._groups:
+            floor = math.floor(mean[group] + 1e-12)
+            ceiling = math.ceil(mean[group] - 1e-12)
+            if floor > 0:
+                network.add_edge(
+                    ("group", group), sink, capacity=floor, cost=forcing_cost
+                )
+            if ceiling != floor:
+                extra_cost = (ceiling - mean[group]) ** 2 - (
+                    floor - mean[group]
+                ) ** 2
+                network.add_edge(
+                    ("group", group), sink, capacity=1, cost=extra_cost
+                )
+        try:
+            min_cost_flow(network, source, sink, required_flow=len(self._rows))
+        except FlowError as error:
+            raise ConsensusError(
+                "the floor/ceiling network cannot route all tuples; "
+                "the instance violates Lemma 3's feasibility assumption"
+            ) from error
+        counts = {group: 0 for group in self._groups}
+        for edge_id, (_, group) in assignment_edges.items():
+            if network.flow_on(edge_id) > 0:
+                counts[group] += 1
+        return tuple(counts[group] for group in self._groups)

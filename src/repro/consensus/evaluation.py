@@ -1,0 +1,175 @@
+"""Unified evaluation of candidate Top-k answers.
+
+The benchmark harness and the examples repeatedly need the same thing: given
+*any* Top-k answer (produced by a consensus algorithm, a prior ranking
+semantics, or a user), report its expected distance to the random world's
+Top-k under each of the paper's metrics.  This module provides that in one
+place with three evaluation strategies:
+
+* ``"closed_form"`` -- the polynomial-time formulas of Section 5 (exact;
+  available for the symmetric difference, intersection and footrule metrics),
+* ``"enumerate"`` -- exact expectation over the explicit possible worlds
+  (exponential; small databases only),
+* ``"sample"`` -- Monte-Carlo estimation (any database size, any metric).
+
+The closed-form and enumeration strategies agreeing is itself a reproduction
+check of the paper's derivations, exercised by the test-suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.sampling import sample_worlds
+from repro.consensus.topk.common import (
+    TopKAnswer,
+    TreeOrStatistics,
+    as_rank_statistics,
+    validate_k,
+)
+from repro.consensus.topk.footrule import expected_topk_footrule_distance
+from repro.consensus.topk.intersection import expected_topk_intersection_distance
+from repro.consensus.topk.symmetric_difference import (
+    expected_topk_symmetric_difference,
+)
+from repro.core.topk_distances import (
+    topk_footrule_distance,
+    topk_intersection_distance,
+    topk_kendall_distance,
+    topk_symmetric_difference,
+)
+from repro.exceptions import ConsensusError
+
+#: The Top-k metrics of Section 5.1, keyed by the names used throughout the
+#: library and the benchmark harness.
+TOPK_METRICS: Dict[str, Callable] = {
+    "symmetric_difference": topk_symmetric_difference,
+    "intersection": topk_intersection_distance,
+    "footrule": topk_footrule_distance,
+    "kendall": topk_kendall_distance,
+}
+
+_CLOSED_FORMS: Dict[str, Callable] = {
+    "symmetric_difference": expected_topk_symmetric_difference,
+    "intersection": expected_topk_intersection_distance,
+    "footrule": expected_topk_footrule_distance,
+}
+
+
+@dataclass(frozen=True)
+class AnswerEvaluation:
+    """The expected distances of one candidate answer under every metric."""
+
+    answer: Tuple[Hashable, ...]
+    distances: Dict[str, float]
+    method: str
+
+    def distance(self, metric: str) -> float:
+        """The expected distance under one metric."""
+        if metric not in self.distances:
+            raise ConsensusError(
+                f"metric {metric!r} was not evaluated; available: "
+                f"{sorted(self.distances)}"
+            )
+        return self.distances[metric]
+
+
+def _pairwise_distance(metric: str, k: int) -> Callable:
+    base = TOPK_METRICS[metric]
+    if metric == "kendall":
+        return lambda a, b: base(a, b)
+    return lambda a, b: base(a, b, k=k)
+
+
+def evaluate_topk_answer(
+    source: TreeOrStatistics,
+    answer: Sequence[Hashable],
+    k: int,
+    metrics: Sequence[str] = ("symmetric_difference", "intersection", "footrule"),
+    method: str = "closed_form",
+    samples: int = 2000,
+    rng: Optional[random.Random] = None,
+    enumeration_limit: int = 1 << 16,
+) -> AnswerEvaluation:
+    """Expected distance of ``answer`` to the random Top-k, per metric.
+
+    Parameters
+    ----------
+    source:
+        The probabilistic database (an and/xor tree or cached rank
+        statistics).
+    answer:
+        The candidate Top-k answer (ordered tuple keys).
+    k:
+        The answer size.
+    metrics:
+        Which metrics to evaluate (keys of :data:`TOPK_METRICS`).
+    method:
+        ``"closed_form"`` (exact, not available for ``"kendall"``),
+        ``"enumerate"`` (exact, exponential) or ``"sample"`` (Monte-Carlo).
+    """
+    statistics = as_rank_statistics(source)
+    validate_k(statistics, k)
+    answer = tuple(answer)
+    unknown = [m for m in metrics if m not in TOPK_METRICS]
+    if unknown:
+        raise ConsensusError(
+            f"unknown metrics {unknown}; available: {sorted(TOPK_METRICS)}"
+        )
+    distances: Dict[str, float] = {}
+    if method == "closed_form":
+        for metric in metrics:
+            closed_form = _CLOSED_FORMS.get(metric)
+            if closed_form is None:
+                raise ConsensusError(
+                    f"no closed form is available for metric {metric!r}; "
+                    "use method='enumerate' or method='sample'"
+                )
+            distances[metric] = closed_form(statistics, answer, k)
+    elif method == "enumerate":
+        distribution = enumerate_worlds(statistics.tree, limit=enumeration_limit)
+        for metric in metrics:
+            distance = _pairwise_distance(metric, k)
+            distances[metric] = distribution.expectation(
+                lambda world, d=distance: d(answer, world.top_k(k))
+            )
+    elif method == "sample":
+        rng = rng or random.Random(0)
+        worlds = sample_worlds(statistics.tree, samples, rng)
+        for metric in metrics:
+            distance = _pairwise_distance(metric, k)
+            distances[metric] = sum(
+                distance(answer, world.top_k(k)) for world in worlds
+            ) / len(worlds)
+    else:
+        raise ConsensusError(
+            f"unknown evaluation method {method!r}; expected 'closed_form', "
+            "'enumerate' or 'sample'"
+        )
+    return AnswerEvaluation(answer=answer, distances=distances, method=method)
+
+
+def compare_topk_answers(
+    source: TreeOrStatistics,
+    answers: Dict[str, Sequence[Hashable]],
+    k: int,
+    metrics: Sequence[str] = ("symmetric_difference", "intersection", "footrule"),
+    method: str = "closed_form",
+    **kwargs,
+) -> Dict[str, AnswerEvaluation]:
+    """Evaluate several named answers (e.g. competing ranking semantics).
+
+    Returns a mapping from the answer's name to its
+    :class:`AnswerEvaluation`; the rank statistics are computed once and
+    shared across all evaluations.
+    """
+    statistics = as_rank_statistics(source)
+    return {
+        name: evaluate_topk_answer(
+            statistics, answer, k, metrics=metrics, method=method, **kwargs
+        )
+        for name, answer in answers.items()
+    }

@@ -1,0 +1,226 @@
+"""The MAX-2-SAT reduction of Section 4.1.
+
+The paper shows that finding a *median* world is NP-hard under arbitrary
+correlations, even when result-tuple probabilities are easy to compute, by
+reducing MAX-2-SAT to the median answer of a two-relation join query:
+
+* ``S(x, b)`` is a probabilistic relation with two mutually exclusive,
+  equi-probable (probability 0.5 each) tuples per variable -- one for each
+  truth value;
+* ``R(C, x, b)`` is a certain relation with one tuple per (clause, satisfying
+  literal) pair;
+* the answer of ``π_C(R ⋈ S)`` in a possible world is exactly the set of
+  clauses satisfied by the truth assignment that world encodes, so the median
+  answer under the symmetric difference distance is the answer of an
+  assignment maximising the number of satisfied clauses.
+
+This module constructs the reduction explicitly, provides an exhaustive
+MAX-2-SAT solver, and computes the median answer by enumerating the possible
+worlds of ``S``; tests verify that the two coincide, reproducing the
+reduction argument end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.andxor.builders import bid_tree
+from repro.andxor.tree import AndXorTree
+from repro.exceptions import ConsensusError, EnumerationLimitError
+
+# A literal is (variable, required truth value); a clause is a pair of
+# literals interpreted as a disjunction.
+Literal = Tuple[Hashable, bool]
+Clause = Tuple[Literal, Literal]
+Assignment = Dict[Hashable, bool]
+
+
+@dataclass(frozen=True)
+class Max2SatInstance:
+    """A MAX-2-SAT instance: variables and two-literal clauses."""
+
+    variables: Tuple[Hashable, ...]
+    clauses: Tuple[Clause, ...]
+
+    def satisfied_clauses(self, assignment: Assignment) -> FrozenSet[int]:
+        """Indices of the clauses satisfied by ``assignment``."""
+        satisfied = set()
+        for index, clause in enumerate(self.clauses):
+            for variable, required in clause:
+                if assignment.get(variable) == required:
+                    satisfied.add(index)
+                    break
+        return frozenset(satisfied)
+
+    def count_satisfied(self, assignment: Assignment) -> int:
+        """Number of clauses satisfied by ``assignment``."""
+        return len(self.satisfied_clauses(assignment))
+
+
+def make_instance(clauses: Iterable[Clause]) -> Max2SatInstance:
+    """Build a :class:`Max2SatInstance`, inferring the variable set."""
+    clause_list = []
+    variables: List[Hashable] = []
+    seen = set()
+    for clause in clauses:
+        clause = tuple(clause)
+        if len(clause) != 2:
+            raise ConsensusError(
+                f"a 2-SAT clause must have exactly two literals, got {clause!r}"
+            )
+        for variable, required in clause:
+            if not isinstance(required, bool):
+                raise ConsensusError(
+                    f"literal truth value must be a bool, got {required!r}"
+                )
+            if variable not in seen:
+                seen.add(variable)
+                variables.append(variable)
+        clause_list.append(clause)
+    return Max2SatInstance(tuple(variables), tuple(clause_list))
+
+
+# ----------------------------------------------------------------------
+# The reduction
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Reduction:
+    """The probabilistic database produced by the reduction.
+
+    Attributes
+    ----------
+    instance:
+        The MAX-2-SAT instance being encoded.
+    variable_relation:
+        The and/xor tree of ``S(x, b)``: one BID block per variable with two
+        equi-probable alternatives (True / False).
+    clause_relation:
+        The certain relation ``R(C, x, b)`` as a list of
+        ``(clause index, variable, truth value)`` triples.
+    """
+
+    instance: Max2SatInstance
+    variable_relation: AndXorTree
+    clause_relation: Tuple[Tuple[int, Hashable, bool], ...]
+
+    def result_tuple_probability(self, clause_index: int) -> float:
+        """Probability that the result tuple for a clause is present.
+
+        A clause over two distinct variables is falsified only by one of the
+        four equi-probable joint assignments, so the probability is 3/4; a
+        degenerate clause repeating one literal has probability 1/2.
+        """
+        clause = self.instance.clauses[clause_index]
+        (first_variable, first_value), (second_variable, second_value) = clause
+        if first_variable == second_variable:
+            if first_value == second_value:
+                return 0.5
+            return 1.0
+        return 0.75
+
+    def answer_of_assignment(self, assignment: Assignment) -> FrozenSet[int]:
+        """The query answer ``π_C(R ⋈ S)`` in the world encoding ``assignment``."""
+        present = set()
+        for clause_index, variable, value in self.clause_relation:
+            if assignment.get(variable) == value:
+                present.add(clause_index)
+        return frozenset(present)
+
+
+def build_reduction(clauses: Iterable[Clause]) -> Reduction:
+    """Construct the paper's reduction from a set of 2-SAT clauses."""
+    instance = make_instance(clauses)
+    blocks = [
+        (variable, [(True, 0.5), (False, 0.5)])
+        for variable in instance.variables
+    ]
+    variable_relation = bid_tree(blocks)
+    clause_relation: List[Tuple[int, Hashable, bool]] = []
+    for index, clause in enumerate(instance.clauses):
+        for variable, value in clause:
+            clause_relation.append((index, variable, value))
+    return Reduction(instance, variable_relation, tuple(clause_relation))
+
+
+# ----------------------------------------------------------------------
+# Exhaustive solvers (exponential; reductions are to an NP-hard problem)
+# ----------------------------------------------------------------------
+def enumerate_assignments(
+    variables: Sequence[Hashable], limit: int = 1 << 22
+) -> Iterable[Assignment]:
+    """Yield every truth assignment over ``variables``."""
+    if 2 ** len(variables) > limit:
+        raise EnumerationLimitError(
+            f"enumerating 2^{len(variables)} assignments exceeds the limit"
+        )
+    for values in product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def exhaustive_max_2sat(
+    instance: Max2SatInstance, limit: int = 1 << 22
+) -> Tuple[Assignment, int]:
+    """Optimal MAX-2-SAT assignment by exhaustive search."""
+    best: Tuple[Assignment, int] | None = None
+    for assignment in enumerate_assignments(instance.variables, limit):
+        count = instance.count_satisfied(assignment)
+        if best is None or count > best[1]:
+            best = (assignment, count)
+    if best is None:
+        return {}, 0
+    return best
+
+
+def median_answer_by_enumeration(
+    reduction: Reduction, limit: int = 1 << 22
+) -> Tuple[FrozenSet[int], Assignment, float]:
+    """Median query answer of the reduction, by enumerating assignments.
+
+    Every truth assignment is an equi-probable possible world; the median
+    answer minimises the expected symmetric difference to the random answer.
+    Returns the winning answer, a witnessing assignment, and the expected
+    distance.
+    """
+    instance = reduction.instance
+    assignments = list(enumerate_assignments(instance.variables, limit))
+    world_probability = 1.0 / len(assignments)
+    answers = [reduction.answer_of_assignment(a) for a in assignments]
+
+    # Expected symmetric difference decomposes over clauses: an answer
+    # containing clause c pays (1 - Pr(c)), an answer omitting it pays Pr(c).
+    clause_probability = {
+        index: reduction.result_tuple_probability(index)
+        for index in range(len(instance.clauses))
+    }
+
+    def expected_distance(candidate: FrozenSet[int]) -> float:
+        total = 0.0
+        for index, probability in clause_probability.items():
+            if index in candidate:
+                total += 1.0 - probability
+            else:
+                total += probability
+        return total
+
+    best_index = min(
+        range(len(assignments)), key=lambda i: expected_distance(answers[i])
+    )
+    best_answer = answers[best_index]
+    return best_answer, assignments[best_index], expected_distance(best_answer)
+
+
+def verify_reduction(reduction: Reduction, limit: int = 1 << 22) -> bool:
+    """Check that the median answer corresponds to a MAX-2-SAT optimum.
+
+    Returns True when the number of clauses in the median answer equals the
+    optimal number of satisfiable clauses, reproducing the argument of
+    Section 4.1.
+    """
+    _, optimal_count = exhaustive_max_2sat(reduction.instance, limit)
+    median_answer, witness, _ = median_answer_by_enumeration(reduction, limit)
+    return (
+        len(median_answer) == optimal_count
+        and reduction.instance.count_satisfied(witness) == optimal_count
+    )

@@ -1,0 +1,122 @@
+"""Consensus worlds under the Jaccard distance (Section 4.2).
+
+* **Lemma 1** -- for any and/xor tree and candidate world ``W`` the expected
+  Jaccard distance ``E[d_J(W, pw)]`` is computable in polynomial time from a
+  bivariate generating function: marking the leaves inside ``W`` with ``x``
+  and the remaining leaves with ``y``, the coefficient of ``x^i y^j`` is the
+  probability of the worlds ``pw`` with ``|pw ∩ W| = i`` and ``|pw \\ W| = j``,
+  whose Jaccard distance to ``W`` is ``(|W| - i + j) / (|W| + j)``.
+* **Lemma 2** -- for tuple-independent databases the mean world is a prefix
+  of the tuples sorted by decreasing probability, so it can be found by
+  evaluating the expected distance of every prefix.
+* The median world for the BID model is found with the same prefix scan over
+  the highest-probability alternative of each block (only possible worlds are
+  considered).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.andxor.generating import bivariate_generating_function
+from repro.andxor.nodes import Leaf
+from repro.andxor.statistics import alternative_probability_table
+from repro.andxor.tree import AndXorTree
+from repro.consensus.set_consensus import is_possible_world
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import ConsensusError
+
+World = FrozenSet[TupleAlternative]
+
+
+def expected_jaccard_distance_to_world(
+    tree: AndXorTree, candidate: Iterable[TupleAlternative]
+) -> float:
+    """Expected Jaccard distance between ``candidate`` and the random world.
+
+    Implements Lemma 1 of the paper via a bivariate generating function; the
+    Jaccard distance of two empty sets is taken to be 0.
+    """
+    candidate_set = frozenset(candidate)
+    size = len(candidate_set)
+
+    def variable_of(leaf: Leaf) -> str:
+        return "x" if leaf.alternative in candidate_set else "y"
+
+    polynomial = bivariate_generating_function(tree, variable_of)
+    expected = 0.0
+    for i, j, coefficient in polynomial.terms():
+        union = size + j
+        if union == 0:
+            distance = 0.0
+        else:
+            distance = (size - i + j) / union
+        expected += coefficient * distance
+    return expected
+
+
+def _prefix_scan(
+    tree: AndXorTree,
+    ordered_alternatives: Sequence[TupleAlternative],
+    require_possible: bool,
+) -> Tuple[World, float]:
+    """Evaluate every prefix of ``ordered_alternatives`` and return the best."""
+    best_world: World | None = None
+    best_value = float("inf")
+    for size in range(len(ordered_alternatives) + 1):
+        candidate = frozenset(ordered_alternatives[:size])
+        if require_possible and not is_possible_world(tree, candidate):
+            continue
+        value = expected_jaccard_distance_to_world(tree, candidate)
+        if value < best_value - 1e-15:
+            best_value = value
+            best_world = candidate
+    if best_world is None:
+        raise ConsensusError(
+            "no feasible candidate world found for the Jaccard consensus"
+        )
+    return best_world, best_value
+
+
+def mean_world_jaccard_tuple_independent(
+    tree: AndXorTree,
+) -> Tuple[World, float]:
+    """Mean consensus world under the Jaccard distance (Lemma 2).
+
+    For tuple-independent databases the optimum is a prefix of the tuples
+    sorted by decreasing probability; this function sorts the alternatives by
+    membership probability and evaluates every prefix with Lemma 1.  The
+    prefix structure is only guaranteed optimal for tuple-independent
+    databases, but the evaluation itself is valid for any and/xor tree.
+    """
+    table = alternative_probability_table(tree)
+    ordered = [
+        alternative
+        for alternative, _ in sorted(
+            table, key=lambda pair: (-pair[1], repr(pair[0]))
+        )
+    ]
+    return _prefix_scan(tree, ordered, require_possible=False)
+
+
+def median_world_jaccard_bid(tree: AndXorTree) -> Tuple[World, float]:
+    """Median consensus world under the Jaccard distance for BID relations.
+
+    Following Section 4.2, only the highest-probability alternative of each
+    block (key) is considered; those representatives are sorted by decreasing
+    probability and every prefix that is a possible world is evaluated with
+    Lemma 1.  The best prefix is returned.
+    """
+    table = alternative_probability_table(tree)
+    best_per_key: Dict[Hashable, Tuple[TupleAlternative, float]] = {}
+    for alternative, probability in table:
+        current = best_per_key.get(alternative.key)
+        if current is None or probability > current[1] + 1e-15:
+            best_per_key[alternative.key] = (alternative, probability)
+    ordered = [
+        alternative
+        for alternative, _ in sorted(
+            best_per_key.values(), key=lambda pair: (-pair[1], repr(pair[0]))
+        )
+    ]
+    return _prefix_scan(tree, ordered, require_possible=True)

@@ -1,0 +1,172 @@
+"""Consensus worlds under the symmetric difference distance (Section 4.1).
+
+* **Theorem 2** -- the *mean* world (over all tuple sets) is the set of
+  alternatives whose membership probability exceeds 1/2: each alternative
+  ``t`` contributes ``1 - Pr(t)`` to the expected distance when included and
+  ``Pr(t)`` when excluded, so include exactly those with ``Pr(t) > 1/2``.
+* **Corollary 1** -- for and/xor trees the paper states that the same set is
+  also a *median* world (a possible world minimising the expected distance).
+  The statement needs a mild caveat: when the ``> 1/2`` set is not itself a
+  possible world (which can happen, e.g. a three-way xor block with
+  probabilities 0.4/0.3/0.3 and no "nothing" option), the median is a
+  different possible world.  :func:`median_world_symmetric_difference`
+  therefore solves the problem *exactly* for every and/xor tree with a
+  linear-time dynamic program that maximises ``Σ_{t in pw} (2 Pr(t) - 1)``
+  over possible worlds; it returns the paper's set whenever that set is
+  possible.
+* For arbitrary correlations the median-world problem is NP-hard
+  (see :mod:`repro.consensus.hardness`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
+from repro.andxor.statistics import alternative_probability_table
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import ConsensusError, ModelError
+
+World = FrozenSet[TupleAlternative]
+
+
+def expected_symmetric_difference_to_world(
+    tree: AndXorTree, candidate: Iterable[TupleAlternative]
+) -> float:
+    """Expected symmetric difference between ``candidate`` and the random world.
+
+    ``E[|W Δ pw|] = Σ_{t in W} (1 - Pr(t)) + Σ_{t not in W} Pr(t)`` where the
+    sums range over tuple alternatives (two alternatives of one tuple count
+    as different elements, as in Section 4.1).
+    """
+    candidate_set = frozenset(candidate)
+    probabilities = dict(alternative_probability_table(tree))
+    for alternative in candidate_set:
+        probabilities.setdefault(alternative, 0.0)
+    total = 0.0
+    for alternative, probability in probabilities.items():
+        if alternative in candidate_set:
+            total += 1.0 - probability
+        else:
+            total += probability
+    return total
+
+
+def mean_world_symmetric_difference(
+    tree: AndXorTree,
+) -> Tuple[World, float]:
+    """The mean consensus world under symmetric difference (Theorem 2).
+
+    Returns the set of alternatives with membership probability strictly
+    greater than 1/2, together with its expected distance.
+    """
+    chosen = frozenset(
+        alternative
+        for alternative, probability in alternative_probability_table(tree)
+        if probability > 0.5
+    )
+    return chosen, expected_symmetric_difference_to_world(tree, chosen)
+
+
+# ----------------------------------------------------------------------
+# Median world: exact dynamic program over the tree
+# ----------------------------------------------------------------------
+class _BestWorld:
+    """Value/world pair used by the median-world dynamic program."""
+
+    __slots__ = ("value", "alternatives")
+
+    def __init__(self, value: float, alternatives: Tuple[TupleAlternative, ...]):
+        self.value = value
+        self.alternatives = alternatives
+
+
+def _best_possible_world(node: Node, weight: Dict[int, float]) -> _BestWorld:
+    """Maximum-weight possible world of the subtree rooted at ``node``.
+
+    ``weight`` maps leaf ids to the per-leaf gain ``2 Pr(t) - 1``.  At a xor
+    node the best feasible option (a child with positive edge probability, or
+    "nothing" when allowed) is taken; at an and node the children's optima
+    add up because their choices are independent.
+    """
+    if isinstance(node, Leaf):
+        return _BestWorld(weight[id(node)], (node.alternative,))
+    if isinstance(node, AndNode):
+        value = 0.0
+        alternatives: List[TupleAlternative] = []
+        for child in node.children():
+            best = _best_possible_world(child, weight)
+            value += best.value
+            alternatives.extend(best.alternatives)
+        return _BestWorld(value, tuple(alternatives))
+    if isinstance(node, XorNode):
+        options: List[_BestWorld] = []
+        if node.none_probability > 0.0:
+            options.append(_BestWorld(0.0, ()))
+        for child, probability in node.edges():
+            if probability > 0.0:
+                options.append(_best_possible_world(child, weight))
+        if not options:
+            raise ConsensusError(
+                "xor node has no feasible option (all edges have zero "
+                "probability and nothing is not allowed)"
+            )
+        return max(options, key=lambda option: option.value)
+    raise ModelError(f"unsupported node type {type(node).__name__}")
+
+
+def median_world_symmetric_difference(
+    tree: AndXorTree,
+) -> Tuple[World, float]:
+    """The median consensus world under symmetric difference for and/xor trees.
+
+    Solves ``argmax_{possible worlds pw} Σ_{t in pw} (2 Pr(t) - 1)`` exactly
+    by a dynamic program over the tree, which is equivalent to minimising the
+    expected symmetric difference over possible worlds.  When the set of
+    alternatives with probability above 1/2 is itself a possible world the
+    result coincides with Corollary 1 of the paper.
+    """
+    probabilities = dict(alternative_probability_table(tree))
+    weight = {
+        id(leaf): 2.0 * probabilities[leaf.alternative] - 1.0
+        for leaf in tree.leaves
+    }
+    best = _best_possible_world(tree.root, weight)
+    world = frozenset(best.alternatives)
+    return world, expected_symmetric_difference_to_world(tree, world)
+
+
+def is_possible_world(
+    tree: AndXorTree, candidate: Iterable[TupleAlternative]
+) -> bool:
+    """Check whether ``candidate`` is a possible world of ``tree``.
+
+    Uses the same dynamic program as the median-world solver with +1/-1 leaf
+    weights: the candidate is possible exactly when some possible world
+    contains all of its alternatives and nothing else.
+    """
+    candidate_set = frozenset(candidate)
+    weight = {
+        id(leaf): 1.0 if leaf.alternative in candidate_set else -1.0
+        for leaf in tree.leaves
+    }
+    best = _best_possible_world(tree.root, weight)
+    return (
+        frozenset(best.alternatives) == candidate_set
+        and abs(best.value - len(candidate_set)) < 1e-9
+    )
+
+
+def paper_median_world_claim(tree: AndXorTree) -> Tuple[World, bool]:
+    """The set claimed by Corollary 1 and whether it is a possible world.
+
+    Returns the set of alternatives with membership probability above 1/2
+    together with a flag indicating whether that exact set arises as a
+    possible world with non-zero probability.  Benchmarks use this to report
+    how often the paper's statement applies verbatim (it always does for BID
+    databases whose blocks can be empty, but not for every and/xor tree --
+    see the module docstring).
+    """
+    claimed, _ = mean_world_symmetric_difference(tree)
+    return claimed, is_possible_world(tree, claimed)

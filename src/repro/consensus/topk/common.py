@@ -1,0 +1,60 @@
+"""Shared plumbing for the Top-k consensus algorithms."""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple, Union
+
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.andxor.tree import AndXorTree
+from repro.exceptions import ConsensusError
+
+TreeOrStatistics = Union[AndXorTree, RankStatistics]
+TopKAnswer = Tuple[Hashable, ...]
+
+
+def as_rank_statistics(source: TreeOrStatistics) -> RankStatistics:
+    """Coerce a tree or an existing statistics cache into rank statistics.
+
+    Passing an existing :class:`~repro.andxor.rank_probabilities.RankStatistics`
+    avoids recomputing rank distributions when several consensus answers are
+    requested for the same database.
+    """
+    if isinstance(source, RankStatistics):
+        return source
+    if isinstance(source, AndXorTree):
+        return RankStatistics(source)
+    raise ConsensusError(
+        "expected an AndXorTree or RankStatistics, got "
+        f"{type(source).__name__}"
+    )
+
+
+def validate_k(statistics: RankStatistics, k: int) -> int:
+    """Validate the requested answer size against the database size."""
+    if k <= 0:
+        raise ConsensusError(f"k must be positive, got {k}")
+    n = statistics.number_of_tuples()
+    if k > n:
+        raise ConsensusError(
+            f"k = {k} exceeds the number of tuples in the database ({n})"
+        )
+    return k
+
+
+def order_by_score(
+    statistics: RankStatistics, keys: Sequence[Hashable]
+) -> TopKAnswer:
+    """Order keys by the maximum score of their alternatives (descending).
+
+    This is the natural presentation order for order-insensitive answers such
+    as the symmetric-difference consensus.
+    """
+    def best_score(key: Hashable) -> float:
+        return max(
+            statistics.score_of(alternative)
+            for alternative in statistics.tree.alternatives_of(key)
+        )
+
+    return tuple(
+        sorted(keys, key=lambda key: (-best_score(key), repr(key)))
+    )

@@ -1,0 +1,147 @@
+"""Top-k consensus under the Spearman footrule distance (Section 5.4).
+
+With the location parameter ``ℓ = k + 1`` the footrule distance between
+Top-k lists has the closed form quoted in Section 5.1; Figure 2 of the paper
+rewrites its expectation against the random Top-k answer as
+
+``E[F*(τ, τ_pw)] = C + Σ_t Σ_{i=1..k} δ(t = τ(i)) f(t, i)``
+
+where, writing ``Υ1(t) = Σ_{i<=k} Pr(r(t)=i)``,
+``Υ2(t) = Σ_{i<=k} i Pr(r(t)=i)`` and
+``Υ3(t, i) = Σ_{j<=k} Pr(r(t)=j) |i-j| - i Pr(r(t) > k)``,
+
+* ``C = (k+1) k + Σ_t ((k+1) Υ1(t) - Υ2(t))`` is independent of ``τ``, and
+* ``f(t, i) = Υ3(t, i) + Υ2(t) - 2 (k+1) Υ1(t)``.
+
+Choosing which tuple occupies which position to minimise ``Σ_i f(τ(i), i)``
+is an assignment problem, solved exactly with the Hungarian algorithm.
+
+.. note::
+   The paper prints ``Υ3`` with ``+ i Pr(r(t) > k)``, but its own derivation
+   in Figure 2 subtracts the ``Σ_i δ(t = τ(i)) i Pr(r(t) > k)`` term (a tuple
+   of the candidate answer that falls *outside* the random Top-k contributes
+   ``(k+1) - τ(t)``, whose ``-τ(t)`` part is this term).  The minus sign used
+   here is the one that makes the decomposition agree with the brute-force
+   expected distance; ``tests/test_topk_footrule.py`` verifies this equality
+   by exhaustive enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.consensus.topk.common import (
+    TopKAnswer,
+    TreeOrStatistics,
+    as_rank_statistics,
+    validate_k,
+)
+from repro.exceptions import ConsensusError
+from repro.matching.hungarian import minimize_cost_assignment
+
+
+class FootruleStatistics:
+    """The Υ1 / Υ2 / Υ3 statistics of Section 5.4 for one database."""
+
+    def __init__(self, source: TreeOrStatistics, k: int) -> None:
+        self._statistics = as_rank_statistics(source)
+        self._k = validate_k(self._statistics, k)
+        self._positions: Dict[Hashable, List[float]] = {
+            key: self._statistics.rank_position_probabilities(key, max_rank=k)
+            for key in self._statistics.keys()
+        }
+
+    @property
+    def k(self) -> int:
+        """The answer size."""
+        return self._k
+
+    def keys(self) -> List[Hashable]:
+        """The tuple keys of the database."""
+        return self._statistics.keys()
+
+    def upsilon1(self, key: Hashable) -> float:
+        """``Υ1(t) = Pr(r(t) <= k)``."""
+        return sum(self._positions[key])
+
+    def upsilon2(self, key: Hashable) -> float:
+        """``Υ2(t) = Σ_{i<=k} i Pr(r(t) = i)``."""
+        return sum(
+            (i + 1) * probability
+            for i, probability in enumerate(self._positions[key])
+        )
+
+    def upsilon3(self, key: Hashable, position: int) -> float:
+        """``Υ3(t, i) = Σ_{j<=k} Pr(r(t)=j) |i-j| - i Pr(r(t) > k)``.
+
+        See the module docstring for the sign of the second term.
+        """
+        if not 1 <= position <= self._k:
+            raise ConsensusError(
+                f"position must lie in 1..{self._k}, got {position}"
+            )
+        positions = self._positions[key]
+        absent_or_low = 1.0 - sum(positions)
+        return (
+            sum(
+                probability * abs(position - (j + 1))
+                for j, probability in enumerate(positions)
+            )
+            - position * absent_or_low
+        )
+
+    def constant_term(self) -> float:
+        """The ``τ``-independent constant ``C`` of Figure 2."""
+        k = self._k
+        return (k + 1.0) * k + sum(
+            (k + 1.0) * self.upsilon1(key) - self.upsilon2(key)
+            for key in self.keys()
+        )
+
+    def position_cost(self, key: Hashable, position: int) -> float:
+        """``f(t, i) = Υ3(t, i) + Υ2(t) - 2 (k+1) Υ1(t)``."""
+        return (
+            self.upsilon3(key, position)
+            + self.upsilon2(key)
+            - 2.0 * (self._k + 1.0) * self.upsilon1(key)
+        )
+
+
+def expected_topk_footrule_distance(
+    source: TreeOrStatistics, answer: Sequence[Hashable], k: int
+) -> float:
+    """Expected footrule distance between ``answer`` and the random Top-k.
+
+    Evaluates the Figure 2 decomposition ``C + Σ_i f(τ(i), i)`` exactly.
+    """
+    footrule = FootruleStatistics(source, k)
+    answer = tuple(answer)
+    if len(answer) != k:
+        raise ConsensusError(
+            f"the candidate answer must have exactly k = {k} items"
+        )
+    if len(set(answer)) != k:
+        raise ConsensusError("the candidate answer contains duplicates")
+    total = footrule.constant_term()
+    for position, key in enumerate(answer, start=1):
+        total += footrule.position_cost(key, position)
+    return total
+
+
+def mean_topk_footrule(
+    source: TreeOrStatistics, k: int
+) -> Tuple[TopKAnswer, float]:
+    """The exact mean Top-k answer under the footrule distance ``F^(k+1)``.
+
+    Solved as a minimum-cost assignment of tuples to the ``k`` positions with
+    cost ``f(t, i)``; returns the optimal answer and its expected distance.
+    """
+    footrule = FootruleStatistics(source, k)
+    keys = footrule.keys()
+    cost = [
+        [footrule.position_cost(key, position) for key in keys]
+        for position in range(1, k + 1)
+    ]
+    assignment, _ = minimize_cost_assignment(cost)
+    answer = tuple(keys[column] for column in assignment)
+    return answer, expected_topk_footrule_distance(source, answer, k)

@@ -1,0 +1,59 @@
+"""Parameterized ranking functions (Section 5.3).
+
+The parameterized ranking function of Li, Saha and Deshpande assigns tuple
+``t`` the value ``Υ_ω(t) = Σ_i ω(i) · Pr(r(t) = i)`` for a position-weight
+function ``ω``.  The paper uses the special case
+
+``Υ_H(t) = Σ_{i=1..k} (H_k - H_{i-1}) Pr(r(t) = i) = Σ_{i=1..k} Pr(r(t) <= i)/i``
+
+whose Top-k answer is an ``H_k``-approximation of the mean consensus answer
+under the intersection metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable
+
+from repro.consensus.topk.common import (
+    TreeOrStatistics,
+    as_rank_statistics,
+    validate_k,
+)
+
+
+def harmonic_number(n: int) -> float:
+    """The ``n``-th harmonic number ``H_n`` (``H_0 = 0``)."""
+    if n < 0:
+        raise ValueError("harmonic numbers are defined for n >= 0")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def parameterized_ranking_function(
+    source: TreeOrStatistics,
+    weight: Callable[[int], float],
+    max_rank: int,
+) -> Dict[Hashable, float]:
+    """``Υ_ω(t) = Σ_{i=1..max_rank} ω(i) Pr(r(t) = i)`` for every tuple."""
+    statistics = as_rank_statistics(source)
+    values: Dict[Hashable, float] = {}
+    for key in statistics.keys():
+        positions = statistics.rank_position_probabilities(
+            key, max_rank=max_rank
+        )
+        values[key] = sum(
+            weight(i + 1) * probability
+            for i, probability in enumerate(positions)
+        )
+    return values
+
+
+def upsilon_h(source: TreeOrStatistics, k: int) -> Dict[Hashable, float]:
+    """The ``Υ_H`` ranking function: ``Σ_{i=1..k} Pr(r(t) <= i) / i``."""
+    statistics = as_rank_statistics(source)
+    validate_k(statistics, k)
+    h_k = harmonic_number(k)
+    return parameterized_ranking_function(
+        statistics,
+        weight=lambda position: h_k - harmonic_number(position - 1),
+        max_rank=k,
+    )

@@ -1,0 +1,51 @@
+"""Core data model: tuples, possible worlds, and answer-distance metrics.
+
+The paper models a probabilistic relation ``R^P(K; A)`` with a possible-worlds
+key ``K`` and a value attribute ``A`` (Section 3.1).  This package provides:
+
+* :class:`~repro.core.tuples.TupleAlternative` -- a (key, value, score)
+  triple representing one alternative of a probabilistic tuple.
+* :class:`~repro.core.worlds.PossibleWorld` and
+  :class:`~repro.core.worlds.WorldDistribution` -- an explicit possible-worlds
+  representation used as ground truth in tests and benchmarks.
+* Distance metrics between query answers: set distances (symmetric
+  difference, Jaccard), Top-k list distances (symmetric difference,
+  intersection, Spearman footrule with location parameter, Kendall tau),
+  group-by count vector distance and the consensus-clustering distance.
+* Brute-force consensus solvers over explicit world distributions
+  (:mod:`repro.core.consensus_bruteforce`), used as oracles.
+"""
+
+from repro.core.tuples import TupleAlternative, group_alternatives_by_key
+from repro.core.worlds import PossibleWorld, WorldDistribution
+from repro.core.distances import (
+    symmetric_difference_distance,
+    jaccard_distance,
+    squared_euclidean_distance,
+)
+from repro.core.topk_distances import (
+    topk_symmetric_difference,
+    topk_intersection_distance,
+    topk_footrule_distance,
+    topk_kendall_distance,
+)
+from repro.core.clustering_distance import (
+    clustering_disagreement_distance,
+    clustering_from_assignment,
+)
+
+__all__ = [
+    "TupleAlternative",
+    "group_alternatives_by_key",
+    "PossibleWorld",
+    "WorldDistribution",
+    "symmetric_difference_distance",
+    "jaccard_distance",
+    "squared_euclidean_distance",
+    "topk_symmetric_difference",
+    "topk_intersection_distance",
+    "topk_footrule_distance",
+    "topk_kendall_distance",
+    "clustering_disagreement_distance",
+    "clustering_from_assignment",
+]

@@ -1,0 +1,94 @@
+"""The consensus-clustering distance (Section 6.2 of the paper).
+
+A clustering of a universe ``V`` is a partition of ``V`` into disjoint
+clusters.  The distance between two clusterings is the number of unordered
+pairs of elements that are clustered together in one clustering but separated
+in the other (the CONSENSUS-CLUSTERING metric).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import DistanceError
+
+Clustering = FrozenSet[FrozenSet[Hashable]]
+
+
+def clustering_from_assignment(
+    assignment: Mapping[Hashable, Hashable]
+) -> Clustering:
+    """Build a clustering from an element -> cluster-label mapping."""
+    clusters: Dict[Hashable, set] = {}
+    for element, label in assignment.items():
+        clusters.setdefault(label, set()).add(element)
+    return frozenset(frozenset(members) for members in clusters.values())
+
+
+def normalize_clustering(
+    clusters: Iterable[Iterable[Hashable]],
+) -> Clustering:
+    """Normalise an iterable of clusters into a frozenset of frozensets.
+
+    Empty clusters are dropped; elements must not repeat across clusters.
+    """
+    normalized = [frozenset(cluster) for cluster in clusters]
+    normalized = [cluster for cluster in normalized if cluster]
+    seen: set = set()
+    for cluster in normalized:
+        if seen & cluster:
+            raise DistanceError("clusters must be disjoint")
+        seen |= cluster
+    return frozenset(normalized)
+
+
+def _co_clustered_pairs(clustering: Clustering) -> FrozenSet[FrozenSet[Hashable]]:
+    pairs = set()
+    for cluster in clustering:
+        for a, b in combinations(sorted(cluster, key=repr), 2):
+            pairs.add(frozenset((a, b)))
+    return frozenset(pairs)
+
+
+def clustering_disagreement_distance(
+    first: Iterable[Iterable[Hashable]],
+    second: Iterable[Iterable[Hashable]],
+    universe: Sequence[Hashable] | None = None,
+) -> float:
+    """Number of pairs clustered together in exactly one of the clusterings.
+
+    Elements appearing in only one clustering are treated as singletons in
+    the other (they cannot be "together" with anything there).  Passing a
+    ``universe`` has no effect on the value but validates that both
+    clusterings cover only elements of the universe.
+    """
+    clustering_a = normalize_clustering(first)
+    clustering_b = normalize_clustering(second)
+    if universe is not None:
+        allowed = set(universe)
+        for clustering in (clustering_a, clustering_b):
+            for cluster in clustering:
+                extra = set(cluster) - allowed
+                if extra:
+                    raise DistanceError(
+                        f"clustering mentions elements outside the universe: "
+                        f"{sorted(map(repr, extra))}"
+                    )
+    pairs_a = _co_clustered_pairs(clustering_a)
+    pairs_b = _co_clustered_pairs(clustering_b)
+    return float(len(pairs_a.symmetric_difference(pairs_b)))
+
+
+def clustering_agreement_ratio(
+    first: Iterable[Iterable[Hashable]],
+    second: Iterable[Iterable[Hashable]],
+    universe: Sequence[Hashable],
+) -> float:
+    """Fraction of pairs on which the two clusterings agree (Rand index)."""
+    n = len(set(universe))
+    total_pairs = n * (n - 1) / 2
+    if total_pairs == 0:
+        return 1.0
+    disagreements = clustering_disagreement_distance(first, second, universe)
+    return 1.0 - disagreements / total_pairs

@@ -1,0 +1,77 @@
+"""Set and vector distance measures between deterministic query answers.
+
+Section 4 of the paper studies consensus worlds under two set distances --
+the symmetric difference distance and the Jaccard distance -- and Section 6.1
+uses the squared Euclidean distance between group-by count vectors.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.exceptions import DistanceError
+
+
+def _as_set(answer: Iterable) -> AbstractSet:
+    if isinstance(answer, (set, frozenset)):
+        return answer
+    return frozenset(answer)
+
+
+def symmetric_difference_distance(
+    first: Iterable, second: Iterable
+) -> float:
+    """Symmetric difference distance ``|S1 Δ S2|`` between two sets.
+
+    Two different alternatives of the same tuple are treated as different
+    elements (Section 4.1 of the paper), which is automatic here because
+    elements are compared by equality.
+    """
+    a = _as_set(first)
+    b = _as_set(second)
+    return float(len(a.symmetric_difference(b)))
+
+
+def jaccard_distance(first: Iterable, second: Iterable) -> float:
+    """Jaccard distance ``|S1 Δ S2| / |S1 ∪ S2|`` between two sets.
+
+    The distance of two empty sets is defined to be 0 (they are identical).
+    The Jaccard distance always lies in [0, 1] and satisfies the triangle
+    inequality.
+    """
+    a = _as_set(first)
+    b = _as_set(second)
+    union = a | b
+    if not union:
+        return 0.0
+    return len(a.symmetric_difference(b)) / len(union)
+
+
+def squared_euclidean_distance(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Squared Euclidean distance between two equal-length vectors.
+
+    This is the distance used for group-by count answers in Section 6.1.
+    """
+    if len(first) != len(second):
+        raise DistanceError(
+            f"vectors have different lengths: {len(first)} vs {len(second)}"
+        )
+    return float(sum((x - y) ** 2 for x, y in zip(first, second)))
+
+
+def euclidean_distance(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Euclidean (L2) distance between two equal-length vectors."""
+    return squared_euclidean_distance(first, second) ** 0.5
+
+
+def l1_distance(first: Sequence[float], second: Sequence[float]) -> float:
+    """L1 (Manhattan) distance between two equal-length vectors."""
+    if len(first) != len(second):
+        raise DistanceError(
+            f"vectors have different lengths: {len(first)} vs {len(second)}"
+        )
+    return float(sum(abs(x - y) for x, y in zip(first, second)))

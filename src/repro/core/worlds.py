@@ -1,0 +1,308 @@
+"""Explicit possible-worlds representation.
+
+A :class:`WorldDistribution` is a finite probability distribution over
+:class:`PossibleWorld` objects.  It is intentionally explicit (and therefore
+exponential in the worst case): the polynomial algorithms in
+:mod:`repro.consensus` never materialise it, but tests and benchmarks use it
+as ground truth on small instances, and the paper's Figure 1(ii) example is
+naturally expressed this way.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import ProbabilityError
+
+T = TypeVar("T")
+
+
+class PossibleWorld:
+    """A deterministic relation instance: a set of tuple alternatives.
+
+    A possible world never contains two alternatives with the same key
+    (the possible-worlds key constraint of Section 3.1).
+    """
+
+    __slots__ = ("_alternatives",)
+
+    def __init__(self, alternatives: Iterable[TupleAlternative] = ()) -> None:
+        alts = frozenset(alternatives)
+        keys = [a.key for a in alts]
+        if len(keys) != len(set(keys)):
+            raise ProbabilityError(
+                "a possible world cannot contain two alternatives "
+                "with the same key"
+            )
+        self._alternatives: FrozenSet[TupleAlternative] = alts
+
+    # ------------------------------------------------------------------
+    # Set-like protocol
+    # ------------------------------------------------------------------
+    @property
+    def alternatives(self) -> FrozenSet[TupleAlternative]:
+        """The alternatives present in this world."""
+        return self._alternatives
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._alternatives
+
+    def __iter__(self) -> Iterator[TupleAlternative]:
+        return iter(self._alternatives)
+
+    def __len__(self) -> int:
+        return len(self._alternatives)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PossibleWorld):
+            return self._alternatives == other._alternatives
+        if isinstance(other, frozenset):
+            return self._alternatives == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._alternatives)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(repr(a) for a in sorted(
+            self._alternatives, key=lambda a: (str(a.key), str(a.value))
+        ))
+        return f"PossibleWorld({{{body}}})"
+
+    # ------------------------------------------------------------------
+    # Query answers extracted from a world
+    # ------------------------------------------------------------------
+    def keys(self) -> FrozenSet[Hashable]:
+        """The set of tuple keys present in this world."""
+        return frozenset(a.key for a in self._alternatives)
+
+    def contains_key(self, key: Hashable) -> bool:
+        """Return True when a tuple with the given key is present."""
+        return any(a.key == key for a in self._alternatives)
+
+    def value_of(self, key: Hashable) -> Hashable:
+        """Return the value of the tuple with the given key.
+
+        Raises ``KeyError`` when the key is absent from this world.
+        """
+        for alternative in self._alternatives:
+            if alternative.key == key:
+                return alternative.value
+        raise KeyError(key)
+
+    def top_k(self, k: int) -> Tuple[Hashable, ...]:
+        """Return the Top-k answer of this world: keys ordered by score.
+
+        Tuples are ranked by decreasing score; the answer lists the keys of
+        the ``k`` highest-scoring present tuples (fewer if the world is
+        smaller than ``k``).
+        """
+        ranked = sorted(
+            self._alternatives,
+            key=lambda a: (-a.effective_score(), str(a.key)),
+        )
+        return tuple(a.key for a in ranked[:k])
+
+    def rank_of(self, key: Hashable) -> float:
+        """Return the rank (1-based) of the tuple with the given key.
+
+        Absent tuples have rank ``math.inf``, matching the convention
+        ``r_pw(t) = infinity`` used in Section 5 of the paper.
+        """
+        ranked = sorted(
+            self._alternatives,
+            key=lambda a: (-a.effective_score(), str(a.key)),
+        )
+        for position, alternative in enumerate(ranked, start=1):
+            if alternative.key == key:
+                return float(position)
+        return math.inf
+
+    def group_by_count(
+        self, groups: Sequence[Hashable]
+    ) -> Tuple[int, ...]:
+        """Return the group-by count vector over the given group ordering.
+
+        The value attribute of each present tuple is interpreted as its group
+        name; tuples whose value is not in ``groups`` are ignored.
+        """
+        index = {group: i for i, group in enumerate(groups)}
+        counts = [0] * len(groups)
+        for alternative in self._alternatives:
+            position = index.get(alternative.value)
+            if position is not None:
+                counts[position] += 1
+        return tuple(counts)
+
+    def clustering(
+        self, universe: Sequence[Hashable] | None = None
+    ) -> FrozenSet[FrozenSet[Hashable]]:
+        """Return the clustering induced by this world (Section 6.2).
+
+        Tuples are clustered together when they take the same value; keys
+        from ``universe`` that are absent from the world form one artificial
+        "non-existent" cluster.
+        """
+        by_value: Dict[Hashable, List[Hashable]] = {}
+        for alternative in self._alternatives:
+            by_value.setdefault(alternative.value, []).append(alternative.key)
+        clusters = [frozenset(keys) for keys in by_value.values()]
+        if universe is not None:
+            missing = frozenset(universe) - self.keys()
+            if missing:
+                clusters.append(missing)
+        return frozenset(clusters)
+
+
+class WorldDistribution:
+    """A finite probability distribution over possible worlds.
+
+    Parameters
+    ----------
+    worlds:
+        Iterable of ``(world, probability)`` pairs.  Worlds may be given as
+        :class:`PossibleWorld` objects or iterables of
+        :class:`~repro.core.tuples.TupleAlternative`.  Duplicate worlds are
+        merged by summing their probabilities.
+    tolerance:
+        Allowed deviation of the total probability mass from 1.
+    require_normalized:
+        When True (default) the probabilities must sum to 1 up to
+        ``tolerance``.  Sub-normalised distributions are permitted when this
+        is False (useful while constructing reductions).
+    """
+
+    __slots__ = ("_worlds", "_probabilities")
+
+    def __init__(
+        self,
+        worlds: Iterable[Tuple[PossibleWorld | Iterable[TupleAlternative], float]],
+        tolerance: float = 1e-9,
+        require_normalized: bool = True,
+    ) -> None:
+        merged: Dict[PossibleWorld, float] = {}
+        for world, probability in worlds:
+            if probability < -tolerance:
+                raise ProbabilityError(
+                    f"negative world probability {probability}"
+                )
+            if not isinstance(world, PossibleWorld):
+                world = PossibleWorld(world)
+            merged[world] = merged.get(world, 0.0) + float(probability)
+        total = sum(merged.values())
+        if require_normalized and abs(total - 1.0) > max(tolerance, 1e-6):
+            raise ProbabilityError(
+                f"world probabilities sum to {total}, expected 1"
+            )
+        items = [(w, p) for w, p in merged.items() if p > 0.0]
+        self._worlds: List[PossibleWorld] = [w for w, _ in items]
+        self._probabilities: List[float] = [p for _, p in items]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def __iter__(self) -> Iterator[Tuple[PossibleWorld, float]]:
+        return iter(zip(self._worlds, self._probabilities))
+
+    @property
+    def worlds(self) -> List[PossibleWorld]:
+        """The distinct possible worlds with non-zero probability."""
+        return list(self._worlds)
+
+    @property
+    def probabilities(self) -> List[float]:
+        """Probabilities aligned with :attr:`worlds`."""
+        return list(self._probabilities)
+
+    def total_probability(self) -> float:
+        """Total probability mass (1 for normalised distributions)."""
+        return sum(self._probabilities)
+
+    def support(self) -> FrozenSet[TupleAlternative]:
+        """All tuple alternatives appearing in some possible world."""
+        out: set = set()
+        for world in self._worlds:
+            out |= set(world.alternatives)
+        return frozenset(out)
+
+    def tuple_keys(self) -> List[Hashable]:
+        """All distinct tuple keys appearing in some world (sorted by repr)."""
+        keys = {a.key for a in self.support()}
+        return sorted(keys, key=repr)
+
+    # ------------------------------------------------------------------
+    # Probability queries
+    # ------------------------------------------------------------------
+    def probability_that(
+        self, predicate: Callable[[PossibleWorld], bool]
+    ) -> float:
+        """Probability that a random world satisfies ``predicate``."""
+        return sum(
+            p for w, p in zip(self._worlds, self._probabilities)
+            if predicate(w)
+        )
+
+    def alternative_probability(self, alternative: TupleAlternative) -> float:
+        """Membership probability of a specific alternative."""
+        return self.probability_that(lambda world: alternative in world)
+
+    def key_probability(self, key: Hashable) -> float:
+        """Probability that a tuple with the given key is present."""
+        return self.probability_that(lambda world: world.contains_key(key))
+
+    def expectation(
+        self, function: Callable[[PossibleWorld], float]
+    ) -> float:
+        """Expected value of ``function`` over the random world."""
+        return sum(
+            p * function(w)
+            for w, p in zip(self._worlds, self._probabilities)
+        )
+
+    def answer_distribution(
+        self, answer_of: Callable[[PossibleWorld], T]
+    ) -> Dict[T, float]:
+        """Push the world distribution through an answer-extraction function.
+
+        Returns the distribution over *possible answers*: each distinct
+        answer mapped to its total probability.
+        """
+        out: Dict[T, float] = {}
+        for world, probability in zip(self._worlds, self._probabilities):
+            answer = answer_of(world)
+            out[answer] = out.get(answer, 0.0) + probability
+        return out
+
+    def sample(self, rng: random.Random) -> PossibleWorld:
+        """Draw one possible world according to the distribution."""
+        total = self.total_probability()
+        threshold = rng.random() * total
+        cumulative = 0.0
+        for world, probability in zip(self._worlds, self._probabilities):
+            cumulative += probability
+            if cumulative >= threshold:
+                return world
+        return self._worlds[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorldDistribution({len(self._worlds)} worlds, "
+            f"total probability {self.total_probability():.6f})"
+        )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """Raised when a probabilistic model specification is invalid.
+
+    Examples include an and/xor tree whose xor-edge probabilities sum to more
+    than one, or a BID block whose alternatives share the same value.
+    """
+
+
+class KeyConstraintError(ModelError):
+    """Raised when two alternatives of the same tuple could co-exist.
+
+    The and/xor tree model requires the least common ancestor of any two
+    leaves holding the same key to be a xor node (Definition 1 of the paper).
+    """
+
+
+class ProbabilityError(ModelError):
+    """Raised when a probability value or distribution is invalid."""
+
+
+class DistanceError(ReproError):
+    """Raised when a distance computation receives incompatible answers."""
+
+
+class ConsensusError(ReproError):
+    """Raised when a consensus answer cannot be computed for the input."""
+
+
+class InfeasibleAnswerError(ConsensusError):
+    """Raised when no feasible (non-zero probability) answer exists.
+
+    For instance, asking for a median Top-k answer when every possible world
+    has fewer than ``k`` tuples.
+    """
+
+
+class EnumerationLimitError(ReproError):
+    """Raised when an exact enumeration would exceed the configured limit."""
+
+
+class MatchingError(ReproError):
+    """Raised when an assignment / matching instance is malformed."""
+
+
+class FlowError(ReproError):
+    """Raised when a flow network is malformed or infeasible."""
+
+
+class LineageError(ReproError):
+    """Raised when a lineage formula is malformed or cannot be evaluated."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic workload specification is invalid."""

@@ -1,0 +1,12 @@
+"""Minimum-cost flow substrate.
+
+The group-by count median answer (Theorem 5 of the paper) is computed by a
+minimum-cost network-flow rounding of the mean answer.  This package provides
+a from-scratch successive-shortest-path min-cost-flow solver and helpers to
+build the tuple/group networks used in Section 6.1.
+"""
+
+from repro.flows.network import FlowNetwork
+from repro.flows.mincost import min_cost_flow
+
+__all__ = ["FlowNetwork", "min_cost_flow"]

@@ -1,0 +1,149 @@
+"""Minimum-cost flow via successive shortest paths.
+
+The solver repeatedly finds a cheapest augmenting path from the source to the
+sink in the residual network (using a queue-based Bellman-Ford, which
+tolerates the negative edge costs that arise from the convex group-deviation
+costs in Section 6.1) and pushes as much flow as possible along it.  With
+integer capacities this terminates with an integral minimum-cost flow of the
+requested value, or reports infeasibility.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Tuple
+
+from repro.exceptions import FlowError
+from repro.flows.network import FlowNetwork
+
+_INF = float("inf")
+
+
+def _cheapest_path(
+    network: FlowNetwork, source: int, sink: int
+) -> Tuple[list, list, list]:
+    """Queue-based Bellman-Ford over the residual network.
+
+    Returns ``(distance, previous_vertex, previous_edge)`` arrays; the sink is
+    unreachable when ``distance[sink]`` is infinite.
+    """
+    adjacency = network.adjacency()
+    n = network.vertex_count()
+    distance = [_INF] * n
+    previous_vertex = [-1] * n
+    previous_edge = [-1] * n
+    in_queue = [False] * n
+    distance[source] = 0.0
+    queue: deque = deque([source])
+    in_queue[source] = True
+    iterations = 0
+    max_iterations = 4 * n * max(1, network.edge_count())
+    while queue:
+        iterations += 1
+        if iterations > max_iterations:
+            raise FlowError(
+                "negative-cost cycle detected in the residual network"
+            )
+        vertex = queue.popleft()
+        in_queue[vertex] = False
+        for position, edge in enumerate(adjacency[vertex]):
+            if edge.capacity <= 0:
+                continue
+            candidate = distance[vertex] + edge.cost
+            if candidate < distance[edge.to] - 1e-12:
+                distance[edge.to] = candidate
+                previous_vertex[edge.to] = vertex
+                previous_edge[edge.to] = position
+                if not in_queue[edge.to]:
+                    queue.append(edge.to)
+                    in_queue[edge.to] = True
+    return distance, previous_vertex, previous_edge
+
+
+def min_cost_flow(
+    network: FlowNetwork,
+    source: Hashable,
+    sink: Hashable,
+    required_flow: int,
+) -> Tuple[int, float]:
+    """Send ``required_flow`` units from ``source`` to ``sink`` at minimum cost.
+
+    Returns ``(flow_sent, total_cost)``.  A :class:`~repro.exceptions.FlowError`
+    is raised when the requested amount cannot be routed.
+
+    The network's residual capacities are mutated in place; use
+    :meth:`repro.flows.network.FlowNetwork.flow_on` to read the per-edge flow
+    afterwards.
+    """
+    if required_flow < 0:
+        raise FlowError("required_flow must be non-negative")
+    source_index = network.vertex_index(source)
+    sink_index = network.vertex_index(sink)
+    adjacency = network.adjacency()
+    remaining = int(required_flow)
+    total_cost = 0.0
+    total_flow = 0
+    while remaining > 0:
+        distance, previous_vertex, previous_edge = _cheapest_path(
+            network, source_index, sink_index
+        )
+        if distance[sink_index] == _INF:
+            raise FlowError(
+                f"only {total_flow} of {required_flow} units could be routed"
+            )
+        # Find the bottleneck along the cheapest path.
+        bottleneck = remaining
+        vertex = sink_index
+        while vertex != source_index:
+            edge = adjacency[previous_vertex[vertex]][previous_edge[vertex]]
+            bottleneck = min(bottleneck, edge.capacity)
+            vertex = previous_vertex[vertex]
+        # Push the bottleneck along the path.
+        vertex = sink_index
+        while vertex != source_index:
+            edge = adjacency[previous_vertex[vertex]][previous_edge[vertex]]
+            edge.capacity -= bottleneck
+            adjacency[edge.to][edge.paired].capacity += bottleneck
+            total_cost += bottleneck * edge.cost
+            vertex = previous_vertex[vertex]
+        total_flow += bottleneck
+        remaining -= bottleneck
+    return total_flow, total_cost
+
+
+def max_flow_value(
+    network: FlowNetwork, source: Hashable, sink: Hashable
+) -> int:
+    """Maximum flow value from source to sink (costs ignored).
+
+    Implemented by repeatedly augmenting along cheapest paths, which is
+    correct (though not the fastest possible) and keeps the residual
+    bookkeeping identical to :func:`min_cost_flow`.
+    """
+    source_index = network.vertex_index(source)
+    sink_index = network.vertex_index(sink)
+    adjacency = network.adjacency()
+    total_flow = 0
+    while True:
+        distance, previous_vertex, previous_edge = _cheapest_path(
+            network, source_index, sink_index
+        )
+        if distance[sink_index] == _INF:
+            return total_flow
+        bottleneck = None
+        vertex = sink_index
+        while vertex != source_index:
+            edge = adjacency[previous_vertex[vertex]][previous_edge[vertex]]
+            bottleneck = (
+                edge.capacity
+                if bottleneck is None
+                else min(bottleneck, edge.capacity)
+            )
+            vertex = previous_vertex[vertex]
+        vertex = sink_index
+        while vertex != source_index:
+            edge = adjacency[previous_vertex[vertex]][previous_edge[vertex]]
+            edge.capacity -= bottleneck
+            adjacency[edge.to][edge.paired].capacity += bottleneck
+            vertex = previous_vertex[vertex]
+        total_flow += bottleneck

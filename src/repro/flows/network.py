@@ -1,0 +1,132 @@
+"""Flow network representation for the min-cost-flow solver.
+
+Networks are directed graphs with integer capacities and real (possibly
+negative) per-unit costs, stored in the standard paired-residual-edge layout
+so that the solver can push flow backwards along residual edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.exceptions import FlowError
+
+
+@dataclass
+class Edge:
+    """A directed edge of the residual network.
+
+    ``to`` is the head vertex index, ``capacity`` the *remaining* capacity,
+    ``cost`` the per-unit cost, and ``paired`` the index of the reverse
+    residual edge inside the adjacency list of ``to``.
+    """
+
+    to: int
+    capacity: int
+    cost: float
+    paired: int
+    is_reverse: bool
+
+
+class FlowNetwork:
+    """A directed flow network over arbitrary hashable vertex labels."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self._labels: List[Hashable] = []
+        self._adjacency: List[List[Edge]] = []
+        # (tail index, edge position) of each original (non-reverse) edge, in
+        # insertion order, so callers can read the flow back out.
+        self._original_edges: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Hashable) -> int:
+        """Add a vertex (idempotent) and return its internal index."""
+        if label in self._index:
+            return self._index[label]
+        index = len(self._labels)
+        self._index[label] = index
+        self._labels.append(label)
+        self._adjacency.append([])
+        return index
+
+    def add_edge(
+        self,
+        tail: Hashable,
+        head: Hashable,
+        capacity: int,
+        cost: float = 0.0,
+    ) -> int:
+        """Add a directed edge and return its identifier.
+
+        The identifier can be passed to :meth:`flow_on` after a solver run to
+        read back how much flow the edge carries.
+        """
+        if capacity < 0:
+            raise FlowError(f"edge capacity must be non-negative, got {capacity}")
+        tail_index = self.add_vertex(tail)
+        head_index = self.add_vertex(head)
+        forward = Edge(
+            to=head_index,
+            capacity=int(capacity),
+            cost=float(cost),
+            paired=len(self._adjacency[head_index]),
+            is_reverse=False,
+        )
+        backward = Edge(
+            to=tail_index,
+            capacity=0,
+            cost=-float(cost),
+            paired=len(self._adjacency[tail_index]),
+            is_reverse=True,
+        )
+        self._adjacency[tail_index].append(forward)
+        self._adjacency[head_index].append(backward)
+        edge_id = len(self._original_edges)
+        self._original_edges.append(
+            (tail_index, len(self._adjacency[tail_index]) - 1)
+        )
+        return edge_id
+
+    # ------------------------------------------------------------------
+    # Accessors used by the solver
+    # ------------------------------------------------------------------
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._labels)
+
+    def vertex_index(self, label: Hashable) -> int:
+        """Internal index of a vertex label."""
+        if label not in self._index:
+            raise FlowError(f"unknown vertex {label!r}")
+        return self._index[label]
+
+    def adjacency(self) -> List[List[Edge]]:
+        """The (mutable) residual adjacency lists."""
+        return self._adjacency
+
+    def labels(self) -> List[Hashable]:
+        """Vertex labels in index order."""
+        return list(self._labels)
+
+    # ------------------------------------------------------------------
+    # Reading results
+    # ------------------------------------------------------------------
+    def flow_on(self, edge_id: int) -> int:
+        """Flow currently carried by the edge with the given identifier.
+
+        The flow equals the capacity of the paired reverse edge.
+        """
+        if not 0 <= edge_id < len(self._original_edges):
+            raise FlowError(f"unknown edge id {edge_id}")
+        tail_index, position = self._original_edges[edge_id]
+        edge = self._adjacency[tail_index][position]
+        reverse = self._adjacency[edge.to][edge.paired]
+        return reverse.capacity
+
+    def edge_count(self) -> int:
+        """Number of original (non-residual) edges."""
+        return len(self._original_edges)

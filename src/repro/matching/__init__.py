@@ -1,0 +1,24 @@
+"""Assignment-problem and bipartite-matching substrate.
+
+Section 5 of the paper reduces the exact mean Top-k answer under the
+intersection metric and under the Spearman footrule distance to a
+maximum-weight bipartite matching ("assignment") problem between tuples and
+Top-k positions.  This package implements the Hungarian algorithm from
+scratch (no external solver) together with small bipartite-graph helpers.
+"""
+
+from repro.matching.hungarian import (
+    maximize_profit_assignment,
+    minimize_cost_assignment,
+)
+from repro.matching.bipartite import (
+    BipartiteGraph,
+    maximum_cardinality_matching,
+)
+
+__all__ = [
+    "minimize_cost_assignment",
+    "maximize_profit_assignment",
+    "BipartiteGraph",
+    "maximum_cardinality_matching",
+]

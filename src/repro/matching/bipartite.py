@@ -1,0 +1,129 @@
+"""Bipartite graphs and maximum-cardinality matching.
+
+Used by the group-by aggregate consensus (Section 6.1): the bipartite graph
+between tuples and group names, where an edge indicates that a tuple can take
+a group with non-zero probability, determines which count vectors correspond
+to possible answers ("r-matchings" in the paper's terminology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import MatchingError
+
+
+class BipartiteGraph:
+    """A bipartite graph between "left" and "right" vertex sets.
+
+    Vertices are arbitrary hashable labels; edges are stored as adjacency
+    lists on the left side.
+    """
+
+    def __init__(
+        self,
+        left: Iterable[Hashable] = (),
+        right: Iterable[Hashable] = (),
+    ) -> None:
+        self._left: List[Hashable] = []
+        self._right: List[Hashable] = []
+        self._adjacency: Dict[Hashable, List[Hashable]] = {}
+        for vertex in left:
+            self.add_left(vertex)
+        for vertex in right:
+            self.add_right(vertex)
+
+    def add_left(self, vertex: Hashable) -> None:
+        """Add a left vertex (no-op if already present)."""
+        if vertex not in self._adjacency:
+            self._left.append(vertex)
+            self._adjacency[vertex] = []
+
+    def add_right(self, vertex: Hashable) -> None:
+        """Add a right vertex (no-op if already present)."""
+        if vertex not in self._right:
+            self._right.append(vertex)
+
+    def add_edge(self, left_vertex: Hashable, right_vertex: Hashable) -> None:
+        """Add an edge; missing endpoints are created."""
+        self.add_left(left_vertex)
+        self.add_right(right_vertex)
+        if right_vertex not in self._adjacency[left_vertex]:
+            self._adjacency[left_vertex].append(right_vertex)
+
+    @property
+    def left(self) -> List[Hashable]:
+        """The left vertices in insertion order."""
+        return list(self._left)
+
+    @property
+    def right(self) -> List[Hashable]:
+        """The right vertices in insertion order."""
+        return list(self._right)
+
+    def neighbors(self, left_vertex: Hashable) -> List[Hashable]:
+        """The right neighbours of a left vertex."""
+        if left_vertex not in self._adjacency:
+            raise MatchingError(f"unknown left vertex {left_vertex!r}")
+        return list(self._adjacency[left_vertex])
+
+    @classmethod
+    def from_support(
+        cls, support: Mapping[Hashable, Iterable[Hashable]]
+    ) -> "BipartiteGraph":
+        """Build a graph from a left-vertex -> iterable-of-right-vertices map."""
+        graph = cls()
+        for left_vertex, right_vertices in support.items():
+            graph.add_left(left_vertex)
+            for right_vertex in right_vertices:
+                graph.add_edge(left_vertex, right_vertex)
+        return graph
+
+
+def maximum_cardinality_matching(
+    graph: BipartiteGraph,
+) -> Dict[Hashable, Hashable]:
+    """Maximum-cardinality matching via Kuhn's augmenting-path algorithm.
+
+    Returns a mapping from matched left vertices to their right partners.
+    """
+    match_of_right: Dict[Hashable, Hashable] = {}
+
+    def try_augment(left_vertex: Hashable, visited: set) -> bool:
+        for right_vertex in graph.neighbors(left_vertex):
+            if right_vertex in visited:
+                continue
+            visited.add(right_vertex)
+            current = match_of_right.get(right_vertex)
+            if current is None or try_augment(current, visited):
+                match_of_right[right_vertex] = left_vertex
+                return True
+        return False
+
+    for left_vertex in graph.left:
+        try_augment(left_vertex, set())
+
+    return {left: right for right, left in match_of_right.items()}
+
+
+def counts_are_feasible(
+    graph: BipartiteGraph, counts: Mapping[Hashable, int]
+) -> bool:
+    """Check whether an "r-matching" with the given right-side counts exists.
+
+    Every left vertex must be matched to exactly one neighbouring right
+    vertex so that right vertex ``v`` receives exactly ``counts[v]`` left
+    vertices.  Feasibility is decided by expanding each right vertex into
+    ``counts[v]`` copies and asking for a perfect matching of the left side.
+    """
+    total = sum(counts.get(vertex, 0) for vertex in graph.right)
+    if total != len(graph.left):
+        return False
+    expanded = BipartiteGraph()
+    for left_vertex in graph.left:
+        expanded.add_left(left_vertex)
+        for right_vertex in graph.neighbors(left_vertex):
+            for copy in range(counts.get(right_vertex, 0)):
+                expanded.add_edge(left_vertex, (right_vertex, copy))
+    matching = maximum_cardinality_matching(expanded)
+    return len(matching) == len(graph.left)

@@ -1,0 +1,113 @@
+"""The Hungarian algorithm for the (rectangular) assignment problem.
+
+The implementation follows the classical potentials / shortest-augmenting-path
+formulation and runs in ``O(rows^2 * cols)`` time.  It minimises the total
+cost of assigning every row to a distinct column (requiring
+``rows <= cols``); a thin wrapper converts maximum-profit instances into
+minimum-cost ones.
+
+The paper invokes an ``O(n k sqrt(n))`` matching algorithm [Micali-Vazirani];
+any polynomial exact assignment solver preserves the results, and the
+Hungarian algorithm is the standard practical choice (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import MatchingError
+
+_INF = float("inf")
+
+
+def minimize_cost_assignment(
+    cost: Sequence[Sequence[float]],
+) -> Tuple[List[int], float]:
+    """Solve the rectangular assignment problem (minimisation).
+
+    Parameters
+    ----------
+    cost:
+        A ``rows x cols`` cost matrix with ``rows <= cols``.
+
+    Returns
+    -------
+    (assignment, total_cost):
+        ``assignment[i]`` is the column assigned to row ``i`` (all distinct)
+        and ``total_cost`` the sum of the selected entries, which is minimal.
+    """
+    rows = len(cost)
+    if rows == 0:
+        return [], 0.0
+    cols = len(cost[0])
+    if any(len(row) != cols for row in cost):
+        raise MatchingError("cost matrix rows have inconsistent lengths")
+    if rows > cols:
+        raise MatchingError(
+            f"assignment requires rows <= cols, got {rows} rows x {cols} cols"
+        )
+
+    # Potentials for rows (u) and columns (v); p[j] is the row matched to
+    # column j (0 means unmatched); way[j] remembers the augmenting path.
+    u = [0.0] * (rows + 1)
+    v = [0.0] * (cols + 1)
+    p = [0] * (cols + 1)
+    way = [0] * (cols + 1)
+
+    for i in range(1, rows + 1):
+        p[0] = i
+        j0 = 0
+        minv = [_INF] * (cols + 1)
+        used = [False] * (cols + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = _INF
+            j1 = -1
+            row_cost = cost[i0 - 1]
+            for j in range(1, cols + 1):
+                if used[j]:
+                    continue
+                current = row_cost[j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(cols + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Augment along the path found.
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [-1] * rows
+    for j in range(1, cols + 1):
+        if p[j] != 0:
+            assignment[p[j] - 1] = j - 1
+    total = sum(cost[i][assignment[i]] for i in range(rows))
+    return assignment, total
+
+
+def maximize_profit_assignment(
+    profit: Sequence[Sequence[float]],
+) -> Tuple[List[int], float]:
+    """Solve the rectangular assignment problem (maximisation).
+
+    ``profit`` is a ``rows x cols`` matrix with ``rows <= cols``; every row is
+    assigned to a distinct column so that the total profit is maximal.
+    Returns ``(assignment, total_profit)``.
+    """
+    negated = [[-value for value in row] for row in profit]
+    assignment, negative_total = minimize_cost_assignment(negated)
+    return assignment, -negative_total

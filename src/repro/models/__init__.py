@@ -1,0 +1,24 @@
+"""Convenience wrappers for the classic probabilistic database models.
+
+Every model is represented internally as an and/xor tree
+(:mod:`repro.andxor`); this package provides user-facing constructors for
+
+* tuple-independent databases,
+* block-independent disjoint (BID) relations,
+* x-tuple relations,
+
+and the :class:`~repro.models.relation.ProbabilisticRelation` facade that
+bundles a tree with the query helpers used by the examples.
+"""
+
+from repro.models.relation import ProbabilisticRelation
+from repro.models.tuple_independent import TupleIndependentDatabase
+from repro.models.bid import BlockIndependentDatabase
+from repro.models.xtuples import XTupleDatabase
+
+__all__ = [
+    "ProbabilisticRelation",
+    "TupleIndependentDatabase",
+    "BlockIndependentDatabase",
+    "XTupleDatabase",
+]

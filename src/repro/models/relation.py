@@ -1,0 +1,110 @@
+"""The :class:`ProbabilisticRelation` facade.
+
+Consensus algorithms in :mod:`repro.consensus` operate directly on
+:class:`~repro.andxor.tree.AndXorTree` objects; this facade bundles a tree
+with the handful of operations applications typically need (presence
+probabilities, world enumeration and sampling, rank statistics) so that the
+examples and benchmarks read naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.andxor.sampling import sample_world, sample_worlds
+from repro.andxor.statistics import presence_vector, size_distribution
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.core.worlds import PossibleWorld, WorldDistribution
+
+
+class ProbabilisticRelation:
+    """A probabilistic relation ``R^P(K; A)`` backed by an and/xor tree.
+
+    Parameters
+    ----------
+    tree:
+        The and/xor tree describing the correlations of the relation.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(self, tree: AndXorTree, name: str = "relation") -> None:
+        self._tree = tree
+        self._name = name
+        self._rank_statistics: RankStatistics | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> AndXorTree:
+        """The underlying and/xor tree."""
+        return self._tree
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    def keys(self) -> List[Hashable]:
+        """The distinct possible-worlds keys of the relation."""
+        return self._tree.keys()
+
+    def alternatives(self) -> List[TupleAlternative]:
+        """The distinct tuple alternatives of the relation."""
+        return self._tree.alternatives()
+
+    def __len__(self) -> int:
+        return len(self._tree.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProbabilisticRelation({self._name!r}, {len(self)} tuples, "
+            f"{len(self._tree.leaves)} alternatives)"
+        )
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+    def presence_probability(self, key: Hashable) -> float:
+        """Probability that the tuple with the given key is present."""
+        return self._tree.key_probability(key)
+
+    def presence_probabilities(self) -> Dict[Hashable, float]:
+        """Presence probability of every tuple key."""
+        return presence_vector(self._tree)
+
+    def size_distribution(self) -> List[float]:
+        """Distribution of the number of tuples in the random world."""
+        return size_distribution(self._tree)
+
+    def expected_size(self) -> float:
+        """Expected number of tuples in the random world."""
+        return self._tree.expected_world_size()
+
+    def rank_statistics(self) -> RankStatistics:
+        """Cached :class:`~repro.andxor.rank_probabilities.RankStatistics`."""
+        if self._rank_statistics is None:
+            self._rank_statistics = RankStatistics(self._tree)
+        return self._rank_statistics
+
+    # ------------------------------------------------------------------
+    # Worlds
+    # ------------------------------------------------------------------
+    def possible_worlds(self, limit: int = 1 << 18) -> WorldDistribution:
+        """Enumerate the full possible-world distribution (small relations)."""
+        return enumerate_worlds(self._tree, limit=limit)
+
+    def sample_world(self, rng: random.Random | None = None) -> PossibleWorld:
+        """Draw one possible world."""
+        return sample_world(self._tree, rng)
+
+    def sample_worlds(
+        self, count: int, rng: random.Random | None = None
+    ) -> List[PossibleWorld]:
+        """Draw ``count`` independent possible worlds."""
+        return sample_worlds(self._tree, count, rng)

@@ -1,0 +1,59 @@
+"""Tuple-independent probabilistic databases.
+
+The simplest probabilistic database model: every tuple appears independently
+with its own probability.  This is the model for which the paper's Jaccard
+mean-world algorithm (Section 4.2) is stated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.andxor.builders import tuple_independent_tree
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import ProbabilityError
+from repro.models.relation import ProbabilisticRelation
+
+
+class TupleIndependentDatabase(ProbabilisticRelation):
+    """A tuple-independent probabilistic relation.
+
+    Parameters
+    ----------
+    tuples:
+        Iterable of ``(key, value, probability)`` triples or
+        ``(key, value, score, probability)`` quadruples.
+    name:
+        Optional relation name.
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[Tuple],
+        name: str = "tuple_independent",
+    ) -> None:
+        specs: List[Tuple[TupleAlternative, float]] = []
+        self._probabilities: Dict[Hashable, float] = {}
+        for item in tuples:
+            if len(item) == 3:
+                key, value, probability = item
+                alternative = TupleAlternative(key, value)
+            elif len(item) == 4:
+                key, value, score, probability = item
+                alternative = TupleAlternative(key, value, score)
+            else:
+                raise ProbabilityError(
+                    "expected (key, value, probability) or "
+                    f"(key, value, score, probability), got {item!r}"
+                )
+            if key in self._probabilities:
+                raise ProbabilityError(
+                    f"duplicate key {key!r} in a tuple-independent database"
+                )
+            specs.append((alternative, float(probability)))
+            self._probabilities[key] = float(probability)
+        super().__init__(tuple_independent_tree(specs), name=name)
+
+    def tuple_probabilities(self) -> Dict[Hashable, float]:
+        """The per-key presence probabilities as given at construction."""
+        return dict(self._probabilities)

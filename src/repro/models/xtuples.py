@@ -1,0 +1,66 @@
+"""X-tuple probabilistic relations.
+
+An x-tuple groups several *distinct* tuples as mutually exclusive
+alternatives: at most one member of the group appears in any possible world,
+and different groups are independent.  The model is the tuple-level
+uncertainty analogue of BID and is the representation used by much of the
+prior Top-k work the paper compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Tuple
+
+from repro.andxor.builders import x_tuple_tree
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import ProbabilityError
+from repro.models.relation import ProbabilisticRelation
+
+# One member of a group: (key, value, probability) or
+# (key, value, score, probability).
+MemberSpec = Tuple
+
+
+class XTupleDatabase(ProbabilisticRelation):
+    """An x-tuple relation: independent groups of mutually exclusive tuples.
+
+    Parameters
+    ----------
+    groups:
+        Iterable of groups; each group is an iterable of members given as
+        ``(key, value, probability)`` or ``(key, value, score, probability)``.
+    name:
+        Optional relation name.
+    """
+
+    def __init__(
+        self,
+        groups: Iterable[Iterable[MemberSpec]],
+        name: str = "xtuples",
+    ) -> None:
+        normalized: List[List[Tuple[TupleAlternative, float]]] = []
+        self._groups: List[List[Tuple[Hashable, Hashable, float]]] = []
+        for group in groups:
+            members: List[Tuple[TupleAlternative, float]] = []
+            raw_members: List[Tuple[Hashable, Hashable, float]] = []
+            for member in group:
+                if len(member) == 3:
+                    key, value, probability = member
+                    alternative = TupleAlternative(key, value)
+                elif len(member) == 4:
+                    key, value, score, probability = member
+                    alternative = TupleAlternative(key, value, score)
+                else:
+                    raise ProbabilityError(
+                        "expected (key, value, probability) or "
+                        f"(key, value, score, probability), got {member!r}"
+                    )
+                members.append((alternative, float(probability)))
+                raw_members.append((key, value, float(probability)))
+            normalized.append(members)
+            self._groups.append(raw_members)
+        super().__init__(x_tuple_tree(normalized), name=name)
+
+    def groups(self) -> List[List[Tuple[Hashable, Hashable, float]]]:
+        """The group specification as given at construction."""
+        return [list(group) for group in self._groups]

@@ -1,0 +1,29 @@
+"""Polynomial arithmetic used by the generating-function framework.
+
+The paper's probability computations on and/xor trees (Section 3.3) reduce to
+manipulating polynomials in a small number of formal variables.  This package
+provides three representations:
+
+* :class:`~repro.polynomials.univariate.UnivariatePolynomial` -- dense,
+  single-variable polynomials.  Used for possible-world size distributions.
+* :class:`~repro.polynomials.bivariate.BivariatePolynomial` -- dense,
+  two-variable polynomials with optional per-variable degree truncation.
+  Used for rank-position probabilities and Jaccard-distance computations.
+* :class:`~repro.polynomials.multivariate.MultivariatePolynomial` -- sparse,
+  any number of variables.  Used as the general-purpose representation and as
+  a cross-check for the specialised classes.
+
+All classes are immutable value types supporting ``+``, ``*`` and scalar
+multiplication, and work with either ``float`` or ``fractions.Fraction``
+coefficients.
+"""
+
+from repro.polynomials.univariate import UnivariatePolynomial
+from repro.polynomials.bivariate import BivariatePolynomial
+from repro.polynomials.multivariate import MultivariatePolynomial
+
+__all__ = [
+    "UnivariatePolynomial",
+    "BivariatePolynomial",
+    "MultivariatePolynomial",
+]

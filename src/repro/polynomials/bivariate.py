@@ -1,0 +1,325 @@
+"""Dense bivariate polynomials in two formal variables ``x`` and ``y``.
+
+Bivariate generating functions appear in two places in the paper:
+
+* Rank-position probabilities (Example 3): the coefficient of ``x**(j-1) * y``
+  equals the probability that a tuple alternative is ranked at position ``j``.
+* Expected Jaccard distance (Lemma 1): the coefficient of ``x**i * y**j``
+  equals the probability of the worlds at a specific Jaccard distance from a
+  candidate world.
+
+Coefficients are stored in a dense list-of-lists indexed as
+``coefficients[i][j]`` = coefficient of ``x**i * y**j``.  Both variables
+support independent degree truncation which keeps Top-k computations
+polynomial in ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def _trimmed(rows: List[List[Number]]) -> List[List[Number]]:
+    """Trim trailing all-zero rows and columns, keeping at least one cell."""
+    max_j = 0
+    for row in rows:
+        for j in range(len(row) - 1, -1, -1):
+            if row[j] != 0:
+                max_j = max(max_j, j)
+                break
+    max_i = 0
+    for i in range(len(rows) - 1, -1, -1):
+        if any(c != 0 for c in rows[i]):
+            max_i = i
+            break
+    out = []
+    for i in range(max_i + 1):
+        row = rows[i][: max_j + 1]
+        row = row + [0] * (max_j + 1 - len(row))
+        out.append(row)
+    return out
+
+
+class BivariatePolynomial:
+    """A dense polynomial in two variables ``x`` and ``y``.
+
+    Parameters
+    ----------
+    coefficients:
+        Nested iterable where ``coefficients[i][j]`` is the coefficient of
+        ``x**i * y**j``.
+    max_degree_x, max_degree_y:
+        Optional truncation degrees.  Terms with a larger exponent in the
+        corresponding variable are discarded by every operation.
+    """
+
+    __slots__ = ("_rows", "_max_degree_x", "_max_degree_y")
+
+    def __init__(
+        self,
+        coefficients: Iterable[Iterable[Number]] = ((0,),),
+        max_degree_x: int | None = None,
+        max_degree_y: int | None = None,
+    ) -> None:
+        rows = [list(row) for row in coefficients]
+        if not rows:
+            rows = [[0]]
+        if max_degree_x is not None:
+            rows = rows[: max_degree_x + 1]
+        if max_degree_y is not None:
+            rows = [row[: max_degree_y + 1] for row in rows]
+        rows = [row if row else [0] for row in rows]
+        self._rows = _trimmed(rows)
+        self._max_degree_x = max_degree_x
+        self._max_degree_y = max_degree_y
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(
+        cls, max_degree_x: int | None = None, max_degree_y: int | None = None
+    ) -> "BivariatePolynomial":
+        """The zero polynomial."""
+        return cls([[0]], max_degree_x=max_degree_x, max_degree_y=max_degree_y)
+
+    @classmethod
+    def constant(
+        cls,
+        value: Number,
+        max_degree_x: int | None = None,
+        max_degree_y: int | None = None,
+    ) -> "BivariatePolynomial":
+        """A constant polynomial."""
+        return cls(
+            [[value]], max_degree_x=max_degree_x, max_degree_y=max_degree_y
+        )
+
+    @classmethod
+    def one(
+        cls, max_degree_x: int | None = None, max_degree_y: int | None = None
+    ) -> "BivariatePolynomial":
+        """The constant polynomial 1."""
+        return cls.constant(1, max_degree_x, max_degree_y)
+
+    @classmethod
+    def variable_x(
+        cls, max_degree_x: int | None = None, max_degree_y: int | None = None
+    ) -> "BivariatePolynomial":
+        """The polynomial ``x``."""
+        return cls(
+            [[0], [1]], max_degree_x=max_degree_x, max_degree_y=max_degree_y
+        )
+
+    @classmethod
+    def variable_y(
+        cls, max_degree_x: int | None = None, max_degree_y: int | None = None
+    ) -> "BivariatePolynomial":
+        """The polynomial ``y``."""
+        return cls(
+            [[0, 1]], max_degree_x=max_degree_x, max_degree_y=max_degree_y
+        )
+
+    @classmethod
+    def monomial(
+        cls,
+        coefficient: Number,
+        exponent_x: int,
+        exponent_y: int,
+        max_degree_x: int | None = None,
+        max_degree_y: int | None = None,
+    ) -> "BivariatePolynomial":
+        """The polynomial ``coefficient * x**exponent_x * y**exponent_y``."""
+        if exponent_x < 0 or exponent_y < 0:
+            raise ValueError("exponents must be non-negative")
+        rows = [[0] * (exponent_y + 1) for _ in range(exponent_x + 1)]
+        rows[exponent_x][exponent_y] = coefficient
+        return cls(rows, max_degree_x=max_degree_x, max_degree_y=max_degree_y)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> Sequence[Sequence[Number]]:
+        """The coefficient matrix (read-only view)."""
+        return tuple(tuple(row) for row in self._rows)
+
+    @property
+    def degree_x(self) -> int:
+        """Highest exponent of ``x`` with a non-trimmed coefficient."""
+        return len(self._rows) - 1
+
+    @property
+    def degree_y(self) -> int:
+        """Highest exponent of ``y`` with a non-trimmed coefficient."""
+        return len(self._rows[0]) - 1
+
+    def coefficient(self, exponent_x: int, exponent_y: int) -> Number:
+        """Return the coefficient of ``x**exponent_x * y**exponent_y``."""
+        if exponent_x < 0 or exponent_y < 0:
+            raise ValueError("exponents must be non-negative")
+        if exponent_x >= len(self._rows):
+            return 0
+        row = self._rows[exponent_x]
+        if exponent_y >= len(row):
+            return 0
+        return row[exponent_y]
+
+    def terms(self) -> List[Tuple[int, int, Number]]:
+        """Return all non-zero terms as ``(exponent_x, exponent_y, coeff)``."""
+        out = []
+        for i, row in enumerate(self._rows):
+            for j, coeff in enumerate(row):
+                if coeff != 0:
+                    out.append((i, j, coeff))
+        return out
+
+    def evaluate(self, x: Number, y: Number) -> Number:
+        """Evaluate the polynomial at ``(x, y)``."""
+        total: Number = 0
+        x_power: Number = 1
+        for row in self._rows:
+            partial: Number = 0
+            for coeff in reversed(row):
+                partial = partial * y + coeff
+            total += partial * x_power
+            x_power *= x
+        return total
+
+    def sum_of_coefficients(self) -> Number:
+        """Return the sum of all coefficients (value at ``x = y = 1``)."""
+        return sum(sum(row) for row in self._rows)
+
+    def coefficients_of_y(self, exponent_y: int) -> List[Number]:
+        """Return the univariate (in ``x``) coefficient list of ``y**exponent_y``.
+
+        This is the extraction used in Example 3: taking the part of the
+        generating function that is linear in ``y`` gives the distribution of
+        the number of higher-ranked tuples conditioned on the marked leaf
+        being present.
+        """
+        return [self.coefficient(i, exponent_y) for i in range(len(self._rows))]
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _result_limits(
+        self, other: "BivariatePolynomial"
+    ) -> Tuple[int | None, int | None]:
+        def combine(a: int | None, b: int | None) -> int | None:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return (
+            combine(self._max_degree_x, other._max_degree_x),
+            combine(self._max_degree_y, other._max_degree_y),
+        )
+
+    def __add__(self, other: object) -> "BivariatePolynomial":
+        if isinstance(other, (int, float)):
+            other = BivariatePolynomial.constant(other)
+        if not isinstance(other, BivariatePolynomial):
+            return NotImplemented
+        limit_x, limit_y = self._result_limits(other)
+        nx = max(len(self._rows), len(other._rows))
+        ny = max(len(self._rows[0]), len(other._rows[0]))
+        rows = [
+            [
+                self.coefficient(i, j) + other.coefficient(i, j)
+                for j in range(ny)
+            ]
+            for i in range(nx)
+        ]
+        return BivariatePolynomial(
+            rows, max_degree_x=limit_x, max_degree_y=limit_y
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "BivariatePolynomial":
+        if isinstance(other, (int, float)):
+            other = BivariatePolynomial.constant(other)
+        if not isinstance(other, BivariatePolynomial):
+            return NotImplemented
+        return self + (other * -1)
+
+    def __mul__(self, other: object) -> "BivariatePolynomial":
+        if isinstance(other, (int, float)):
+            rows = [[c * other for c in row] for row in self._rows]
+            return BivariatePolynomial(
+                rows,
+                max_degree_x=self._max_degree_x,
+                max_degree_y=self._max_degree_y,
+            )
+        if not isinstance(other, BivariatePolynomial):
+            return NotImplemented
+        limit_x, limit_y = self._result_limits(other)
+        out_x = len(self._rows) + len(other._rows) - 1
+        out_y = len(self._rows[0]) + len(other._rows[0]) - 1
+        if limit_x is not None:
+            out_x = min(out_x, limit_x + 1)
+        if limit_y is not None:
+            out_y = min(out_y, limit_y + 1)
+        rows = [[0] * out_y for _ in range(out_x)]
+        for i, self_row in enumerate(self._rows):
+            if i >= out_x:
+                break
+            for j, a in enumerate(self_row):
+                if a == 0 or j >= out_y:
+                    continue
+                max_p = min(len(other._rows), out_x - i)
+                for p in range(max_p):
+                    other_row = other._rows[p]
+                    max_q = min(len(other_row), out_y - j)
+                    for q in range(max_q):
+                        b = other_row[q]
+                        if b != 0:
+                            rows[i + p][j + q] += a * b
+        return BivariatePolynomial(
+            rows, max_degree_x=limit_x, max_degree_y=limit_y
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "BivariatePolynomial":
+        return self * -1
+
+    # ------------------------------------------------------------------
+    # Comparisons / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BivariatePolynomial):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(row) for row in self._rows))
+
+    def almost_equal(
+        self, other: "BivariatePolynomial", tolerance: float = 1e-9
+    ) -> bool:
+        """Return True when every coefficient differs by at most tolerance."""
+        nx = max(len(self._rows), len(other._rows))
+        ny = max(len(self._rows[0]), len(other._rows[0]))
+        return all(
+            abs(self.coefficient(i, j) - other.coefficient(i, j)) <= tolerance
+            for i in range(nx)
+            for j in range(ny)
+        )
+
+    def __repr__(self) -> str:
+        terms = []
+        for i, j, coeff in self.terms():
+            part = f"{coeff}"
+            if i:
+                part += f"*x^{i}" if i > 1 else "*x"
+            if j:
+                part += f"*y^{j}" if j > 1 else "*y"
+            terms.append(part)
+        body = " + ".join(terms) if terms else "0"
+        return f"BivariatePolynomial({body})"

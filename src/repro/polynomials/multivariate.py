@@ -1,0 +1,280 @@
+"""Sparse multivariate polynomials.
+
+This is the most general polynomial representation used by the
+generating-function framework (Section 3.3 of the paper).  Terms are stored
+in a dictionary keyed by an exponent vector (a tuple aligned with a fixed
+ordered list of variable names).
+
+The class supports per-variable degree truncation, which is important when
+evaluating generating functions on large trees where only low-degree
+coefficients are needed (e.g. rank probabilities up to position ``k``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+Number = Union[int, float]
+Exponents = Tuple[int, ...]
+
+
+class MultivariatePolynomial:
+    """A sparse polynomial over an ordered set of variables.
+
+    Parameters
+    ----------
+    variables:
+        Ordered sequence of variable names.  Exponent vectors are aligned
+        with this order.
+    terms:
+        Mapping from exponent vector to coefficient.
+    max_degrees:
+        Optional mapping from variable name to its truncation degree.  Terms
+        exceeding any truncation degree are discarded.
+    """
+
+    __slots__ = ("_variables", "_terms", "_max_degrees")
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        terms: Mapping[Exponents, Number] | None = None,
+        max_degrees: Mapping[str, int] | None = None,
+    ) -> None:
+        self._variables: Tuple[str, ...] = tuple(variables)
+        if len(set(self._variables)) != len(self._variables):
+            raise ValueError("variable names must be distinct")
+        self._max_degrees: Dict[str, int] = dict(max_degrees or {})
+        cleaned: Dict[Exponents, Number] = {}
+        for exponents, coeff in (terms or {}).items():
+            exponents = tuple(exponents)
+            if len(exponents) != len(self._variables):
+                raise ValueError(
+                    "exponent vector length does not match variable count"
+                )
+            if coeff == 0:
+                continue
+            if self._exceeds_limits(exponents):
+                continue
+            cleaned[exponents] = cleaned.get(exponents, 0) + coeff
+        self._terms = {e: c for e, c in cleaned.items() if c != 0}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(
+        cls,
+        variables: Sequence[str],
+        value: Number,
+        max_degrees: Mapping[str, int] | None = None,
+    ) -> "MultivariatePolynomial":
+        """A constant polynomial over the given variables."""
+        zero = tuple(0 for _ in variables)
+        return cls(variables, {zero: value}, max_degrees=max_degrees)
+
+    @classmethod
+    def zero(
+        cls,
+        variables: Sequence[str],
+        max_degrees: Mapping[str, int] | None = None,
+    ) -> "MultivariatePolynomial":
+        """The zero polynomial over the given variables."""
+        return cls(variables, {}, max_degrees=max_degrees)
+
+    @classmethod
+    def one(
+        cls,
+        variables: Sequence[str],
+        max_degrees: Mapping[str, int] | None = None,
+    ) -> "MultivariatePolynomial":
+        """The constant polynomial 1 over the given variables."""
+        return cls.constant(variables, 1, max_degrees=max_degrees)
+
+    @classmethod
+    def variable(
+        cls,
+        variables: Sequence[str],
+        name: str,
+        max_degrees: Mapping[str, int] | None = None,
+    ) -> "MultivariatePolynomial":
+        """The polynomial consisting of a single variable."""
+        variables = tuple(variables)
+        if name not in variables:
+            raise ValueError(f"unknown variable {name!r}")
+        exponents = tuple(1 if v == name else 0 for v in variables)
+        return cls(variables, {exponents: 1}, max_degrees=max_degrees)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The ordered variable names."""
+        return self._variables
+
+    @property
+    def terms(self) -> Dict[Exponents, Number]:
+        """A copy of the term dictionary."""
+        return dict(self._terms)
+
+    def coefficient(self, exponents: Mapping[str, int] | Iterable[int]) -> Number:
+        """Return the coefficient of the monomial with the given exponents.
+
+        ``exponents`` may be a mapping from variable name to exponent
+        (missing variables default to 0) or a full exponent vector.
+        """
+        if isinstance(exponents, Mapping):
+            vector = tuple(exponents.get(v, 0) for v in self._variables)
+        else:
+            vector = tuple(exponents)
+            if len(vector) != len(self._variables):
+                raise ValueError(
+                    "exponent vector length does not match variable count"
+                )
+        return self._terms.get(vector, 0)
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> Number:
+        """Evaluate the polynomial at the given variable assignment."""
+        total: Number = 0
+        for exponents, coeff in self._terms.items():
+            value = coeff
+            for variable, exponent in zip(self._variables, exponents):
+                if exponent:
+                    value *= assignment[variable] ** exponent
+            total += value
+        return total
+
+    def sum_of_coefficients(self) -> Number:
+        """Return the sum of all coefficients (value at all-ones)."""
+        return sum(self._terms.values())
+
+    def is_zero(self) -> bool:
+        """Return True when there are no non-zero terms."""
+        return not self._terms
+
+    def degree(self, variable: str) -> int:
+        """Return the highest exponent of ``variable`` appearing in a term."""
+        index = self._variables.index(variable)
+        if not self._terms:
+            return 0
+        return max(exponents[index] for exponents in self._terms)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _exceeds_limits(self, exponents: Exponents) -> bool:
+        for variable, exponent in zip(self._variables, exponents):
+            limit = self._max_degrees.get(variable)
+            if limit is not None and exponent > limit:
+                return True
+        return False
+
+    def _check_compatible(self, other: "MultivariatePolynomial") -> None:
+        if self._variables != other._variables:
+            raise ValueError(
+                "polynomials are defined over different variable sets"
+            )
+
+    def _merged_limits(self, other: "MultivariatePolynomial") -> Dict[str, int]:
+        merged = dict(self._max_degrees)
+        for variable, limit in other._max_degrees.items():
+            if variable in merged:
+                merged[variable] = min(merged[variable], limit)
+            else:
+                merged[variable] = limit
+        return merged
+
+    def __add__(self, other: object) -> "MultivariatePolynomial":
+        if isinstance(other, (int, float)):
+            other = MultivariatePolynomial.constant(self._variables, other)
+        if not isinstance(other, MultivariatePolynomial):
+            return NotImplemented
+        self._check_compatible(other)
+        terms = dict(self._terms)
+        for exponents, coeff in other._terms.items():
+            terms[exponents] = terms.get(exponents, 0) + coeff
+        return MultivariatePolynomial(
+            self._variables, terms, max_degrees=self._merged_limits(other)
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "MultivariatePolynomial":
+        if isinstance(other, (int, float)):
+            other = MultivariatePolynomial.constant(self._variables, other)
+        if not isinstance(other, MultivariatePolynomial):
+            return NotImplemented
+        return self + (other * -1)
+
+    def __mul__(self, other: object) -> "MultivariatePolynomial":
+        if isinstance(other, (int, float)):
+            terms = {e: c * other for e, c in self._terms.items()}
+            return MultivariatePolynomial(
+                self._variables, terms, max_degrees=self._max_degrees
+            )
+        if not isinstance(other, MultivariatePolynomial):
+            return NotImplemented
+        self._check_compatible(other)
+        limits = self._merged_limits(other)
+        limit_vector = tuple(
+            limits.get(variable) for variable in self._variables
+        )
+        terms: Dict[Exponents, Number] = {}
+        for exp_a, coeff_a in self._terms.items():
+            for exp_b, coeff_b in other._terms.items():
+                combined = tuple(a + b for a, b in zip(exp_a, exp_b))
+                skip = False
+                for value, limit in zip(combined, limit_vector):
+                    if limit is not None and value > limit:
+                        skip = True
+                        break
+                if skip:
+                    continue
+                terms[combined] = terms.get(combined, 0) + coeff_a * coeff_b
+        return MultivariatePolynomial(
+            self._variables, terms, max_degrees=limits
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "MultivariatePolynomial":
+        return self * -1
+
+    # ------------------------------------------------------------------
+    # Comparisons / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultivariatePolynomial):
+            return NotImplemented
+        return (
+            self._variables == other._variables
+            and self._terms == other._terms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._variables, tuple(sorted(self._terms.items()))))
+
+    def almost_equal(
+        self, other: "MultivariatePolynomial", tolerance: float = 1e-9
+    ) -> bool:
+        """Return True when every coefficient differs by at most tolerance."""
+        self._check_compatible(other)
+        keys = set(self._terms) | set(other._terms)
+        return all(
+            abs(self._terms.get(key, 0) - other._terms.get(key, 0)) <= tolerance
+            for key in keys
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for exponents, coeff in sorted(self._terms.items()):
+            factors = [f"{coeff}"]
+            for variable, exponent in zip(self._variables, exponents):
+                if exponent == 1:
+                    factors.append(variable)
+                elif exponent > 1:
+                    factors.append(f"{variable}^{exponent}")
+            parts.append("*".join(factors))
+        body = " + ".join(parts) if parts else "0"
+        return f"MultivariatePolynomial({body})"

@@ -1,0 +1,231 @@
+"""Dense univariate polynomials.
+
+Coefficients are stored as a list indexed by exponent.  The class is an
+immutable value type: arithmetic operations return new polynomials.
+
+The main consumer is :mod:`repro.andxor.generating`, which builds generating
+functions whose coefficient of ``x**i`` is the probability that a possible
+world satisfies a counting condition (Theorem 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _trim(coefficients: List[Number]) -> List[Number]:
+    """Drop trailing zero coefficients (but keep at least one entry)."""
+    end = len(coefficients)
+    while end > 1 and coefficients[end - 1] == 0:
+        end -= 1
+    return coefficients[:end]
+
+
+class UnivariatePolynomial:
+    """A dense univariate polynomial ``c0 + c1*x + c2*x**2 + ...``.
+
+    Parameters
+    ----------
+    coefficients:
+        Iterable of coefficients, index ``i`` holding the coefficient of
+        ``x**i``.  Trailing zeros are trimmed.
+    max_degree:
+        Optional truncation degree.  When set, every operation discards terms
+        of degree strictly greater than ``max_degree``.  Truncation is what
+        makes Top-k computations run in time polynomial in ``k`` rather than
+        in the total number of tuples.
+    """
+
+    __slots__ = ("_coefficients", "_max_degree")
+
+    def __init__(
+        self,
+        coefficients: Iterable[Number] = (0,),
+        max_degree: int | None = None,
+    ) -> None:
+        coeffs = list(coefficients)
+        if not coeffs:
+            coeffs = [0]
+        if max_degree is not None:
+            if max_degree < 0:
+                raise ValueError("max_degree must be non-negative")
+            coeffs = coeffs[: max_degree + 1]
+        self._coefficients = _trim(coeffs)
+        self._max_degree = max_degree
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, max_degree: int | None = None) -> "UnivariatePolynomial":
+        """The zero polynomial."""
+        return cls([0], max_degree=max_degree)
+
+    @classmethod
+    def one(cls, max_degree: int | None = None) -> "UnivariatePolynomial":
+        """The constant polynomial 1."""
+        return cls([1], max_degree=max_degree)
+
+    @classmethod
+    def constant(
+        cls, value: Number, max_degree: int | None = None
+    ) -> "UnivariatePolynomial":
+        """A constant polynomial."""
+        return cls([value], max_degree=max_degree)
+
+    @classmethod
+    def variable(cls, max_degree: int | None = None) -> "UnivariatePolynomial":
+        """The polynomial ``x``."""
+        return cls([0, 1], max_degree=max_degree)
+
+    @classmethod
+    def monomial(
+        cls, coefficient: Number, exponent: int, max_degree: int | None = None
+    ) -> "UnivariatePolynomial":
+        """The polynomial ``coefficient * x**exponent``."""
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        coeffs = [0] * exponent + [coefficient]
+        return cls(coeffs, max_degree=max_degree)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> Sequence[Number]:
+        """The dense coefficient list (read-only view)."""
+        return tuple(self._coefficients)
+
+    @property
+    def max_degree(self) -> int | None:
+        """The truncation degree, or ``None`` if untruncated."""
+        return self._max_degree
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (0 for the zero polynomial)."""
+        return len(self._coefficients) - 1
+
+    def coefficient(self, exponent: int) -> Number:
+        """Return the coefficient of ``x**exponent`` (0 if absent)."""
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        if exponent >= len(self._coefficients):
+            return 0
+        return self._coefficients[exponent]
+
+    def is_zero(self) -> bool:
+        """Return True when all coefficients are zero."""
+        return all(c == 0 for c in self._coefficients)
+
+    def evaluate(self, x: Number) -> Number:
+        """Evaluate the polynomial at ``x`` using Horner's method."""
+        result: Number = 0
+        for coeff in reversed(self._coefficients):
+            result = result * x + coeff
+        return result
+
+    def sum_of_coefficients(self) -> Number:
+        """Return the sum of all coefficients (i.e. the value at ``x=1``)."""
+        return sum(self._coefficients)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _result_max_degree(self, other: "UnivariatePolynomial") -> int | None:
+        if self._max_degree is None:
+            return other._max_degree
+        if other._max_degree is None:
+            return self._max_degree
+        return min(self._max_degree, other._max_degree)
+
+    def __add__(self, other: object) -> "UnivariatePolynomial":
+        if isinstance(other, (int, float)):
+            other = UnivariatePolynomial.constant(other)
+        if not isinstance(other, UnivariatePolynomial):
+            return NotImplemented
+        n = max(len(self._coefficients), len(other._coefficients))
+        coeffs = [
+            self.coefficient(i) + other.coefficient(i) for i in range(n)
+        ]
+        return UnivariatePolynomial(
+            coeffs, max_degree=self._result_max_degree(other)
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "UnivariatePolynomial":
+        if isinstance(other, (int, float)):
+            other = UnivariatePolynomial.constant(other)
+        if not isinstance(other, UnivariatePolynomial):
+            return NotImplemented
+        n = max(len(self._coefficients), len(other._coefficients))
+        coeffs = [
+            self.coefficient(i) - other.coefficient(i) for i in range(n)
+        ]
+        return UnivariatePolynomial(
+            coeffs, max_degree=self._result_max_degree(other)
+        )
+
+    def __mul__(self, other: object) -> "UnivariatePolynomial":
+        if isinstance(other, (int, float)):
+            coeffs = [c * other for c in self._coefficients]
+            return UnivariatePolynomial(coeffs, max_degree=self._max_degree)
+        if not isinstance(other, UnivariatePolynomial):
+            return NotImplemented
+        max_degree = self._result_max_degree(other)
+        out_len = len(self._coefficients) + len(other._coefficients) - 1
+        if max_degree is not None:
+            out_len = min(out_len, max_degree + 1)
+        result = [0] * out_len
+        for i, a in enumerate(self._coefficients):
+            if a == 0 or i >= out_len:
+                continue
+            limit = min(len(other._coefficients), out_len - i)
+            for j in range(limit):
+                b = other._coefficients[j]
+                if b != 0:
+                    result[i + j] += a * b
+        return UnivariatePolynomial(result, max_degree=max_degree)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "UnivariatePolynomial":
+        return self * -1
+
+    # ------------------------------------------------------------------
+    # Comparisons / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnivariatePolynomial):
+            return NotImplemented
+        return self._coefficients == other._coefficients
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._coefficients))
+
+    def almost_equal(
+        self, other: "UnivariatePolynomial", tolerance: float = 1e-9
+    ) -> bool:
+        """Return True when every coefficient differs by at most tolerance."""
+        n = max(len(self._coefficients), len(other._coefficients))
+        return all(
+            abs(self.coefficient(i) - other.coefficient(i)) <= tolerance
+            for i in range(n)
+        )
+
+    def __repr__(self) -> str:
+        terms = []
+        for exponent, coeff in enumerate(self._coefficients):
+            if coeff == 0 and self.degree > 0:
+                continue
+            if exponent == 0:
+                terms.append(f"{coeff}")
+            elif exponent == 1:
+                terms.append(f"{coeff}*x")
+            else:
+                terms.append(f"{coeff}*x^{exponent}")
+        body = " + ".join(terms) if terms else "0"
+        return f"UnivariatePolynomial({body})"

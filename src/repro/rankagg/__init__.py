@@ -1,0 +1,44 @@
+"""Classical rank-aggregation algorithms.
+
+The paper frames consensus answers over probabilistic databases as a
+generalisation of inconsistent-information aggregation, of which
+RANK-AGGREGATION is the canonical example (Section 2).  This package
+implements the classical machinery from scratch:
+
+* exact (brute-force) Kemeny aggregation and pairwise-majority tools,
+* optimal Spearman-footrule aggregation via the assignment problem
+  (Dwork et al.), which 2-approximates Kemeny,
+* pivot-based aggregation (Ailon-Charikar-Newman style KwikSort) driven by a
+  pairwise preference oracle -- the same oracle interface is fed with
+  ``Pr(r(t_i) < r(t_j))`` by the probabilistic Top-k consensus code, and
+* Borda count as a cheap baseline.
+
+These double as the deterministic baselines in the benchmark harness and as
+the substrate for the paper's Kendall-tau approximations (Section 5.5).
+"""
+
+from repro.rankagg.kemeny import (
+    exact_kemeny_aggregation,
+    kendall_tau_between_rankings,
+    pairwise_majority_matrix,
+    weighted_kendall_cost,
+)
+from repro.rankagg.footrule import (
+    footrule_distance_between_rankings,
+    optimal_footrule_aggregation,
+)
+from repro.rankagg.pivot import pivot_aggregation, pivot_rank_aggregation
+from repro.rankagg.borda import borda_aggregation, borda_scores
+
+__all__ = [
+    "kendall_tau_between_rankings",
+    "weighted_kendall_cost",
+    "pairwise_majority_matrix",
+    "exact_kemeny_aggregation",
+    "footrule_distance_between_rankings",
+    "optimal_footrule_aggregation",
+    "pivot_aggregation",
+    "pivot_rank_aggregation",
+    "borda_scores",
+    "borda_aggregation",
+]

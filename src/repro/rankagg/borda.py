@@ -1,0 +1,40 @@
+"""Borda-count rank aggregation.
+
+Borda's 1781 voting rule scores every item by the (weighted) number of items
+it beats in each input ranking and orders items by total score.  It is used
+here purely as a cheap classical baseline for the benchmark harness's
+ranking-semantics comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.exceptions import ConsensusError
+
+Ranking = Sequence[Hashable]
+WeightedRankings = Sequence[Tuple[Ranking, float]]
+
+
+def borda_scores(rankings: WeightedRankings) -> Dict[Hashable, float]:
+    """Weighted Borda scores: items beaten per ranking, summed with weights.
+
+    Items missing from a ranking receive no points from it.
+    """
+    if not rankings:
+        raise ConsensusError("no rankings to aggregate")
+    scores: Dict[Hashable, float] = {}
+    for ranking, weight in rankings:
+        n = len(ranking)
+        for position, item in enumerate(ranking):
+            scores[item] = scores.get(item, 0.0) + weight * (n - 1 - position)
+    return scores
+
+
+def borda_aggregation(
+    rankings: WeightedRankings,
+) -> Tuple[Hashable, ...]:
+    """Ranking of the items by decreasing weighted Borda score."""
+    scores = borda_scores(rankings)
+    ordered = sorted(scores.items(), key=lambda pair: (-pair[1], repr(pair[0])))
+    return tuple(item for item, _ in ordered)

@@ -1,0 +1,81 @@
+"""Optimal Spearman-footrule aggregation via the assignment problem.
+
+Dwork, Kumar, Naor and Sivakumar observed that the footrule-optimal
+aggregation of full rankings can be computed exactly in polynomial time as a
+minimum-cost bipartite matching between items and positions, and that the
+result 2-approximates the (NP-hard) Kemeny optimum because the footrule
+distance is within a factor two of the Kendall distance.  The paper reuses
+exactly this assignment-problem strategy for the probabilistic footrule
+consensus answer (Section 5.4); this module provides the classical
+deterministic version used as a baseline and as a building block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.exceptions import ConsensusError
+from repro.matching.hungarian import minimize_cost_assignment
+
+Ranking = Sequence[Hashable]
+WeightedRankings = Sequence[Tuple[Ranking, float]]
+
+
+def footrule_distance_between_rankings(
+    first: Ranking, second: Ranking
+) -> float:
+    """Spearman footrule distance (L1 distance of position vectors)."""
+    if set(first) != set(second):
+        raise ConsensusError(
+            "footrule distance between full rankings requires equal item sets"
+        )
+    positions_first = {item: index for index, item in enumerate(first)}
+    positions_second = {item: index for index, item in enumerate(second)}
+    return float(
+        sum(
+            abs(positions_first[item] - positions_second[item])
+            for item in positions_first
+        )
+    )
+
+
+def optimal_footrule_aggregation(
+    rankings: WeightedRankings,
+) -> Tuple[Tuple[Hashable, ...], float]:
+    """Footrule-optimal aggregation of weighted full rankings.
+
+    Returns the aggregated ranking and its total weighted footrule distance
+    to the input rankings.  All rankings must order the same item set.
+    """
+    if not rankings:
+        raise ConsensusError("no rankings to aggregate")
+    items = list(rankings[0][0])
+    item_set = set(items)
+    for ranking, _ in rankings:
+        if set(ranking) != item_set:
+            raise ConsensusError(
+                "all rankings must order the same set of items"
+            )
+    positions: List[Dict[Hashable, int]] = [
+        {item: index for index, item in enumerate(ranking)}
+        for ranking, _ in rankings
+    ]
+    weights = [weight for _, weight in rankings]
+    n = len(items)
+    # cost[position][item]: total weighted displacement of placing the item
+    # at that position.
+    cost = [
+        [
+            sum(
+                weight * abs(position_map[item] - position)
+                for position_map, weight in zip(positions, weights)
+            )
+            for item in items
+        ]
+        for position in range(n)
+    ]
+    assignment, total_cost = minimize_cost_assignment(cost)
+    aggregated: List[Hashable] = [None] * n
+    for position, item_index in enumerate(assignment):
+        aggregated[position] = items[item_index]
+    return tuple(aggregated), total_cost

@@ -1,0 +1,135 @@
+"""Kemeny rank aggregation (exact, brute force) and pairwise tools.
+
+The Kemeny optimal aggregation of rankings ``τ_1..τ_k`` minimises
+``Σ_i d_K(τ, τ_i)`` where ``d_K`` is the Kendall tau distance (number of
+discordant pairs).  Computing it is NP-hard already for four rankings, so the
+exact solver here enumerates permutations and is only used as a ground-truth
+oracle on small instances; the polynomial approximations live in
+:mod:`repro.rankagg.footrule` and :mod:`repro.rankagg.pivot`.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ConsensusError, EnumerationLimitError
+
+Ranking = Sequence[Hashable]
+WeightedRankings = Sequence[Tuple[Ranking, float]]
+
+
+def _positions(ranking: Ranking) -> Dict[Hashable, int]:
+    return {item: index for index, item in enumerate(ranking)}
+
+
+def kendall_tau_between_rankings(first: Ranking, second: Ranking) -> float:
+    """Kendall tau distance (number of discordant pairs) of two full rankings.
+
+    Both rankings must order the same set of items.
+    """
+    if set(first) != set(second):
+        raise ConsensusError(
+            "Kendall tau between full rankings requires the same item sets"
+        )
+    positions = _positions(second)
+    items = list(first)
+    distance = 0.0
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            if positions[items[i]] > positions[items[j]]:
+                distance += 1.0
+    return distance
+
+
+def pairwise_majority_matrix(
+    rankings: WeightedRankings,
+) -> Dict[Tuple[Hashable, Hashable], float]:
+    """Fraction of (weighted) rankings placing ``i`` before ``j``.
+
+    Returns a dictionary over ordered pairs of distinct items.  The weights
+    are normalised to sum to one.
+    """
+    total_weight = sum(weight for _, weight in rankings)
+    if total_weight <= 0:
+        raise ConsensusError("rankings must have positive total weight")
+    items: List[Hashable] = []
+    seen = set()
+    for ranking, _ in rankings:
+        for item in ranking:
+            if item not in seen:
+                seen.add(item)
+                items.append(item)
+    matrix: Dict[Tuple[Hashable, Hashable], float] = {
+        (a, b): 0.0 for a in items for b in items if a != b
+    }
+    for ranking, weight in rankings:
+        positions = _positions(ranking)
+        for a in items:
+            for b in items:
+                if a == b:
+                    continue
+                position_a = positions.get(a)
+                position_b = positions.get(b)
+                if position_a is None or position_b is None:
+                    continue
+                if position_a < position_b:
+                    matrix[(a, b)] += weight / total_weight
+    return matrix
+
+
+def weighted_kendall_cost(
+    candidate: Ranking,
+    preference: Dict[Tuple[Hashable, Hashable], float],
+) -> float:
+    """Expected Kendall disagreement of ``candidate`` with a preference matrix.
+
+    ``preference[(i, j)]`` is the (probability) weight of "i before j"; a
+    candidate placing ``i`` before ``j`` pays ``preference[(j, i)]`` for that
+    pair.
+    """
+    cost = 0.0
+    items = list(candidate)
+    for index, first in enumerate(items):
+        for second in items[index + 1:]:
+            cost += preference.get((second, first), 0.0)
+    return cost
+
+
+def exact_kemeny_aggregation(
+    rankings: WeightedRankings,
+    limit: int = 500_000,
+) -> Tuple[Tuple[Hashable, ...], float]:
+    """Brute-force Kemeny optimal aggregation.
+
+    Returns the optimal ranking and its total weighted Kendall distance.
+    Raises :class:`~repro.exceptions.EnumerationLimitError` when the number
+    of permutations exceeds ``limit``.
+    """
+    preference = pairwise_majority_matrix(rankings)
+    items = sorted({item for ranking, _ in rankings for item in ranking}, key=repr)
+    return exact_kemeny_from_preferences(items, preference, limit=limit)
+
+
+def exact_kemeny_from_preferences(
+    items: Sequence[Hashable],
+    preference: Dict[Tuple[Hashable, Hashable], float],
+    limit: int = 500_000,
+) -> Tuple[Tuple[Hashable, ...], float]:
+    """Brute-force Kemeny aggregation given a pairwise preference matrix."""
+    items = list(items)
+    count = 1
+    for i in range(2, len(items) + 1):
+        count *= i
+    if count > limit:
+        raise EnumerationLimitError(
+            f"enumerating {count} permutations exceeds the limit {limit}"
+        )
+    best: Tuple[Tuple[Hashable, ...], float] | None = None
+    for candidate in permutations(items):
+        cost = weighted_kendall_cost(candidate, preference)
+        if best is None or cost < best[1] - 1e-15:
+            best = (candidate, cost)
+    if best is None:
+        raise ConsensusError("no items to aggregate")
+    return best

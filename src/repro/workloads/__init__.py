@@ -1,0 +1,48 @@
+"""Synthetic workload generators.
+
+The paper is a theory paper with no published datasets, so the evaluation is
+driven by synthetic databases whose structure matches the models the paper
+analyses (see DESIGN.md, "Substitutions").  This package provides seeded
+generators for
+
+* tuple-independent, BID, x-tuple and general and/xor-tree databases with
+  controllable size, correlation structure and probability distributions
+  (:mod:`repro.workloads.generators`),
+* score distributions -- uniform, Zipf-like, Gaussian
+  (:mod:`repro.workloads.scores`), and
+* named "realistic" scenarios used by the examples: a noisy sensor network,
+  movie-rating style score uncertainty, and information-extraction style
+  group-by data (:mod:`repro.workloads.scenarios`).
+"""
+
+from repro.workloads.generators import (
+    random_andxor_tree,
+    random_bid_database,
+    random_groupby_matrix,
+    random_tuple_independent_database,
+    random_xtuple_database,
+)
+from repro.workloads.scores import (
+    gaussian_scores,
+    uniform_scores,
+    zipf_scores,
+)
+from repro.workloads.scenarios import (
+    extraction_groupby_scenario,
+    movie_rating_scenario,
+    sensor_network_scenario,
+)
+
+__all__ = [
+    "random_tuple_independent_database",
+    "random_bid_database",
+    "random_xtuple_database",
+    "random_andxor_tree",
+    "random_groupby_matrix",
+    "uniform_scores",
+    "zipf_scores",
+    "gaussian_scores",
+    "sensor_network_scenario",
+    "movie_rating_scenario",
+    "extraction_groupby_scenario",
+]

@@ -1,0 +1,225 @@
+"""Seeded generators for synthetic probabilistic databases.
+
+All generators take an explicit ``random.Random`` (or a seed) so that tests,
+benchmarks and examples are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.andxor.builders import x_tuple_tree
+from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import WorkloadError
+from repro.models.bid import BlockIndependentDatabase
+from repro.models.tuple_independent import TupleIndependentDatabase
+from repro.models.xtuples import XTupleDatabase
+from repro.workloads.scores import uniform_scores, zipf_scores
+
+RandomSource = Union[random.Random, int, None]
+
+
+def _as_rng(source: RandomSource) -> random.Random:
+    if isinstance(source, random.Random):
+        return source
+    return random.Random(source)
+
+
+def _scores(count: int, rng: random.Random, distribution: str) -> List[float]:
+    if distribution == "uniform":
+        return uniform_scores(count, rng)
+    if distribution == "zipf":
+        return zipf_scores(count, rng)
+    raise WorkloadError(
+        f"unknown score distribution {distribution!r}; "
+        "expected 'uniform' or 'zipf'"
+    )
+
+
+def random_tuple_independent_database(
+    count: int,
+    rng: RandomSource = None,
+    score_distribution: str = "uniform",
+    min_probability: float = 0.05,
+    max_probability: float = 1.0,
+) -> TupleIndependentDatabase:
+    """A random tuple-independent database with scored tuples.
+
+    Keys are ``"t1" .. "t<count>"``; values equal the scores.
+    """
+    rng = _as_rng(rng)
+    if not 0.0 <= min_probability <= max_probability <= 1.0:
+        raise WorkloadError("invalid probability bounds")
+    scores = _scores(count, rng, score_distribution)
+    tuples = []
+    for index in range(count):
+        probability = rng.uniform(min_probability, max_probability)
+        tuples.append(
+            (f"t{index + 1}", scores[index], scores[index], probability)
+        )
+    return TupleIndependentDatabase(tuples)
+
+
+def random_bid_database(
+    block_count: int,
+    rng: RandomSource = None,
+    min_alternatives: int = 1,
+    max_alternatives: int = 3,
+    exhaustive: bool = False,
+    score_distribution: str = "uniform",
+) -> BlockIndependentDatabase:
+    """A random block-independent disjoint database.
+
+    Each block (key) receives between ``min_alternatives`` and
+    ``max_alternatives`` alternatives with random probabilities; when
+    ``exhaustive`` is True the alternatives of each block sum to one (every
+    tuple surely exists, only its value/score is uncertain), which is the
+    attribute-uncertainty setting of Sections 5-6.
+    """
+    rng = _as_rng(rng)
+    if min_alternatives < 1 or max_alternatives < min_alternatives:
+        raise WorkloadError("invalid alternative-count bounds")
+    alternative_counts = [
+        rng.randint(min_alternatives, max_alternatives)
+        for _ in range(block_count)
+    ]
+    total_alternatives = sum(alternative_counts)
+    scores = _scores(total_alternatives, rng, score_distribution)
+    score_iterator = iter(scores)
+    blocks = []
+    for block_index in range(block_count):
+        count = alternative_counts[block_index]
+        raw = [rng.random() + 0.05 for _ in range(count)]
+        if exhaustive:
+            normaliser = sum(raw)
+        else:
+            normaliser = sum(raw) / rng.uniform(0.4, 0.95)
+        alternatives = []
+        for _ in range(count):
+            probability = raw.pop() / normaliser
+            score = next(score_iterator)
+            alternatives.append((score, score, probability))
+        blocks.append((f"t{block_index + 1}", alternatives))
+    return BlockIndependentDatabase(blocks)
+
+
+def random_xtuple_database(
+    group_count: int,
+    rng: RandomSource = None,
+    min_members: int = 1,
+    max_members: int = 3,
+    exhaustive: bool = False,
+    score_distribution: str = "uniform",
+) -> XTupleDatabase:
+    """A random x-tuple database: groups of mutually exclusive scored tuples."""
+    rng = _as_rng(rng)
+    if min_members < 1 or max_members < min_members:
+        raise WorkloadError("invalid member-count bounds")
+    member_counts = [
+        rng.randint(min_members, max_members) for _ in range(group_count)
+    ]
+    total = sum(member_counts)
+    scores = _scores(total, rng, score_distribution)
+    score_iterator = iter(scores)
+    groups = []
+    key_counter = 0
+    for group_index in range(group_count):
+        count = member_counts[group_index]
+        raw = [rng.random() + 0.05 for _ in range(count)]
+        if exhaustive:
+            normaliser = sum(raw)
+        else:
+            normaliser = sum(raw) / rng.uniform(0.4, 0.95)
+        members = []
+        for _ in range(count):
+            key_counter += 1
+            probability = raw.pop() / normaliser
+            score = next(score_iterator)
+            members.append((f"t{key_counter}", score, score, probability))
+        groups.append(members)
+    return XTupleDatabase(groups)
+
+
+def random_andxor_tree(
+    leaf_count: int,
+    rng: RandomSource = None,
+    max_depth: int = 3,
+    max_children: int = 4,
+    score_distribution: str = "uniform",
+) -> AndXorTree:
+    """A random general and/xor tree with scored, distinct-key leaves.
+
+    The tree alternates and/xor levels with random fan-out; every leaf gets a
+    distinct key, so the key constraint is satisfied by construction while
+    the correlation structure is richer than BID.
+    """
+    rng = _as_rng(rng)
+    if leaf_count < 1:
+        raise WorkloadError("leaf_count must be positive")
+    scores = _scores(leaf_count, rng, score_distribution)
+    leaves = [
+        Leaf(TupleAlternative(f"t{index + 1}", scores[index], scores[index]))
+        for index in range(leaf_count)
+    ]
+    rng.shuffle(leaves)
+
+    def build(nodes: List[Node], depth: int, want_and: bool) -> Node:
+        if len(nodes) == 1:
+            return nodes[0]
+        if depth >= max_depth:
+            if want_and:
+                return AndNode(nodes)
+            return _random_xor(nodes, rng)
+        group_count = min(len(nodes), rng.randint(2, max_children))
+        groups: List[List[Node]] = [[] for _ in range(group_count)]
+        for index, node in enumerate(nodes):
+            groups[index % group_count].append(node)
+        children = [
+            build(group, depth + 1, not want_and) for group in groups if group
+        ]
+        if want_and:
+            return AndNode(children)
+        return _random_xor(children, rng)
+
+    root = build(leaves, depth=0, want_and=True)
+    return AndXorTree(root)
+
+
+def _random_xor(children: List[Node], rng: random.Random) -> XorNode:
+    raw = [rng.random() + 0.05 for _ in children]
+    slack = rng.uniform(1.0, 1.5)
+    total = sum(raw) * slack
+    return XorNode([(child, weight / total) for child, weight in zip(children, raw)])
+
+
+def random_groupby_matrix(
+    tuple_count: int,
+    group_count: int,
+    rng: RandomSource = None,
+    sparsity: float = 0.5,
+) -> List[Dict[str, float]]:
+    """Random attribute-uncertainty rows for a group-by count query.
+
+    Each row maps a subset of the groups (at least one, controlled by
+    ``sparsity``) to probabilities summing to one.
+    """
+    rng = _as_rng(rng)
+    if tuple_count < 1 or group_count < 1:
+        raise WorkloadError("tuple_count and group_count must be positive")
+    if not 0.0 <= sparsity < 1.0:
+        raise WorkloadError("sparsity must lie in [0, 1)")
+    groups = [f"g{index + 1}" for index in range(group_count)]
+    rows: List[Dict[str, float]] = []
+    for _ in range(tuple_count):
+        supported = [g for g in groups if rng.random() > sparsity]
+        if not supported:
+            supported = [rng.choice(groups)]
+        raw = [rng.random() + 0.05 for _ in supported]
+        total = sum(raw)
+        rows.append(
+            {group: weight / total for group, weight in zip(supported, raw)}
+        )
+    return rows

@@ -1,0 +1,79 @@
+"""Score distributions for synthetic ranking workloads.
+
+The ranking algorithms assume pairwise distinct scores (Section 5), so every
+generator below returns *distinct* values: draws are perturbed by a tiny
+index-dependent offset and then checked for uniqueness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.exceptions import WorkloadError
+
+
+def _ensure_distinct(values: List[float]) -> List[float]:
+    if len(set(values)) != len(values):
+        # Nudge duplicates apart deterministically; extremely unlikely for
+        # continuous draws but cheap to guarantee.
+        seen = set()
+        out = []
+        for index, value in enumerate(values):
+            while value in seen:
+                value += 1e-9 * (index + 1)
+            seen.add(value)
+            out.append(value)
+        return out
+    return values
+
+
+def uniform_scores(
+    count: int, rng: random.Random, low: float = 0.0, high: float = 100.0
+) -> List[float]:
+    """``count`` distinct scores drawn uniformly from ``[low, high]``."""
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    if high <= low:
+        raise WorkloadError("high must exceed low")
+    return _ensure_distinct([rng.uniform(low, high) for _ in range(count)])
+
+
+def zipf_scores(
+    count: int,
+    rng: random.Random,
+    exponent: float = 1.2,
+    scale: float = 100.0,
+) -> List[float]:
+    """``count`` distinct heavy-tailed scores (Zipf-like decay with noise).
+
+    The ``i``-th score is roughly ``scale / (i + 1) ** exponent`` with
+    multiplicative noise, producing the skewed score distributions typical of
+    relevance-scored data.
+    """
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    if exponent <= 0:
+        raise WorkloadError("exponent must be positive")
+    values = [
+        scale / ((index + 1) ** exponent) * (1.0 + 0.05 * rng.random())
+        for index in range(count)
+    ]
+    rng.shuffle(values)
+    return _ensure_distinct(values)
+
+
+def gaussian_scores(
+    count: int,
+    rng: random.Random,
+    mean: float = 50.0,
+    standard_deviation: float = 15.0,
+) -> List[float]:
+    """``count`` distinct scores from a normal distribution."""
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    if standard_deviation <= 0:
+        raise WorkloadError("standard_deviation must be positive")
+    return _ensure_distinct(
+        [rng.gauss(mean, standard_deviation) for _ in range(count)]
+    )

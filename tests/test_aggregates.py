@@ -1,0 +1,183 @@
+"""Tests for group-by count consensus answers (Section 6.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.aggregates import GroupByCountConsensus
+from repro.core.consensus_bruteforce import (
+    brute_force_mean_count_vector,
+    brute_force_median_count_vector,
+)
+from repro.core.distances import squared_euclidean_distance
+from repro.exceptions import ConsensusError, ProbabilityError
+from repro.models.bid import BlockIndependentDatabase
+from repro.workloads.generators import random_groupby_matrix
+
+
+def random_consensus(seed, tuples=5, groups=3):
+    rows = random_groupby_matrix(tuples, groups, rng=seed)
+    return GroupByCountConsensus(rows)
+
+
+def matching_bid_database(consensus: GroupByCountConsensus, rows):
+    blocks = {
+        f"row{i}": [(group, probability) for group, probability in row.items()]
+        for i, row in enumerate(rows)
+    }
+    return BlockIndependentDatabase(blocks)
+
+
+class TestConstruction:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ProbabilityError):
+            GroupByCountConsensus([{"a": 0.4}])
+
+    def test_from_matrix(self):
+        consensus = GroupByCountConsensus.from_matrix(
+            [[0.5, 0.5], [1.0, 0.0]], groups=["x", "y"]
+        )
+        assert consensus.groups == ["x", "y"]
+        assert consensus.probability(0, "y") == pytest.approx(0.5)
+        assert consensus.probability(1, "y") == 0.0
+
+    def test_from_matrix_empty_rejected(self):
+        with pytest.raises(ConsensusError):
+            GroupByCountConsensus.from_matrix([])
+
+    def test_explicit_groups_must_cover(self):
+        with pytest.raises(ConsensusError):
+            GroupByCountConsensus([{"a": 1.0}], groups=["b"])
+
+    def test_from_bid_tree(self):
+        database = BlockIndependentDatabase(
+            {"m1": [("a", 0.7), ("b", 0.3)], "m2": [("b", 1.0)]}
+        )
+        consensus = GroupByCountConsensus.from_bid_tree(database.tree)
+        assert set(consensus.groups) == {"a", "b"}
+        assert consensus.tuple_count == 2
+
+
+class TestMeanAnswer:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mean_matches_enumeration(self, seed):
+        rows = random_groupby_matrix(4, 3, rng=seed)
+        consensus = GroupByCountConsensus(rows)
+        database = matching_bid_database(consensus, rows)
+        distribution = enumerate_worlds(database.tree)
+        oracle_mean, _ = brute_force_mean_count_vector(
+            distribution, consensus.groups
+        )
+        for ours, theirs in zip(consensus.mean_answer(), oracle_mean):
+            assert math.isclose(ours, theirs, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_expected_distance_matches_enumeration(self, seed):
+        rows = random_groupby_matrix(4, 3, rng=seed)
+        consensus = GroupByCountConsensus(rows)
+        database = matching_bid_database(consensus, rows)
+        distribution = enumerate_worlds(database.tree)
+        candidates = [
+            tuple(0 for _ in consensus.groups),
+            tuple(1 for _ in consensus.groups),
+            consensus.mean_answer(),
+        ]
+        for candidate in candidates:
+            oracle = distribution.expectation(
+                lambda world: squared_euclidean_distance(
+                    candidate, world.group_by_count(consensus.groups)
+                )
+            )
+            assert math.isclose(
+                consensus.expected_squared_distance(candidate), oracle,
+                abs_tol=1e-9,
+            )
+
+    def test_candidate_length_checked(self):
+        consensus = random_consensus(1)
+        with pytest.raises(ConsensusError):
+            consensus.expected_squared_distance((1,))
+
+    def test_mean_minimises_expected_distance(self):
+        consensus = random_consensus(5)
+        mean = consensus.mean_answer()
+        base = consensus.expected_squared_distance(mean)
+        perturbed = list(mean)
+        perturbed[0] += 0.5
+        assert consensus.expected_squared_distance(perturbed) > base
+
+
+class TestMedianAnswer:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_closest_possible_vector_is_truly_closest(self, seed):
+        """Theorem 5: the flow-based rounding finds the possible count vector
+        closest to the mean answer."""
+        rows = random_groupby_matrix(5, 3, rng=seed)
+        consensus = GroupByCountConsensus(rows)
+        database = matching_bid_database(consensus, rows)
+        distribution = enumerate_worlds(database.tree)
+        mean = consensus.mean_answer()
+        vector, witness = consensus.closest_possible_answer()
+        possible_vectors = {
+            world.group_by_count(consensus.groups)
+            for world in distribution.worlds
+        }
+        assert vector in possible_vectors
+        ours = squared_euclidean_distance(vector, mean)
+        best = min(
+            squared_euclidean_distance(candidate, mean)
+            for candidate in possible_vectors
+        )
+        assert math.isclose(ours, best, abs_tol=1e-9)
+        # The witness assignment is consistent with the vector and supports.
+        assert len(witness) == consensus.tuple_count
+        for index, group in enumerate(witness):
+            assert consensus.probability(index, group) > 0.0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_lemma3_floor_ceiling_structure(self, seed):
+        """Lemma 3: the closest possible vector rounds each coordinate of the
+        mean to its floor or ceiling."""
+        consensus = random_consensus(seed, tuples=6, groups=3)
+        mean = consensus.mean_answer()
+        vector, _ = consensus.closest_possible_answer()
+        for value, target in zip(vector, mean):
+            assert value in (math.floor(target), math.ceil(target))
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_paper_flow_construction_agrees(self, seed):
+        consensus = random_consensus(seed, tuples=5, groups=3)
+        mean = consensus.mean_answer()
+        convex = consensus.closest_possible_answer()[0]
+        paper = consensus.closest_possible_answer_floor_ceiling()
+        assert math.isclose(
+            squared_euclidean_distance(convex, mean),
+            squared_euclidean_distance(paper, mean),
+            abs_tol=1e-9,
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_corollary2_four_approximation(self, seed):
+        """Corollary 2: the rounded answer 4-approximates the true median."""
+        rows = random_groupby_matrix(4, 3, rng=seed)
+        consensus = GroupByCountConsensus(rows)
+        database = matching_bid_database(consensus, rows)
+        distribution = enumerate_worlds(database.tree)
+        approx_vector, approx_value = consensus.median_answer_approximation()
+        _, optimal_value = brute_force_median_count_vector(
+            distribution, consensus.groups
+        )
+        assert approx_value <= 4.0 * optimal_value + 1e-9
+
+    def test_deterministic_rows(self):
+        consensus = GroupByCountConsensus(
+            [{"a": 1.0}, {"a": 1.0}, {"b": 1.0}]
+        )
+        assert consensus.mean_answer() == (2.0, 1.0)
+        vector, value = consensus.median_answer_approximation()
+        assert vector == (2, 1)
+        assert math.isclose(value, 0.0, abs_tol=1e-12)
+        assert consensus.count_variance() == pytest.approx(0.0)

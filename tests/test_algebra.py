@@ -1,0 +1,218 @@
+"""Tests for the lineage-based probabilistic SPJ algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algebra.evaluation import answer_distribution, freeze_row, result_probabilities
+from repro.algebra.lineage import (
+    AtomEvent,
+    Conjunction,
+    Disjunction,
+    FalseEvent,
+    Negation,
+    TrueEvent,
+)
+from repro.algebra.operators import join, project, select, union
+from repro.algebra.relations import (
+    DeterministicRelation,
+    EventSpace,
+    ProbabilisticAlgebraRelation,
+)
+from repro.exceptions import EnumerationLimitError, LineageError, ProbabilityError
+
+
+class TestLineageFormulas:
+    def test_atoms_and_evaluation(self):
+        formula = (AtomEvent("a") & AtomEvent("b")) | ~AtomEvent("c")
+        assert formula.atoms() == {"a", "b", "c"}
+        assert formula.evaluate({"a": True, "b": True, "c": True})
+        assert formula.evaluate({"c": False})
+        assert not formula.evaluate({"a": True, "c": True})
+        assert formula.evaluate(["a", "b"])  # iterable form
+
+    def test_constants(self):
+        assert TrueEvent().evaluate({}) is True
+        assert FalseEvent().evaluate({}) is False
+        assert (TrueEvent() & AtomEvent("a")).simplified() == AtomEvent("a")
+        assert (FalseEvent() | AtomEvent("a")).simplified() == AtomEvent("a")
+        assert (FalseEvent() & AtomEvent("a")) == FalseEvent()
+        assert (TrueEvent() | AtomEvent("a")) == TrueEvent()
+
+    def test_negation_simplification(self):
+        assert (~TrueEvent()) == FalseEvent()
+        assert (~FalseEvent()) == TrueEvent()
+        assert (~~AtomEvent("a")) == AtomEvent("a")
+
+    def test_nary_flattening(self):
+        formula = Conjunction(
+            (Conjunction((AtomEvent("a"), AtomEvent("b"))), AtomEvent("c"))
+        )
+        assert len(formula.operands) == 3
+
+    def test_type_errors(self):
+        with pytest.raises(LineageError):
+            Conjunction(("oops",))
+        with pytest.raises(LineageError):
+            Negation("oops")
+
+    def test_empty_connectives(self):
+        assert Conjunction(()).simplified() == TrueEvent()
+        assert Disjunction(()).simplified() == FalseEvent()
+
+
+class TestEventSpace:
+    def test_block_validation(self):
+        with pytest.raises(ProbabilityError):
+            EventSpace({"b": {"a1": 0.7, "a2": 0.7}})
+        with pytest.raises(ProbabilityError):
+            EventSpace({"b": {"a1": -0.1}})
+        with pytest.raises(LineageError):
+            EventSpace({"b1": {"x": 0.5}, "b2": {"x": 0.5}})
+
+    def test_formula_probability_independent(self):
+        space = EventSpace.independent({"a": 0.5, "b": 0.4})
+        formula = AtomEvent("a") & AtomEvent("b")
+        assert math.isclose(space.formula_probability(formula), 0.2)
+        formula = AtomEvent("a") | AtomEvent("b")
+        assert math.isclose(space.formula_probability(formula), 0.7)
+
+    def test_formula_probability_exclusive(self):
+        space = EventSpace({"block": {"a": 0.5, "b": 0.4}})
+        both = AtomEvent("a") & AtomEvent("b")
+        assert space.formula_probability(both) == 0.0
+        either = AtomEvent("a") | AtomEvent("b")
+        assert math.isclose(space.formula_probability(either), 0.9)
+
+    def test_constant_formula(self):
+        space = EventSpace.independent({"a": 0.5})
+        assert space.formula_probability(TrueEvent()) == 1.0
+        assert space.formula_probability(FalseEvent()) == 0.0
+
+    def test_outcome_limit(self):
+        space = EventSpace.independent({f"a{i}": 0.5 for i in range(25)})
+        formula = Conjunction([AtomEvent(f"a{i}") for i in range(25)])
+        with pytest.raises(EnumerationLimitError):
+            space.formula_probability(formula, limit=100)
+
+    def test_unknown_atom(self):
+        space = EventSpace.independent({"a": 0.5})
+        with pytest.raises(LineageError):
+            space.block_of("zz")
+
+
+class TestOperators:
+    def build_relations(self):
+        ratings = ProbabilisticAlgebraRelation.from_bid_blocks(
+            {
+                "m1": [({"movie": "m1", "genre": "scifi"}, 0.8)],
+                "m2": [
+                    ({"movie": "m2", "genre": "scifi"}, 0.5),
+                    ({"movie": "m2", "genre": "drama"}, 0.5),
+                ],
+            },
+            name="ratings",
+        )
+        genres = DeterministicRelation(
+            [{"genre": "scifi", "rating": "PG"}, {"genre": "drama", "rating": "R"}],
+            name="genres",
+        ).as_probabilistic(ratings.event_space)
+        return ratings, genres
+
+    def test_select(self):
+        ratings, _ = self.build_relations()
+        scifi = select(ratings, lambda row: row["genre"] == "scifi")
+        assert len(scifi) == 2
+        assert "select" in scifi.name
+
+    def test_project_merges_lineage(self):
+        ratings, _ = self.build_relations()
+        genres_only = project(ratings, ["genre"])
+        rows = dict(
+            (row["genre"], lineage) for row, lineage in genres_only.rows()
+        )
+        probability = ratings.event_space.formula_probability(rows["scifi"])
+        assert math.isclose(probability, 1 - 0.2 * 0.5)
+
+    def test_join_and_probabilities(self):
+        ratings, genres = self.build_relations()
+        joined = join(ratings, genres)
+        assert len(joined) == 3
+        table = {
+            (row["movie"], row["rating"]): probability
+            for row, probability in result_probabilities(joined)
+        }
+        assert math.isclose(table[("m1", "PG")], 0.8)
+        assert math.isclose(table[("m2", "PG")], 0.5)
+        assert math.isclose(table[("m2", "R")], 0.5)
+
+    def test_join_requires_shared_event_space(self):
+        ratings, _ = self.build_relations()
+        other = ProbabilisticAlgebraRelation.tuple_independent(
+            [({"genre": "scifi"}, 0.5)]
+        )
+        with pytest.raises(LineageError):
+            join(ratings, other)
+        with pytest.raises(LineageError):
+            union(ratings, other)
+
+    def test_union(self):
+        ratings, genres = self.build_relations()
+        combined = union(ratings, ratings)
+        assert len(combined) == 2 * len(ratings)
+
+    def test_answer_distribution(self):
+        ratings, genres = self.build_relations()
+        result = project(join(ratings, genres), ["movie", "rating"])
+        distribution = answer_distribution(result)
+        assert math.isclose(sum(distribution.values()), 1.0)
+        # The answer containing both movies with PG rating happens when m1 is
+        # present (0.8) and m2 takes the scifi alternative (0.5).
+        target = frozenset(
+            (
+                freeze_row({"movie": "m1", "rating": "PG"}),
+                freeze_row({"movie": "m2", "rating": "PG"}),
+            )
+        )
+        assert math.isclose(distribution[target], 0.4)
+
+    def test_answer_distribution_certain_relation(self):
+        space = EventSpace.independent({})
+        certain = DeterministicRelation(
+            [{"a": 1}], name="certain"
+        ).as_probabilistic(space)
+        distribution = answer_distribution(certain)
+        assert len(distribution) == 1
+
+    def test_lineage_type_checked(self):
+        space = EventSpace.independent({"a": 0.5})
+        with pytest.raises(LineageError):
+            ProbabilisticAlgebraRelation(space, [({"x": 1}, "not-lineage")])
+
+
+class TestReductionViaAlgebra:
+    def test_max2sat_join_probabilities(self):
+        """Rebuild the Section 4.1 reduction with the generic SPJ machinery:
+        each clause's result tuple has probability 3/4."""
+        variables = ProbabilisticAlgebraRelation.from_bid_blocks(
+            {
+                "x1": [({"var": "x1", "value": True}, 0.5),
+                        ({"var": "x1", "value": False}, 0.5)],
+                "x2": [({"var": "x2", "value": True}, 0.5),
+                        ({"var": "x2", "value": False}, 0.5)],
+            },
+            name="S",
+        )
+        clauses = DeterministicRelation(
+            [
+                {"clause": "c1", "var": "x1", "value": True},
+                {"clause": "c1", "var": "x2", "value": False},
+            ],
+            name="R",
+        ).as_probabilistic(variables.event_space)
+        result = project(join(clauses, variables), ["clause"])
+        [(row, probability)] = result_probabilities(result)
+        assert row == {"clause": "c1"}
+        assert math.isclose(probability, 0.75)

@@ -1,0 +1,164 @@
+"""Tests for the generating-function framework (Theorem 1, Examples 1-3).
+
+Includes the exact reproduction of Figure 1 of the paper (experiment F1 in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.andxor.builders import (
+    bid_tree,
+    figure1_bid_example,
+    figure1_correlated_example,
+)
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.generating import (
+    bivariate_generating_function,
+    generating_function,
+    univariate_generating_function,
+)
+from repro.andxor.statistics import (
+    size_distribution,
+    subset_size_distribution,
+)
+from repro.exceptions import ModelError
+from tests.conftest import small_bid, small_xtuple
+
+
+class TestFigure1Reproduction:
+    """Experiment F1: the worked examples of Figure 1 of the paper."""
+
+    def test_figure1_i_world_size_generating_function(self):
+        """Figure 1(i): the size distribution is 0.08 x^2 + 0.44 x^3 + 0.48 x^4."""
+        tree = figure1_bid_example()
+        polynomial = univariate_generating_function(tree)
+        coefficients = list(polynomial.coefficients)
+        assert coefficients[0] == pytest.approx(0.0, abs=1e-12)
+        assert coefficients[1] == pytest.approx(0.0, abs=1e-12)
+        assert coefficients[2] == pytest.approx(0.08)
+        assert coefficients[3] == pytest.approx(0.44)
+        assert coefficients[4] == pytest.approx(0.48)
+
+    def test_figure1_i_intermediate_factors(self):
+        """Figure 1(i) also displays the per-block factors 0.4+0.6x, 0.2+0.8x."""
+        tree = bid_tree([("t1", [(8, 0.1), (2, 0.5)])])
+        polynomial = univariate_generating_function(tree)
+        assert polynomial.coefficient(0) == pytest.approx(0.4)
+        assert polynomial.coefficient(1) == pytest.approx(0.6)
+
+    def test_figure1_iii_rank_generating_function(self):
+        """Figure 1(iii): marking (t3,6) with y and higher-scored leaves with x
+        yields 0.3 y + 0.3 x^2 + 0.4 x, and the y coefficient is
+        Pr(r(t3 via value 6) = 1) = 0.3."""
+        tree = figure1_correlated_example()
+
+        def variable_of(leaf):
+            alternative = leaf.alternative
+            if alternative.key == "t3" and alternative.value == 6:
+                return "y"
+            if alternative.effective_score() > 6:
+                return "x"
+            return None
+
+        polynomial = bivariate_generating_function(tree, variable_of)
+        assert polynomial.coefficient(0, 1) == pytest.approx(0.3)
+        assert polynomial.coefficient(1, 0) == pytest.approx(0.4)
+        assert polynomial.coefficient(2, 0) == pytest.approx(0.3)
+        assert polynomial.sum_of_coefficients() == pytest.approx(1.0)
+
+    def test_figure1_ii_possible_worlds(self):
+        """Figure 1(ii): the tree has exactly the three listed worlds."""
+        distribution = enumerate_worlds(figure1_correlated_example())
+        sizes = sorted(len(world) for world in distribution.worlds)
+        assert sizes == [3, 3, 3]
+        assert sorted(distribution.probabilities) == pytest.approx([0.3, 0.3, 0.4])
+
+
+class TestTheorem1:
+    """Coefficients of the generating function equal world probabilities."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_example1_size_distribution_matches_enumeration(self, seed):
+        database = small_bid(seed, blocks=4)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        sizes = size_distribution(tree)
+        for count, probability in enumerate(sizes):
+            expected = distribution.probability_that(lambda w: len(w) == count)
+            assert math.isclose(probability, expected, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_example2_subset_size_distribution(self, seed):
+        database = small_xtuple(seed, groups=3)
+        tree = database.tree
+        marked_keys = set(list(tree.keys())[::2])
+        distribution = enumerate_worlds(tree)
+        sizes = subset_size_distribution(
+            tree, lambda leaf: leaf.alternative.key in marked_keys
+        )
+        for count, probability in enumerate(sizes):
+            expected = distribution.probability_that(
+                lambda w: sum(1 for a in w if a.key in marked_keys) == count
+            )
+            assert math.isclose(probability, expected, abs_tol=1e-9)
+
+    def test_total_mass_is_one(self):
+        for seed in range(5):
+            tree = small_bid(seed, blocks=5).tree
+            assert univariate_generating_function(
+                tree
+            ).sum_of_coefficients() == pytest.approx(1.0)
+
+    def test_multivariate_generating_function_joint_counts(self):
+        tree = small_bid(3, blocks=4).tree
+        keys = tree.keys()
+        group_a = set(keys[:2])
+        group_b = set(keys[2:])
+
+        def variable_of(leaf):
+            if leaf.alternative.key in group_a:
+                return "x"
+            if leaf.alternative.key in group_b:
+                return "y"
+            return None
+
+        polynomial = generating_function(tree, variable_of, ("x", "y"))
+        distribution = enumerate_worlds(tree)
+        for i in range(len(group_a) + 1):
+            for j in range(len(group_b) + 1):
+                expected = distribution.probability_that(
+                    lambda w: (
+                        sum(1 for a in w if a.key in group_a) == i
+                        and sum(1 for a in w if a.key in group_b) == j
+                    )
+                )
+                assert math.isclose(
+                    polynomial.coefficient((i, j)), expected, abs_tol=1e-9
+                )
+
+    def test_truncated_generating_function_prefix(self):
+        tree = small_bid(7, blocks=6).tree
+        full = univariate_generating_function(tree)
+        truncated = univariate_generating_function(tree, max_degree=2)
+        for exponent in range(3):
+            assert math.isclose(
+                truncated.coefficient(exponent), full.coefficient(exponent)
+            )
+
+    def test_bivariate_rejects_unknown_variable(self):
+        tree = small_bid(1, blocks=2).tree
+        with pytest.raises(ModelError):
+            bivariate_generating_function(tree, lambda leaf: "z")
+
+    def test_univariate_default_marks_all(self):
+        tree = small_bid(2, blocks=3).tree
+        assert univariate_generating_function(tree).degree == len(
+            tree.keys()
+        )

@@ -1,0 +1,177 @@
+"""Tests for tree statistics, enumeration limits and Monte-Carlo sampling."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.andxor.builders import (
+    bid_tree,
+    coexistence_group_tree,
+    figure1_bid_example,
+    from_explicit_worlds,
+)
+from repro.andxor.enumeration import count_worlds_upper_bound, enumerate_worlds
+from repro.andxor.sampling import estimate_expectation, sample_world, sample_worlds
+from repro.andxor.statistics import (
+    alternative_probability_table,
+    both_absent_probability,
+    co_membership_probability,
+    membership_probability,
+    presence_vector,
+    tuple_probability,
+    value_agreement_probability,
+)
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import EnumerationLimitError
+from tests.conftest import small_bid, small_xtuple
+
+
+class TestStatistics:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_membership_matches_enumeration(self, seed):
+        tree = small_bid(seed, blocks=4).tree
+        distribution = enumerate_worlds(tree)
+        for alternative, probability in alternative_probability_table(tree):
+            assert math.isclose(
+                probability,
+                distribution.alternative_probability(alternative),
+                abs_tol=1e-9,
+            )
+            assert math.isclose(
+                membership_probability(tree, alternative), probability
+            )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_presence_vector_matches_enumeration(self, seed):
+        tree = small_xtuple(seed, groups=3).tree
+        distribution = enumerate_worlds(tree)
+        for key, probability in presence_vector(tree).items():
+            assert math.isclose(
+                probability, distribution.key_probability(key), abs_tol=1e-9
+            )
+            assert math.isclose(tuple_probability(tree, key), probability)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_co_membership_matches_enumeration(self, seed):
+        tree = small_bid(seed, blocks=4).tree
+        distribution = enumerate_worlds(tree)
+        keys = tree.keys()
+        for i, first in enumerate(keys):
+            for second in keys[i:]:
+                expected = distribution.probability_that(
+                    lambda w: w.contains_key(first) and w.contains_key(second)
+                )
+                assert math.isclose(
+                    co_membership_probability(tree, first, second),
+                    expected,
+                    abs_tol=1e-9,
+                )
+
+    def test_value_agreement_probability(self):
+        tree = bid_tree(
+            [
+                ("a", [("red", 0.6), ("blue", 0.4)]),
+                ("b", [("red", 0.5), ("blue", 0.3)]),
+            ]
+        )
+        assert math.isclose(
+            value_agreement_probability(tree, "a", "b"), 0.6 * 0.5 + 0.4 * 0.3
+        )
+        assert math.isclose(value_agreement_probability(tree, "a", "a"), 1.0)
+
+    def test_value_agreement_matches_generating_function_route(self):
+        """The paper computes w_{ti,tj} as the x^2 coefficient of a generating
+        function; the closed form must agree (Section 6.2)."""
+        from repro.andxor.generating import univariate_generating_function
+
+        tree = small_bid(11, blocks=4).tree
+        keys = tree.keys()
+        for i, first in enumerate(keys):
+            for second in keys[i + 1:]:
+                values = {
+                    a.value for a in tree.alternatives_of(first)
+                } & {a.value for a in tree.alternatives_of(second)}
+                total = 0.0
+                for value in values:
+                    marked = {
+                        (first, value),
+                        (second, value),
+                    }
+                    polynomial = univariate_generating_function(
+                        tree,
+                        marked=lambda leaf: (
+                            leaf.alternative.key,
+                            leaf.alternative.value,
+                        ) in marked,
+                    )
+                    total += polynomial.coefficient(2)
+                assert math.isclose(
+                    value_agreement_probability(tree, first, second),
+                    total,
+                    abs_tol=1e-9,
+                )
+
+    def test_both_absent_probability(self):
+        tree = bid_tree(
+            [("a", [(1, 0.6)]), ("b", [(2, 0.5)])]
+        )
+        assert math.isclose(both_absent_probability(tree, "a", "b"), 0.4 * 0.5)
+
+    def test_both_absent_with_correlation(self):
+        tree = from_explicit_worlds(
+            [([("a", 1)], 0.3), ([("b", 2)], 0.3), ([], 0.4)]
+        )
+        assert math.isclose(both_absent_probability(tree, "a", "b"), 0.4)
+
+
+class TestEnumeration:
+    def test_enumeration_limit(self):
+        tree = small_bid(1, blocks=8, max_alternatives=3).tree
+        with pytest.raises(EnumerationLimitError):
+            enumerate_worlds(tree, limit=4)
+
+    def test_count_upper_bound(self):
+        tree = figure1_bid_example()
+        assert count_worlds_upper_bound(tree) >= len(enumerate_worlds(tree))
+
+    def test_enumeration_of_coexistence_groups(self):
+        tree = coexistence_group_tree([([("a", 1), ("b", 2)], 0.5)])
+        distribution = enumerate_worlds(tree)
+        assert len(distribution) == 2
+        sizes = sorted(len(world) for world in distribution.worlds)
+        assert sizes == [0, 2]
+
+
+class TestSampling:
+    def test_sampled_frequencies_match_marginals(self):
+        tree = figure1_bid_example()
+        rng = random.Random(42)
+        samples = sample_worlds(tree, 4000, rng)
+        for alternative, probability in alternative_probability_table(tree):
+            frequency = sum(
+                1 for world in samples if alternative in world
+            ) / len(samples)
+            assert abs(frequency - probability) < 0.05
+
+    def test_sample_world_respects_key_constraint(self):
+        tree = small_bid(5, blocks=5).tree
+        rng = random.Random(1)
+        for _ in range(200):
+            world = sample_world(tree, rng)
+            keys = [a.key for a in world]
+            assert len(keys) == len(set(keys))
+
+    def test_estimate_expectation(self):
+        tree = figure1_bid_example()
+        estimate = estimate_expectation(
+            tree, lambda world: float(len(world)), samples=4000,
+            rng=random.Random(3),
+        )
+        assert abs(estimate - tree.expected_world_size()) < 0.1
+
+    def test_estimate_expectation_requires_positive_samples(self):
+        with pytest.raises(ValueError):
+            estimate_expectation(figure1_bid_example(), len, samples=0)

@@ -1,0 +1,316 @@
+"""Tests for and/xor tree nodes, validation and closed-form probabilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.andxor.builders import (
+    bid_tree,
+    certain_tree,
+    coexistence_group_tree,
+    from_explicit_worlds,
+    figure1_bid_example,
+    figure1_correlated_example,
+    tuple_independent_tree,
+    x_tuple_tree,
+)
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.nodes import AndNode, Leaf, XorNode
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.exceptions import KeyConstraintError, ModelError, ProbabilityError
+
+
+class TestNodes:
+    def test_leaf_requires_alternative(self):
+        with pytest.raises(TypeError):
+            Leaf("not an alternative")
+
+    def test_xor_children_and_probabilities(self):
+        leaf = Leaf(TupleAlternative("a", 1))
+        node = XorNode([(leaf, 0.4)])
+        assert node.probabilities == (0.4,)
+        assert math.isclose(node.none_probability, 0.6)
+        assert node.edges()[0][0] is leaf
+
+    def test_xor_negative_probability_rejected(self):
+        with pytest.raises(ProbabilityError):
+            XorNode([(Leaf(TupleAlternative("a", 1)), -0.1)])
+
+    def test_xor_non_node_child_rejected(self):
+        with pytest.raises(TypeError):
+            XorNode([("leaf", 0.5)])
+
+    def test_and_non_node_child_rejected(self):
+        with pytest.raises(TypeError):
+            AndNode(["leaf"])
+
+    def test_is_leaf(self):
+        assert Leaf(TupleAlternative("a", 1)).is_leaf()
+        assert not AndNode(()).is_leaf()
+
+
+class TestTreeValidation:
+    def test_probability_constraint_enforced(self):
+        bad = XorNode(
+            [
+                (Leaf(TupleAlternative("a", 1)), 0.7),
+                (Leaf(TupleAlternative("a", 2)), 0.7),
+            ]
+        )
+        with pytest.raises(ProbabilityError):
+            AndXorTree(bad)
+
+    def test_key_constraint_enforced(self):
+        # Two alternatives of the same key under an and node could co-exist.
+        bad = AndNode(
+            [
+                XorNode([(Leaf(TupleAlternative("a", 1)), 0.5)]),
+                XorNode([(Leaf(TupleAlternative("a", 2)), 0.5)]),
+            ]
+        )
+        with pytest.raises(KeyConstraintError):
+            AndXorTree(bad)
+
+    def test_key_constraint_allows_same_key_under_xor(self):
+        good = XorNode(
+            [
+                (Leaf(TupleAlternative("a", 1)), 0.5),
+                (Leaf(TupleAlternative("a", 2)), 0.5),
+            ]
+        )
+        tree = AndXorTree(good)
+        assert tree.keys() == ["a"]
+
+    def test_root_must_be_node(self):
+        with pytest.raises(TypeError):
+            AndXorTree("nope")
+
+    def test_validation_can_be_deferred(self):
+        bad = AndNode(
+            [
+                XorNode([(Leaf(TupleAlternative("a", 1)), 0.5)]),
+                XorNode([(Leaf(TupleAlternative("a", 2)), 0.5)]),
+            ]
+        )
+        tree = AndXorTree(bad, validate=False)
+        with pytest.raises(KeyConstraintError):
+            tree.validate()
+
+
+class TestClosedFormProbabilities:
+    def test_tuple_independent_probabilities(self):
+        tree = tuple_independent_tree(
+            [(("a", 10), 0.3), (("b", 20), 0.8)]
+        )
+        assert math.isclose(
+            tree.alternative_probability(TupleAlternative("a", 10)), 0.3
+        )
+        assert math.isclose(tree.key_probability("b"), 0.8)
+        assert math.isclose(tree.expected_world_size(), 1.1)
+
+    def test_bid_key_probability_sums_alternatives(self):
+        tree = bid_tree([("a", [(1, 0.2), (2, 0.5)])])
+        assert math.isclose(tree.key_probability("a"), 0.7)
+
+    def test_joint_probability_independent(self):
+        tree = tuple_independent_tree([(("a", 10), 0.3), (("b", 20), 0.8)])
+        assert math.isclose(
+            tree.joint_alternative_probability(
+                TupleAlternative("a", 10), TupleAlternative("b", 20)
+            ),
+            0.24,
+        )
+
+    def test_joint_probability_mutually_exclusive(self):
+        tree = bid_tree([("a", [(1, 0.2), (2, 0.5)])])
+        assert tree.joint_alternative_probability(
+            TupleAlternative("a", 1), TupleAlternative("a", 2)
+        ) == 0.0
+
+    def test_joint_probability_same_alternative(self):
+        tree = bid_tree([("a", [(1, 0.2)])])
+        assert math.isclose(
+            tree.joint_alternative_probability(
+                TupleAlternative("a", 1), TupleAlternative("a", 1)
+            ),
+            0.2,
+        )
+
+    def test_joint_leaf_probability_matches_enumeration(self):
+        tree = figure1_bid_example()
+        distribution = enumerate_worlds(tree)
+        alternatives = tree.alternatives()
+        for first in alternatives:
+            for second in alternatives:
+                expected = distribution.probability_that(
+                    lambda w: first in w and second in w
+                )
+                assert math.isclose(
+                    tree.joint_alternative_probability(first, second),
+                    expected,
+                    abs_tol=1e-9,
+                )
+
+    def test_explicit_world_tree_duplicate_alternatives(self):
+        # The same alternative in two worlds: probabilities add up.
+        tree = from_explicit_worlds(
+            [([("a", 1), ("b", 2)], 0.4), ([("a", 1)], 0.6)]
+        )
+        assert math.isclose(
+            tree.alternative_probability(TupleAlternative("a", 1)), 1.0
+        )
+        assert math.isclose(tree.key_probability("b"), 0.4)
+
+    def test_leaf_probability_and_choices(self):
+        tree = figure1_correlated_example()
+        for leaf, probability in tree.leaf_probabilities():
+            assert math.isclose(probability, tree.leaf_probability(leaf))
+        with pytest.raises(ValueError):
+            tree.leaf_choices(Leaf(TupleAlternative("zz", 1)))
+
+    def test_size_and_repr(self):
+        tree = figure1_bid_example()
+        assert tree.size() == 1 + 4 + 8
+        assert "leaves" in repr(tree)
+
+    def test_alternatives_of(self):
+        tree = figure1_bid_example()
+        assert len(tree.alternatives_of("t1")) == 2
+        assert tree.alternatives_of("missing") == []
+
+
+class TestRestriction:
+    def test_restrict_by_score(self):
+        tree = figure1_bid_example()
+        restricted = tree.restrict(
+            lambda leaf: leaf.alternative.effective_score() >= 5
+        )
+        kept_scores = {
+            leaf.alternative.effective_score() for leaf in restricted.leaves
+        }
+        assert kept_scores == {8, 9, 6, 5}
+
+    def test_restrict_preserves_marginals_of_kept_leaves(self):
+        tree = figure1_bid_example()
+        restricted = tree.restrict(
+            lambda leaf: leaf.alternative.effective_score() >= 5
+        )
+        for alternative in restricted.alternatives():
+            assert math.isclose(
+                restricted.alternative_probability(alternative),
+                tree.alternative_probability(alternative),
+            )
+
+    def test_restrict_everything_away(self):
+        tree = figure1_bid_example()
+        restricted = tree.restrict(lambda leaf: False)
+        assert len(restricted.leaves) == 0
+
+    def test_restriction_matches_world_projection(self):
+        tree = figure1_correlated_example()
+        threshold = 5
+        restricted = tree.restrict(
+            lambda leaf: leaf.alternative.effective_score() >= threshold
+        )
+        projected = {}
+        for world, probability in enumerate_worlds(tree):
+            key = frozenset(
+                a for a in world if a.effective_score() >= threshold
+            )
+            projected[key] = projected.get(key, 0.0) + probability
+        restricted_distribution = enumerate_worlds(restricted)
+        for world, probability in restricted_distribution:
+            assert math.isclose(
+                projected.get(world.alternatives, 0.0), probability, abs_tol=1e-9
+            )
+
+
+class TestBuilders:
+    def test_tuple_independent_probability_bounds(self):
+        with pytest.raises(ProbabilityError):
+            tuple_independent_tree([(("a", 1), 1.5)])
+
+    def test_bid_block_overflow(self):
+        with pytest.raises(ProbabilityError):
+            bid_tree([("a", [(1, 0.7), (2, 0.7)])])
+
+    def test_xtuple_overflow(self):
+        with pytest.raises(ProbabilityError):
+            x_tuple_tree([[(("a", 1), 0.7), (("b", 2), 0.7)]])
+
+    def test_explicit_worlds_overflow(self):
+        with pytest.raises(ProbabilityError):
+            from_explicit_worlds([([("a", 1)], 0.7), ([("b", 1)], 0.7)])
+
+    def test_coexistence_group(self):
+        tree = coexistence_group_tree(
+            [([("a", 1), ("b", 2)], 0.5), ([("c", 3)], 0.25)]
+        )
+        distribution = enumerate_worlds(tree)
+        joint = tree.joint_alternative_probability(
+            TupleAlternative("a", 1), TupleAlternative("b", 2)
+        )
+        assert math.isclose(joint, 0.5)
+        # a appears if and only if b appears.
+        assert math.isclose(
+            distribution.probability_that(
+                lambda w: w.contains_key("a") != w.contains_key("b")
+            ),
+            0.0,
+        )
+
+    def test_coexistence_group_probability_bounds(self):
+        with pytest.raises(ProbabilityError):
+            coexistence_group_tree([([("a", 1)], 1.2)])
+
+    def test_certain_tree(self):
+        tree = certain_tree([("a", 1), ("b", 2)])
+        distribution = enumerate_worlds(tree)
+        assert len(distribution) == 1
+        assert math.isclose(distribution.probabilities[0], 1.0)
+
+    def test_bad_alternative_spec(self):
+        with pytest.raises(ModelError):
+            tuple_independent_tree([("only-a-key", 0.5)])
+
+    def test_builder_with_explicit_scores(self):
+        tree = bid_tree(
+            [("a", [("red", 0.5), ("blue", 0.5)])],
+            scores={("a", "red"): 1.0, ("a", "blue"): 2.0},
+        )
+        alternatives = {a.value: a for a in tree.alternatives()}
+        assert alternatives["red"].score == 1.0
+        assert alternatives["blue"].score == 2.0
+
+    def test_figure1_worlds_match_paper(self):
+        tree = figure1_correlated_example()
+        distribution = enumerate_worlds(tree)
+        expected = {
+            frozenset(
+                [
+                    TupleAlternative("t3", 6),
+                    TupleAlternative("t2", 5),
+                    TupleAlternative("t1", 1),
+                ]
+            ): 0.3,
+            frozenset(
+                [
+                    TupleAlternative("t3", 9),
+                    TupleAlternative("t1", 7),
+                    TupleAlternative("t4", 0),
+                ]
+            ): 0.3,
+            frozenset(
+                [
+                    TupleAlternative("t2", 8),
+                    TupleAlternative("t4", 4),
+                    TupleAlternative("t5", 3),
+                ]
+            ): 0.4,
+        }
+        assert len(distribution) == 3
+        for world, probability in distribution:
+            assert math.isclose(expected[world.alternatives], probability)

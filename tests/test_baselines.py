@@ -1,0 +1,129 @@
+"""Tests for the prior Top-k ranking semantics (baselines)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.baselines.ranking import (
+    expected_rank_topk,
+    expected_score_topk,
+    global_topk,
+    probabilistic_threshold_topk,
+    u_rank_topk,
+    u_topk,
+)
+from repro.consensus.topk.symmetric_difference import (
+    mean_topk_symmetric_difference,
+)
+from repro.exceptions import ConsensusError
+from repro.models.bid import BlockIndependentDatabase
+from tests.conftest import small_bid, small_tuple_independent
+
+
+class TestUTopK:
+    def test_mode_answer_by_enumeration(self):
+        database = BlockIndependentDatabase(
+            {
+                "a": [(100, 0.9)],
+                "b": [(90, 0.9)],
+                "c": [(80, 0.2)],
+            }
+        )
+        answer = u_topk(database.tree, 2)
+        assert answer == ("a", "b")
+
+    def test_sampling_agrees_with_enumeration(self):
+        tree = small_bid(3, blocks=4, exhaustive=True).tree
+        exact = u_topk(tree, 2, method="enumerate")
+        sampled = u_topk(
+            tree, 2, method="sample", samples=4000, rng=random.Random(0)
+        )
+        assert exact == sampled
+
+    def test_unknown_method(self):
+        tree = small_bid(1, blocks=3).tree
+        with pytest.raises(ConsensusError):
+            u_topk(tree, 1, method="bogus")
+
+
+class TestURank:
+    def test_positions_filled_greedily(self):
+        tree = small_bid(2, blocks=4, exhaustive=True).tree
+        statistics = RankStatistics(tree)
+        answer = u_rank_topk(statistics, 3)
+        assert len(set(answer)) == 3
+        # The first position is the tuple most likely to be rank 1.
+        best_first = max(
+            statistics.keys(),
+            key=lambda key: (
+                statistics.rank_position_probabilities(key, max_rank=1)[0],
+                repr(key),
+            ),
+        )
+        assert answer[0] == best_first
+
+
+class TestThresholdSemantics:
+    def test_pt_k_threshold_filters(self):
+        tree = small_bid(5, blocks=5).tree
+        statistics = RankStatistics(tree)
+        membership = statistics.top_k_membership_probabilities(2)
+        answer = probabilistic_threshold_topk(statistics, 2, threshold=0.5)
+        assert set(answer) == {
+            key for key, p in membership.items() if p >= 0.5
+        }
+        with pytest.raises(ConsensusError):
+            probabilistic_threshold_topk(statistics, 2, threshold=0.0)
+
+    def test_global_topk_equals_theorem3_mean(self):
+        """Global-Top-k coincides with the mean d_Delta consensus answer."""
+        for seed in (1, 2, 3):
+            tree = small_bid(seed, blocks=5).tree
+            statistics = RankStatistics(tree)
+            baseline = set(global_topk(statistics, 2))
+            consensus, _ = mean_topk_symmetric_difference(statistics, 2)
+            assert baseline == set(consensus)
+
+    def test_pt_k_with_right_threshold_equals_global(self):
+        tree = small_bid(7, blocks=5).tree
+        statistics = RankStatistics(tree)
+        membership = statistics.top_k_membership_probabilities(2)
+        answer = global_topk(statistics, 2)
+        threshold = min(membership[key] for key in answer)
+        pt = probabilistic_threshold_topk(statistics, 2, threshold=threshold)
+        assert set(answer) <= set(pt)
+
+
+class TestExpectedRankAndScore:
+    def test_expected_rank_certain_database(self):
+        database = BlockIndependentDatabase(
+            {"a": [(30, 1.0)], "b": [(20, 1.0)], "c": [(10, 1.0)]}
+        )
+        assert expected_rank_topk(database.tree, 2) == ("a", "b")
+
+    def test_expected_score_prefers_probable_high_scores(self):
+        database = BlockIndependentDatabase(
+            {
+                "sure": [(50, 1.0)],
+                "risky": [(60, 0.1)],
+            }
+        )
+        assert expected_score_topk(database.tree, 1) == ("sure",)
+
+    def test_all_semantics_return_k_distinct_tuples(self):
+        tree = small_tuple_independent(4, count=6).tree
+        statistics = RankStatistics(tree)
+        for semantics in (
+            global_topk,
+            expected_rank_topk,
+            expected_score_topk,
+            u_rank_topk,
+        ):
+            answer = semantics(statistics, 3)
+            assert len(answer) == 3
+            assert len(set(answer)) == 3

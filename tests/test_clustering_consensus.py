@@ -1,0 +1,144 @@
+"""Tests for consensus clustering (Section 6.2)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.clustering import (
+    co_clustering_probabilities,
+    consensus_clustering,
+    expected_clustering_distance,
+    pivot_clustering,
+)
+from repro.core.clustering_distance import clustering_disagreement_distance
+from repro.core.consensus_bruteforce import brute_force_mean_clustering
+from repro.exceptions import ConsensusError
+from repro.models.bid import BlockIndependentDatabase
+from tests.conftest import small_bid
+
+
+def clustering_workload(seed, tuples=5, values=3, exhaustive=True):
+    """A BID database whose value attribute drives the clustering."""
+    rng = random.Random(seed)
+    labels = [f"v{i}" for i in range(values)]
+    blocks = {}
+    for index in range(tuples):
+        supported = rng.sample(labels, rng.randint(1, values))
+        raw = [rng.random() + 0.1 for _ in supported]
+        norm = sum(raw) if exhaustive else sum(raw) / rng.uniform(0.5, 0.9)
+        blocks[f"t{index + 1}"] = [
+            (label, weight / norm) for label, weight in zip(supported, raw)
+        ]
+    return BlockIndependentDatabase(blocks)
+
+
+class TestCoClusteringProbabilities:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_enumeration(self, seed):
+        database = clustering_workload(seed, tuples=4, exhaustive=False)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        universe = tree.keys()
+        weights = co_clustering_probabilities(tree, include_absent_cluster=True)
+        for pair, weight in weights.items():
+            first, second = sorted(pair, key=repr)
+            expected = distribution.probability_that(
+                lambda w: frozenset((first, second)) in {
+                    frozenset(p)
+                    for cluster in w.clustering(universe)
+                    for p in _pairs(cluster)
+                }
+            )
+            assert math.isclose(weight, expected, abs_tol=1e-9)
+
+    def test_without_absent_cluster(self):
+        database = clustering_workload(4, tuples=3, exhaustive=False)
+        with_absent = co_clustering_probabilities(database.tree, True)
+        without = co_clustering_probabilities(database.tree, False)
+        for pair in without:
+            assert without[pair] <= with_absent[pair] + 1e-12
+
+
+def _pairs(cluster):
+    items = sorted(cluster, key=repr)
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            yield (items[i], items[j])
+
+
+class TestExpectedClusteringDistance:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_enumeration(self, seed):
+        database = clustering_workload(seed, tuples=4)
+        tree = database.tree
+        universe = tree.keys()
+        distribution = enumerate_worlds(tree)
+        weights = co_clustering_probabilities(tree)
+        candidates = [
+            frozenset(frozenset((key,)) for key in universe),
+            frozenset((frozenset(universe),)),
+        ]
+        for candidate in candidates:
+            closed_form = expected_clustering_distance(candidate, weights, universe)
+            oracle = distribution.expectation(
+                lambda w: clustering_disagreement_distance(
+                    candidate, w.clustering(universe)
+                )
+            )
+            assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+
+class TestConsensusClustering:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_close_to_bruteforce_optimum(self, seed):
+        """The pivot-based consensus stays within the constant-factor regime
+        (we check a factor of 2 on these small instances; the ACN guarantee
+        for the full algorithm is 4/3)."""
+        database = clustering_workload(seed, tuples=5)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        universe = tree.keys()
+        answer, value = consensus_clustering(tree, rng=random.Random(seed))
+        _, optimal_value = brute_force_mean_clustering(distribution, universe)
+        if optimal_value < 1e-12:
+            assert value < 1e-9
+        else:
+            assert value <= 2.0 * optimal_value + 1e-9
+
+    def test_deterministic_pivot_variant(self):
+        database = clustering_workload(7, tuples=5)
+        answer, value = consensus_clustering(database.tree, rng=None)
+        covered = {key for cluster in answer for key in cluster}
+        assert covered == set(database.tree.keys())
+
+    def test_strongly_clustered_instance(self):
+        """Two groups of tuples that almost surely share a value each."""
+        database = BlockIndependentDatabase(
+            {
+                "a1": [("red", 0.95), ("blue", 0.05)],
+                "a2": [("red", 0.95), ("blue", 0.05)],
+                "b1": [("green", 0.95), ("yellow", 0.05)],
+                "b2": [("green", 0.95), ("yellow", 0.05)],
+            }
+        )
+        answer, _ = consensus_clustering(database.tree)
+        assert frozenset(("a1", "a2")) in answer
+        assert frozenset(("b1", "b2")) in answer
+
+    def test_empty_tree_rejected(self):
+        from repro.andxor.nodes import AndNode
+        from repro.andxor.tree import AndXorTree
+
+        with pytest.raises(ConsensusError):
+            consensus_clustering(AndXorTree(AndNode(())))
+
+    def test_pivot_clustering_partition(self):
+        database = clustering_workload(9, tuples=6)
+        weights = co_clustering_probabilities(database.tree)
+        clustering = pivot_clustering(database.tree.keys(), weights)
+        flattened = [key for cluster in clustering for key in cluster]
+        assert sorted(flattened) == sorted(database.tree.keys())

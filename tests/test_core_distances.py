@@ -1,0 +1,221 @@
+"""Tests for set, vector, Top-k and clustering distance measures."""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering_distance import (
+    clustering_agreement_ratio,
+    clustering_disagreement_distance,
+    clustering_from_assignment,
+    normalize_clustering,
+)
+from repro.core.distances import (
+    euclidean_distance,
+    jaccard_distance,
+    l1_distance,
+    squared_euclidean_distance,
+    symmetric_difference_distance,
+)
+from repro.core.topk_distances import (
+    footrule_upper_bounds_kendall,
+    topk_footrule_distance,
+    topk_intersection_distance,
+    topk_kendall_distance,
+    topk_symmetric_difference,
+)
+from repro.exceptions import DistanceError
+
+sets = st.sets(st.integers(0, 8), max_size=6)
+
+
+class TestSetDistances:
+    def test_symmetric_difference(self):
+        assert symmetric_difference_distance({1, 2}, {2, 3}) == 2
+        assert symmetric_difference_distance([], []) == 0
+
+    def test_jaccard_basic(self):
+        assert jaccard_distance({1, 2}, {2, 3}) == pytest.approx(2 / 3)
+        assert jaccard_distance(set(), set()) == 0.0
+        assert jaccard_distance({1}, set()) == 1.0
+
+    @given(sets, sets)
+    @settings(max_examples=60, deadline=None)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        value = jaccard_distance(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_distance(b, a)
+        assert jaccard_distance(a, a) == 0.0
+
+    @given(sets, sets, sets)
+    @settings(max_examples=60, deadline=None)
+    def test_jaccard_triangle_inequality(self, a, b, c):
+        assert jaccard_distance(a, c) <= (
+            jaccard_distance(a, b) + jaccard_distance(b, c) + 1e-12
+        )
+
+    def test_vector_distances(self):
+        assert squared_euclidean_distance((1, 2), (3, 2)) == 4
+        assert euclidean_distance((0, 0), (3, 4)) == 5
+        assert l1_distance((1, 2), (3, 5)) == 5
+        with pytest.raises(DistanceError):
+            squared_euclidean_distance((1,), (1, 2))
+        with pytest.raises(DistanceError):
+            l1_distance((1,), (1, 2))
+
+
+class TestTopKSymmetricDifference:
+    def test_normalised_value(self):
+        assert topk_symmetric_difference(("a", "b"), ("b", "c"), k=2) == 0.5
+        assert topk_symmetric_difference(("a", "b"), ("a", "b"), k=2) == 0.0
+        assert topk_symmetric_difference(("a", "b"), ("c", "d"), k=2) == 1.0
+
+    def test_unnormalised(self):
+        assert topk_symmetric_difference(
+            ("a", "b"), ("b", "c"), k=2, normalized=False
+        ) == 2.0
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DistanceError):
+            topk_symmetric_difference(("a", "a"), ("b", "c"))
+
+    def test_empty_lists(self):
+        assert topk_symmetric_difference((), ()) == 0.0
+
+
+class TestTopKIntersection:
+    def test_identical_lists(self):
+        assert topk_intersection_distance(("a", "b", "c"), ("a", "b", "c")) == 0.0
+
+    def test_order_sensitivity(self):
+        same_set_different_order = topk_intersection_distance(
+            ("a", "b"), ("b", "a"), k=2
+        )
+        assert same_set_different_order > 0.0
+        assert topk_symmetric_difference(("a", "b"), ("b", "a"), k=2) == 0.0
+
+    def test_known_value(self):
+        # prefix 1: {a} vs {b} -> 1; prefix 2: {a,b} vs {b,a} -> 0; average 0.5
+        assert topk_intersection_distance(("a", "b"), ("b", "a"), k=2) == 0.5
+
+    @given(
+        st.permutations(["a", "b", "c", "d"]),
+        st.permutations(["a", "b", "c", "d"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, first, second):
+        value = topk_intersection_distance(tuple(first[:3]), tuple(second[:3]))
+        assert 0.0 <= value <= 1.0
+
+
+class TestTopKFootrule:
+    def test_identical(self):
+        assert topk_footrule_distance(("a", "b"), ("a", "b")) == 0.0
+
+    def test_swap(self):
+        assert topk_footrule_distance(("a", "b"), ("b", "a")) == 2.0
+
+    def test_disjoint(self):
+        # Every element displaced to location k+1=3: 4 elements, each |pos-3|
+        value = topk_footrule_distance(("a", "b"), ("c", "d"), k=2)
+        assert value == (3 - 1) + (3 - 2) + (3 - 1) + (3 - 2)
+
+    def test_explicit_location(self):
+        value = topk_footrule_distance(("a",), ("b",), k=1, location=5)
+        assert value == (5 - 1) + (5 - 1)
+
+    def test_symmetry(self):
+        a, b = ("a", "b", "c"), ("b", "d", "a")
+        assert topk_footrule_distance(a, b) == topk_footrule_distance(b, a)
+
+
+class TestTopKKendall:
+    def test_identical(self):
+        assert topk_kendall_distance(("a", "b"), ("a", "b")) == 0.0
+
+    def test_swap(self):
+        assert topk_kendall_distance(("a", "b"), ("b", "a")) == 1.0
+
+    def test_disjoint_lists(self):
+        # Every cross pair disagrees: 2 * 2 = 4
+        assert topk_kendall_distance(("a", "b"), ("c", "d")) == 4.0
+
+    def test_partial_overlap(self):
+        # tau1 = (a, b), tau2 = (a, c): pairs (a,b): b missing from tau2, a
+        # above b in tau1 -> agree; (a,c): agree; (b,c): each in exactly one
+        # list -> disagree.
+        assert topk_kendall_distance(("a", "b"), ("a", "c")) == 1.0
+
+    def test_pair_absent_from_one_list_not_penalised(self):
+        # c appears in neither position pair with d in only one list.
+        assert topk_kendall_distance(("a", "b"), ("a", "b")) == 0.0
+
+    @given(
+        st.permutations(["a", "b", "c", "d", "e"]),
+        st.permutations(["a", "b", "c", "d", "e"]),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kendall_at_most_footrule(self, first, second, k):
+        assert footrule_upper_bounds_kendall(tuple(first[:k]), tuple(second[:k]))
+
+    @given(
+        st.permutations(["a", "b", "c", "d"]),
+        st.permutations(["a", "b", "c", "d"]),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, first, second, k):
+        a, b = tuple(first[:k]), tuple(second[:k])
+        assert topk_kendall_distance(a, b) == topk_kendall_distance(b, a)
+
+    def test_full_permutation_case_matches_inversion_count(self):
+        for first in permutations("abc"):
+            for second in permutations("abc"):
+                inversions = sum(
+                    1
+                    for i in range(3)
+                    for j in range(i + 1, 3)
+                    if (second.index(first[i]) > second.index(first[j]))
+                )
+                assert topk_kendall_distance(first, second) == inversions
+
+
+class TestClusteringDistance:
+    def test_identical_clusterings(self):
+        clustering = [["a", "b"], ["c"]]
+        assert clustering_disagreement_distance(clustering, clustering) == 0.0
+
+    def test_split_versus_merged(self):
+        together = [["a", "b", "c"]]
+        singletons = [["a"], ["b"], ["c"]]
+        assert clustering_disagreement_distance(together, singletons) == 3.0
+
+    def test_partial(self):
+        first = [["a", "b"], ["c", "d"]]
+        second = [["a", "b", "c"], ["d"]]
+        # pairs together in first: ab, cd; in second: ab, ac, bc.
+        # symmetric difference: cd, ac, bc -> 3
+        assert clustering_disagreement_distance(first, second) == 3.0
+
+    def test_overlapping_clusters_rejected(self):
+        with pytest.raises(DistanceError):
+            normalize_clustering([["a", "b"], ["b", "c"]])
+
+    def test_universe_validation(self):
+        with pytest.raises(DistanceError):
+            clustering_disagreement_distance([["a"]], [["a"]], universe=["b"])
+
+    def test_from_assignment_and_agreement(self):
+        clustering = clustering_from_assignment({"a": 1, "b": 1, "c": 2})
+        assert frozenset(("a", "b")) in clustering
+        ratio = clustering_agreement_ratio(
+            clustering, clustering, universe=["a", "b", "c"]
+        )
+        assert ratio == 1.0
+        assert clustering_agreement_ratio([], [], universe=["a"]) == 1.0

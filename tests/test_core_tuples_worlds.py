@@ -1,0 +1,172 @@
+"""Tests for tuple alternatives and explicit possible-world distributions."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.tuples import (
+    TupleAlternative,
+    distinct_keys,
+    group_alternatives_by_key,
+    validate_distinct_scores,
+)
+from repro.core.worlds import PossibleWorld, WorldDistribution
+from repro.exceptions import ProbabilityError
+
+
+class TestTupleAlternative:
+    def test_effective_score_from_value(self):
+        assert TupleAlternative("t1", 42).effective_score() == 42.0
+
+    def test_effective_score_explicit(self):
+        assert TupleAlternative("t1", "red", 3.5).effective_score() == 3.5
+
+    def test_effective_score_missing(self):
+        with pytest.raises(TypeError):
+            TupleAlternative("t1", "red").effective_score()
+
+    def test_boolean_value_needs_explicit_score(self):
+        with pytest.raises(TypeError):
+            TupleAlternative("t1", True).effective_score()
+
+    def test_with_score(self):
+        alternative = TupleAlternative("t1", "red").with_score(2.0)
+        assert alternative.score == 2.0
+        assert alternative.key == "t1"
+
+    def test_grouping_and_distinct_keys(self):
+        alternatives = [
+            TupleAlternative("a", 1),
+            TupleAlternative("b", 2),
+            TupleAlternative("a", 3),
+        ]
+        grouped = group_alternatives_by_key(alternatives)
+        assert len(grouped["a"]) == 2
+        assert distinct_keys(alternatives) == ["a", "b"]
+
+    def test_validate_distinct_scores(self):
+        validate_distinct_scores(
+            [TupleAlternative("a", 1), TupleAlternative("b", 2)]
+        )
+        with pytest.raises(ValueError):
+            validate_distinct_scores(
+                [TupleAlternative("a", 1), TupleAlternative("b", 1)]
+            )
+
+
+class TestPossibleWorld:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ProbabilityError):
+            PossibleWorld([TupleAlternative("a", 1), TupleAlternative("a", 2)])
+
+    def test_membership_and_len(self):
+        world = PossibleWorld([TupleAlternative("a", 1), TupleAlternative("b", 2)])
+        assert TupleAlternative("a", 1) in world
+        assert len(world) == 2
+        assert world.contains_key("a")
+        assert not world.contains_key("z")
+        assert world.value_of("b") == 2
+        with pytest.raises(KeyError):
+            world.value_of("z")
+
+    def test_top_k_and_rank(self):
+        world = PossibleWorld(
+            [
+                TupleAlternative("a", 10),
+                TupleAlternative("b", 30),
+                TupleAlternative("c", 20),
+            ]
+        )
+        assert world.top_k(2) == ("b", "c")
+        assert world.rank_of("b") == 1
+        assert world.rank_of("a") == 3
+        assert world.rank_of("missing") == math.inf
+
+    def test_group_by_count(self):
+        world = PossibleWorld(
+            [
+                TupleAlternative("a", "g1"),
+                TupleAlternative("b", "g2"),
+                TupleAlternative("c", "g1"),
+            ]
+        )
+        assert world.group_by_count(["g1", "g2", "g3"]) == (2, 1, 0)
+
+    def test_clustering_with_absent_cluster(self):
+        world = PossibleWorld(
+            [TupleAlternative("a", "v"), TupleAlternative("b", "v")]
+        )
+        clustering = world.clustering(universe=["a", "b", "c", "d"])
+        assert frozenset(("a", "b")) in clustering
+        assert frozenset(("c", "d")) in clustering
+
+    def test_equality_with_frozenset(self):
+        world = PossibleWorld([TupleAlternative("a", 1)])
+        assert world == frozenset([TupleAlternative("a", 1)])
+        assert world == PossibleWorld([TupleAlternative("a", 1)])
+
+
+class TestWorldDistribution:
+    def build(self):
+        return WorldDistribution(
+            [
+                ([TupleAlternative("a", 1), TupleAlternative("b", 2)], 0.5),
+                ([TupleAlternative("a", 1)], 0.3),
+                ([], 0.2),
+            ]
+        )
+
+    def test_probabilities_normalised(self):
+        distribution = self.build()
+        assert math.isclose(distribution.total_probability(), 1.0)
+        assert len(distribution) == 3
+
+    def test_unnormalised_rejected(self):
+        with pytest.raises(ProbabilityError):
+            WorldDistribution([([], 0.5)])
+        WorldDistribution([([], 0.5)], require_normalized=False)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ProbabilityError):
+            WorldDistribution([([], -0.5), ([], 1.5)])
+
+    def test_duplicate_worlds_merged(self):
+        distribution = WorldDistribution(
+            [([TupleAlternative("a", 1)], 0.5), ([TupleAlternative("a", 1)], 0.5)]
+        )
+        assert len(distribution) == 1
+        assert math.isclose(distribution.probabilities[0], 1.0)
+
+    def test_membership_queries(self):
+        distribution = self.build()
+        assert math.isclose(
+            distribution.alternative_probability(TupleAlternative("a", 1)), 0.8
+        )
+        assert math.isclose(distribution.key_probability("b"), 0.5)
+        assert math.isclose(
+            distribution.probability_that(lambda w: len(w) == 0), 0.2
+        )
+
+    def test_expectation_and_answer_distribution(self):
+        distribution = self.build()
+        assert math.isclose(distribution.expectation(len), 0.5 * 2 + 0.3 * 1)
+        sizes = distribution.answer_distribution(len)
+        assert math.isclose(sizes[2], 0.5)
+        assert math.isclose(sizes[0], 0.2)
+
+    def test_support_and_keys(self):
+        distribution = self.build()
+        assert TupleAlternative("b", 2) in distribution.support()
+        assert distribution.tuple_keys() == ["a", "b"]
+
+    def test_sampling_matches_distribution(self):
+        distribution = self.build()
+        rng = random.Random(0)
+        counts = {0: 0, 1: 0, 2: 0}
+        for _ in range(4000):
+            counts[len(distribution.sample(rng))] += 1
+        assert abs(counts[2] / 4000 - 0.5) < 0.05
+        assert abs(counts[0] / 4000 - 0.2) < 0.05

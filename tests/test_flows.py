@@ -1,0 +1,128 @@
+"""Tests for the min-cost-flow substrate, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flows.mincost import max_flow_value, min_cost_flow
+from repro.flows.network import FlowNetwork
+
+
+def build_simple_network():
+    network = FlowNetwork()
+    e1 = network.add_edge("s", "a", capacity=2, cost=1.0)
+    e2 = network.add_edge("s", "b", capacity=2, cost=2.0)
+    e3 = network.add_edge("a", "t", capacity=2, cost=1.0)
+    e4 = network.add_edge("b", "t", capacity=2, cost=1.0)
+    e5 = network.add_edge("a", "b", capacity=1, cost=0.0)
+    return network, (e1, e2, e3, e4, e5)
+
+
+class TestFlowNetwork:
+    def test_vertex_and_edge_bookkeeping(self):
+        network, edges = build_simple_network()
+        assert network.vertex_count() == 4
+        assert network.edge_count() == 5
+        assert network.vertex_index("s") == network.vertex_index("s")
+        with pytest.raises(FlowError):
+            network.vertex_index("missing")
+        with pytest.raises(FlowError):
+            network.flow_on(99)
+
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork()
+        with pytest.raises(FlowError):
+            network.add_edge("a", "b", capacity=-1)
+
+
+class TestMinCostFlow:
+    def test_simple_instance(self):
+        network, edges = build_simple_network()
+        flow, cost = min_cost_flow(network, "s", "t", required_flow=3)
+        assert flow == 3
+        # Cheapest: 2 units via s->a->t (cost 2 each = 4), 1 via s->b->t (3).
+        assert math.isclose(cost, 2 * 2 + 3)
+        assert network.flow_on(edges[0]) == 2
+        assert network.flow_on(edges[1]) == 1
+
+    def test_infeasible_flow(self):
+        network, _ = build_simple_network()
+        with pytest.raises(FlowError):
+            min_cost_flow(network, "s", "t", required_flow=10)
+
+    def test_negative_required_flow_rejected(self):
+        network, _ = build_simple_network()
+        with pytest.raises(FlowError):
+            min_cost_flow(network, "s", "t", required_flow=-1)
+
+    def test_zero_flow(self):
+        network, _ = build_simple_network()
+        assert min_cost_flow(network, "s", "t", required_flow=0) == (0, 0.0)
+
+    def test_negative_costs_supported(self):
+        network = FlowNetwork()
+        cheap = network.add_edge("s", "a", capacity=1, cost=-5.0)
+        network.add_edge("s", "b", capacity=1, cost=0.0)
+        network.add_edge("a", "t", capacity=1, cost=0.0)
+        network.add_edge("b", "t", capacity=1, cost=0.0)
+        flow, cost = min_cost_flow(network, "s", "t", required_flow=1)
+        assert flow == 1
+        assert cost == -5.0
+        assert network.flow_on(cheap) == 1
+
+    def test_max_flow(self):
+        network, _ = build_simple_network()
+        assert max_flow_value(network, "s", "t") == 4
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_instances_match_networkx(self, seed):
+        rng = random.Random(seed)
+        node_count = 6
+        nodes = [f"v{i}" for i in range(node_count)]
+        edges = []
+        for i in range(node_count):
+            for j in range(node_count):
+                if i != j and rng.random() < 0.5:
+                    edges.append(
+                        (nodes[i], nodes[j], rng.randint(1, 4), rng.randint(0, 9))
+                    )
+        if not edges:
+            pytest.skip("empty random graph")
+
+        ours = FlowNetwork()
+        for tail, head, capacity, cost in edges:
+            ours.add_edge(tail, head, capacity=capacity, cost=float(cost))
+        for node in nodes:
+            ours.add_vertex(node)
+
+        reference = networkx.DiGraph()
+        reference.add_nodes_from(nodes)
+        for tail, head, capacity, cost in edges:
+            if reference.has_edge(tail, head):
+                # keep parallel edges comparable by merging capacity at the
+                # same cost only if identical; otherwise skip this instance.
+                pytest.skip("parallel edges generated")
+            reference.add_edge(tail, head, capacity=capacity, weight=cost)
+
+        source, sink = nodes[0], nodes[-1]
+        maximum = networkx.maximum_flow_value(
+            reference, source, sink, capacity="capacity"
+        )
+        if maximum == 0:
+            pytest.skip("source cannot reach sink")
+        target_flow = max(1, maximum // 2)
+        flow, cost = min_cost_flow(ours, source, sink, required_flow=target_flow)
+        assert flow == target_flow
+
+        reference.add_node("super_source")
+        reference.add_edge("super_source", source, capacity=target_flow, weight=0)
+        flow_dict = networkx.max_flow_min_cost(
+            reference, "super_source", sink, capacity="capacity", weight="weight"
+        )
+        reference_cost = networkx.cost_of_flow(reference, flow_dict)
+        assert math.isclose(cost, reference_cost, abs_tol=1e-6)

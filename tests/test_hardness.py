@@ -1,0 +1,112 @@
+"""Tests for the MAX-2-SAT reduction of Section 4.1."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.consensus.hardness import (
+    build_reduction,
+    enumerate_assignments,
+    exhaustive_max_2sat,
+    make_instance,
+    median_answer_by_enumeration,
+    verify_reduction,
+)
+from repro.exceptions import ConsensusError, EnumerationLimitError
+
+
+def random_clauses(seed, variables=4, clauses=6):
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(variables)]
+    out = []
+    for _ in range(clauses):
+        first, second = rng.sample(names, 2)
+        out.append(
+            ((first, rng.random() < 0.5), (second, rng.random() < 0.5))
+        )
+    return out
+
+
+class TestInstanceConstruction:
+    def test_make_instance_infers_variables(self):
+        instance = make_instance([(("a", True), ("b", False))])
+        assert instance.variables == ("a", "b")
+        assert instance.count_satisfied({"a": True, "b": True}) == 1
+        assert instance.count_satisfied({"a": False, "b": True}) == 0
+
+    def test_bad_clause_rejected(self):
+        with pytest.raises(ConsensusError):
+            make_instance([(("a", True),)])
+        with pytest.raises(ConsensusError):
+            make_instance([(("a", 1), ("b", True))])
+
+    def test_enumerate_assignments_limit(self):
+        with pytest.raises(EnumerationLimitError):
+            list(enumerate_assignments([f"x{i}" for i in range(40)]))
+
+
+class TestReduction:
+    def test_result_tuple_probabilities(self):
+        reduction = build_reduction(
+            [
+                (("x", True), ("y", False)),   # standard clause -> 3/4
+                (("x", True), ("x", True)),    # repeated literal -> 1/2
+                (("x", True), ("x", False)),   # tautology -> 1
+            ]
+        )
+        assert reduction.result_tuple_probability(0) == pytest.approx(0.75)
+        assert reduction.result_tuple_probability(1) == pytest.approx(0.5)
+        assert reduction.result_tuple_probability(2) == pytest.approx(1.0)
+
+    def test_variable_relation_is_uniform(self):
+        reduction = build_reduction(random_clauses(0))
+        for key in reduction.variable_relation.keys():
+            assert reduction.variable_relation.key_probability(key) == pytest.approx(1.0)
+            for alternative in reduction.variable_relation.alternatives_of(key):
+                assert reduction.variable_relation.alternative_probability(
+                    alternative
+                ) == pytest.approx(0.5)
+
+    def test_answer_of_assignment(self):
+        clauses = [(("a", True), ("b", False)), (("b", True), ("a", False))]
+        reduction = build_reduction(clauses)
+        answer = reduction.answer_of_assignment({"a": True, "b": True})
+        assert answer == frozenset({0, 1})
+        answer = reduction.answer_of_assignment({"a": False, "b": True})
+        assert answer == frozenset({1})
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_median_answer_solves_max_2sat(self, seed):
+        """The heart of the hardness argument: the median answer of the
+        reduced query corresponds to an optimal MAX-2-SAT assignment."""
+        clauses = random_clauses(seed)
+        reduction = build_reduction(clauses)
+        assert verify_reduction(reduction)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_median_answer_details(self, seed):
+        clauses = random_clauses(seed, variables=3, clauses=5)
+        reduction = build_reduction(clauses)
+        _, optimal_count = exhaustive_max_2sat(reduction.instance)
+        answer, witness, value = median_answer_by_enumeration(reduction)
+        assert len(answer) == optimal_count
+        assert reduction.instance.count_satisfied(witness) == optimal_count
+        # The expected distance equals sum over clauses of min(P, 1-P) plus
+        # the unsatisfied clauses' extra cost.
+        probabilities = [
+            reduction.result_tuple_probability(i)
+            for i in range(len(reduction.instance.clauses))
+        ]
+        expected_value = sum(
+            (1.0 - p) if i in answer else p
+            for i, p in enumerate(probabilities)
+        )
+        assert math.isclose(value, expected_value, abs_tol=1e-12)
+
+    def test_empty_instance(self):
+        assignment, count = exhaustive_max_2sat(make_instance([]))
+        assert assignment == {}
+        assert count == 0

@@ -1,0 +1,101 @@
+"""Tests for consensus worlds under the Jaccard distance (Lemmas 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.jaccard import (
+    expected_jaccard_distance_to_world,
+    mean_world_jaccard_tuple_independent,
+    median_world_jaccard_bid,
+)
+from repro.consensus.set_consensus import is_possible_world
+from repro.core.consensus_bruteforce import (
+    brute_force_mean_world_jaccard,
+    brute_force_median_world,
+    expected_distance,
+)
+from repro.core.distances import jaccard_distance
+from tests.conftest import small_bid, small_tuple_independent, small_xtuple
+
+
+class TestLemma1ExpectedDistance:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_enumeration(self, seed):
+        for tree in (
+            small_tuple_independent(seed, count=4).tree,
+            small_bid(seed, blocks=3).tree,
+            small_xtuple(seed, groups=3).tree,
+        ):
+            distribution = enumerate_worlds(tree)
+            alternatives = tree.alternatives()
+            candidates = [
+                frozenset(),
+                frozenset(alternatives[:1]),
+                frozenset(alternatives[:3]),
+                frozenset(alternatives),
+            ]
+            for candidate in candidates:
+                closed_form = expected_jaccard_distance_to_world(tree, candidate)
+                oracle = expected_distance(
+                    candidate,
+                    distribution,
+                    answer_of=lambda w: w.alternatives,
+                    distance=jaccard_distance,
+                )
+                assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+
+class TestLemma2MeanWorld:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_prefix_scan_is_globally_optimal(self, seed):
+        """Lemma 2: for tuple-independent databases the best prefix of the
+        probability-sorted order is the global mean world."""
+        database = small_tuple_independent(seed, count=5)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        answer, value = mean_world_jaccard_tuple_independent(tree)
+        _, oracle_value = brute_force_mean_world_jaccard(distribution)
+        assert math.isclose(value, oracle_value, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_answer_is_probability_prefix(self, seed):
+        database = small_tuple_independent(seed, count=5)
+        tree = database.tree
+        answer, _ = mean_world_jaccard_tuple_independent(tree)
+        if not answer:
+            return
+        threshold = min(tree.alternative_probability(a) for a in answer)
+        for alternative in tree.alternatives():
+            if tree.alternative_probability(alternative) > threshold + 1e-12:
+                assert alternative in answer
+
+
+class TestBidMedianWorld:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_median_is_possible_world(self, seed):
+        tree = small_bid(seed, blocks=4).tree
+        answer, value = median_world_jaccard_bid(tree)
+        assert is_possible_world(tree, answer)
+        # Its value matches the closed-form evaluation.
+        assert math.isclose(
+            value, expected_jaccard_distance_to_world(tree, answer), abs_tol=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_median_close_to_bruteforce(self, seed):
+        """The paper's prefix-of-best-alternatives algorithm for the BID
+        median; verify it matches the brute-force median on random
+        non-exhaustive instances (where every prefix is a possible world)."""
+        tree = small_bid(seed, blocks=4).tree
+        distribution = enumerate_worlds(tree)
+        answer, value = median_world_jaccard_bid(tree)
+        _, oracle_value = brute_force_median_world(
+            distribution, distance=jaccard_distance
+        )
+        assert value >= oracle_value - 1e-9
+        # The prefix algorithm should be exact on these instances.
+        assert math.isclose(value, oracle_value, abs_tol=1e-6)

@@ -1,0 +1,124 @@
+"""Tests for the Hungarian algorithm and bipartite-matching helpers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.exceptions import MatchingError
+from repro.matching.bipartite import (
+    BipartiteGraph,
+    counts_are_feasible,
+    maximum_cardinality_matching,
+)
+from repro.matching.hungarian import (
+    maximize_profit_assignment,
+    minimize_cost_assignment,
+)
+
+
+class TestHungarian:
+    def test_trivial(self):
+        assignment, cost = minimize_cost_assignment([[5.0]])
+        assert assignment == [0]
+        assert cost == 5.0
+
+    def test_empty(self):
+        assert minimize_cost_assignment([]) == ([], 0.0)
+
+    def test_simple_square(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        assignment, total = minimize_cost_assignment(cost)
+        assert sorted(assignment) == [0, 1, 2]
+        assert total == 1 + 2 + 2 or total == 5.0
+
+    def test_rectangular(self):
+        cost = [[10, 1, 10, 10], [10, 10, 1, 10]]
+        assignment, total = minimize_cost_assignment(cost)
+        assert assignment == [1, 2]
+        assert total == 2
+
+    def test_rows_exceed_cols_rejected(self):
+        with pytest.raises(MatchingError):
+            minimize_cost_assignment([[1], [2]])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(MatchingError):
+            minimize_cost_assignment([[1, 2], [3]])
+
+    def test_maximize(self):
+        profit = [[1, 5], [5, 1]]
+        assignment, total = maximize_profit_assignment(profit)
+        assert total == 10
+        assert assignment == [1, 0]
+
+    @pytest.mark.parametrize("rows,cols,seed", [
+        (3, 3, 0), (4, 6, 1), (5, 5, 2), (6, 9, 3), (8, 8, 4), (2, 10, 5),
+    ])
+    def test_matches_scipy(self, rows, cols, seed):
+        rng = random.Random(seed)
+        cost = [[rng.uniform(-10, 10) for _ in range(cols)] for _ in range(rows)]
+        _, ours = minimize_cost_assignment(cost)
+        row_index, col_index = linear_sum_assignment(numpy.array(cost))
+        reference = float(numpy.array(cost)[row_index, col_index].sum())
+        assert math.isclose(ours, reference, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(
+        st.integers(1, 5),
+        st.integers(0, 4),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scipy_property(self, rows, extra_cols, seed):
+        cols = rows + extra_cols
+        rng = random.Random(seed)
+        cost = [[rng.uniform(-5, 5) for _ in range(cols)] for _ in range(rows)]
+        assignment, ours = minimize_cost_assignment(cost)
+        assert len(set(assignment)) == rows  # all distinct columns
+        row_index, col_index = linear_sum_assignment(numpy.array(cost))
+        reference = float(numpy.array(cost)[row_index, col_index].sum())
+        assert math.isclose(ours, reference, rel_tol=1e-8, abs_tol=1e-8)
+
+
+class TestBipartite:
+    def test_graph_construction(self):
+        graph = BipartiteGraph(left=["a"], right=["x"])
+        graph.add_edge("a", "x")
+        graph.add_edge("b", "y")
+        assert set(graph.left) == {"a", "b"}
+        assert set(graph.right) == {"x", "y"}
+        assert graph.neighbors("a") == ["x"]
+        with pytest.raises(MatchingError):
+            graph.neighbors("missing")
+
+    def test_from_support(self):
+        graph = BipartiteGraph.from_support({"a": ["x", "y"], "b": ["y"]})
+        assert set(graph.neighbors("a")) == {"x", "y"}
+
+    def test_maximum_matching_perfect(self):
+        graph = BipartiteGraph.from_support(
+            {"a": ["x", "y"], "b": ["x"], "c": ["z"]}
+        )
+        matching = maximum_cardinality_matching(graph)
+        assert len(matching) == 3
+        assert matching["b"] == "x"
+
+    def test_maximum_matching_deficient(self):
+        graph = BipartiteGraph.from_support({"a": ["x"], "b": ["x"]})
+        matching = maximum_cardinality_matching(graph)
+        assert len(matching) == 1
+
+    def test_counts_feasibility(self):
+        graph = BipartiteGraph.from_support(
+            {"a": ["x", "y"], "b": ["x"], "c": ["y"]}
+        )
+        assert counts_are_feasible(graph, {"x": 2, "y": 1})
+        assert counts_are_feasible(graph, {"x": 1, "y": 2})
+        assert not counts_are_feasible(graph, {"x": 3, "y": 0})
+        assert not counts_are_feasible(graph, {"x": 1, "y": 1})  # wrong total

@@ -1,0 +1,105 @@
+"""Tests for the model facades (tuple-independent, BID, x-tuples, relation)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ProbabilityError
+from repro.models import (
+    BlockIndependentDatabase,
+    ProbabilisticRelation,
+    TupleIndependentDatabase,
+    XTupleDatabase,
+)
+
+
+class TestTupleIndependentDatabase:
+    def test_construction_and_probabilities(self):
+        database = TupleIndependentDatabase(
+            [("a", 10, 0.5), ("b", 20, 30.0, 0.25)]
+        )
+        assert database.presence_probability("a") == pytest.approx(0.5)
+        assert database.tuple_probabilities() == {"a": 0.5, "b": 0.25}
+        assert len(database) == 2
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ProbabilityError):
+            TupleIndependentDatabase([("a", 1, 0.5), ("a", 2, 0.5)])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ProbabilityError):
+            TupleIndependentDatabase([("a", 1)])
+
+    def test_expected_size_and_distribution(self):
+        database = TupleIndependentDatabase([("a", 1, 0.5), ("b", 2, 0.5)])
+        assert database.expected_size() == pytest.approx(1.0)
+        assert sum(database.size_distribution()) == pytest.approx(1.0)
+
+
+class TestBlockIndependentDatabase:
+    def test_construction(self):
+        database = BlockIndependentDatabase(
+            {"a": [(1, 0.4), (2, 0.4)], "b": [(3, 5.0, 1.0)]}
+        )
+        assert database.block_presence_probability("a") == pytest.approx(0.8)
+        assert database.presence_probability("b") == pytest.approx(1.0)
+        assert set(database.blocks()) == {"a", "b"}
+
+    def test_duplicate_block_rejected(self):
+        with pytest.raises(ProbabilityError):
+            BlockIndependentDatabase([("a", [(1, 0.4)]), ("a", [(2, 0.4)])])
+
+    def test_bad_alternative_arity(self):
+        with pytest.raises(ProbabilityError):
+            BlockIndependentDatabase({"a": [(1, 2, 3, 4)]})
+
+    def test_explicit_scores_survive(self):
+        database = BlockIndependentDatabase({"a": [("red", 7.0, 1.0)]})
+        alternative = database.alternatives()[0]
+        assert alternative.score == 7.0
+
+
+class TestXTupleDatabase:
+    def test_construction(self):
+        database = XTupleDatabase(
+            [[("a", 10, 0.5), ("b", 20, 0.5)], [("c", 30, 15.0, 0.9)]]
+        )
+        assert len(database) == 3
+        assert len(database.groups()) == 2
+        assert database.presence_probability("c") == pytest.approx(0.9)
+
+    def test_mutual_exclusion(self):
+        database = XTupleDatabase([[("a", 10, 0.5), ("b", 20, 0.5)]])
+        worlds = database.possible_worlds()
+        assert all(
+            not (w.contains_key("a") and w.contains_key("b"))
+            for w in worlds.worlds
+        )
+
+    def test_bad_member_arity(self):
+        with pytest.raises(ProbabilityError):
+            XTupleDatabase([[("a", 1)]])
+
+
+class TestProbabilisticRelationFacade:
+    def test_facade_methods(self):
+        database = BlockIndependentDatabase(
+            {"a": [(10, 0.5), (20, 0.5)], "b": [(30, 0.7)]}
+        )
+        assert isinstance(database, ProbabilisticRelation)
+        assert set(database.keys()) == {"a", "b"}
+        assert len(database.alternatives()) == 3
+        probabilities = database.presence_probabilities()
+        assert probabilities["a"] == pytest.approx(1.0)
+        worlds = database.possible_worlds()
+        assert math.isclose(worlds.total_probability(), 1.0)
+        rng = random.Random(0)
+        assert len(database.sample_worlds(10, rng)) == 10
+        world = database.sample_world(rng)
+        assert set(a.key for a in world) <= {"a", "b"}
+        statistics = database.rank_statistics()
+        assert statistics is database.rank_statistics()  # cached
+        assert "tuples" in repr(database)

@@ -1,0 +1,140 @@
+"""Unit and property tests for dense bivariate polynomials."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polynomials import BivariatePolynomial
+
+matrices = st.lists(
+    st.lists(st.floats(-5, 5, allow_nan=False), min_size=1, max_size=4),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestConstruction:
+    def test_zero(self):
+        p = BivariatePolynomial.zero()
+        assert p.degree_x == 0 and p.degree_y == 0
+        assert p.coefficient(0, 0) == 0
+
+    def test_constants_and_variables(self):
+        assert BivariatePolynomial.constant(2.5).evaluate(3, 4) == 2.5
+        assert BivariatePolynomial.variable_x().evaluate(3, 4) == 3
+        assert BivariatePolynomial.variable_y().evaluate(3, 4) == 4
+        assert BivariatePolynomial.one().coefficient(0, 0) == 1
+
+    def test_monomial(self):
+        m = BivariatePolynomial.monomial(2.0, 1, 2)
+        assert m.coefficient(1, 2) == 2.0
+        assert m.evaluate(2, 3) == 2.0 * 2 * 9
+
+    def test_monomial_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            BivariatePolynomial.monomial(1.0, -1, 0)
+
+    def test_trimming(self):
+        p = BivariatePolynomial([[1, 0, 0], [0, 0, 0]])
+        assert p.degree_x == 0 and p.degree_y == 0
+
+    def test_coefficient_out_of_range(self):
+        p = BivariatePolynomial([[1]])
+        assert p.coefficient(5, 5) == 0
+        with pytest.raises(ValueError):
+            p.coefficient(-1, 0)
+
+
+class TestArithmetic:
+    def test_addition_and_subtraction(self):
+        p = BivariatePolynomial([[1, 2], [3, 0]])
+        q = BivariatePolynomial([[0, 1]])
+        assert (p + q).coefficient(0, 1) == 3
+        assert (p - p).rows == ((0,),)
+
+    def test_scalar_operations(self):
+        p = BivariatePolynomial([[1, 2]])
+        assert (p * 2).coefficient(0, 1) == 4
+        assert (p + 1).coefficient(0, 0) == 2
+        assert (-p).coefficient(0, 1) == -2
+
+    def test_multiplication(self):
+        # (x + y)^2 = x^2 + 2xy + y^2
+        x_plus_y = BivariatePolynomial.variable_x() + BivariatePolynomial.variable_y()
+        square = x_plus_y * x_plus_y
+        assert square.coefficient(2, 0) == 1
+        assert square.coefficient(1, 1) == 2
+        assert square.coefficient(0, 2) == 1
+
+    def test_truncation(self):
+        x = BivariatePolynomial.variable_x(max_degree_x=1)
+        y = BivariatePolynomial.variable_y(max_degree_x=1)
+        product = (x + y) * (x + y)
+        assert product.coefficient(2, 0) == 0  # truncated away
+        assert product.coefficient(1, 1) == 2
+
+    def test_unsupported_operand(self):
+        with pytest.raises(TypeError):
+            BivariatePolynomial([[1]]) * "bad"
+
+    def test_bad_variable_limits_merge(self):
+        p = BivariatePolynomial([[1, 1]], max_degree_y=3)
+        q = BivariatePolynomial([[1, 1]], max_degree_y=1)
+        assert (p * q).coefficient(0, 2) == 0
+
+
+class TestExtraction:
+    def test_terms(self):
+        p = BivariatePolynomial([[0, 1], [2, 0]])
+        assert set(p.terms()) == {(0, 1, 1), (1, 0, 2)}
+
+    def test_coefficients_of_y(self):
+        p = BivariatePolynomial([[0, 1], [0, 3], [5, 0]])
+        assert p.coefficients_of_y(1) == [1, 3, 0]
+        assert p.coefficients_of_y(0) == [0, 0, 5]
+
+    def test_sum_of_coefficients(self):
+        p = BivariatePolynomial([[0.25, 0.25], [0.5, 0]])
+        assert math.isclose(p.sum_of_coefficients(), 1.0)
+
+    def test_equality_hash_repr(self):
+        p = BivariatePolynomial([[1, 2]])
+        q = BivariatePolynomial([[1, 2], [0, 0]])
+        assert p == q
+        assert hash(p) == hash(q)
+        assert "x" in repr(BivariatePolynomial([[0, 0], [1, 0]]))
+        assert p.almost_equal(BivariatePolynomial([[1 + 1e-12, 2]]))
+
+
+class TestProperties:
+    @given(matrices, matrices, st.floats(-2, 2), st.floats(-2, 2))
+    @settings(max_examples=50, deadline=None)
+    def test_addition_pointwise(self, a, b, x, y):
+        p, q = BivariatePolynomial(a), BivariatePolynomial(b)
+        assert math.isclose(
+            (p + q).evaluate(x, y),
+            p.evaluate(x, y) + q.evaluate(x, y),
+            rel_tol=1e-8,
+            abs_tol=1e-6,
+        )
+
+    @given(matrices, matrices, st.floats(-2, 2), st.floats(-2, 2))
+    @settings(max_examples=50, deadline=None)
+    def test_multiplication_pointwise(self, a, b, x, y):
+        p, q = BivariatePolynomial(a), BivariatePolynomial(b)
+        assert math.isclose(
+            (p * q).evaluate(x, y),
+            p.evaluate(x, y) * q.evaluate(x, y),
+            rel_tol=1e-6,
+            abs_tol=1e-5,
+        )
+
+    @given(matrices, matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        p, q = BivariatePolynomial(a), BivariatePolynomial(b)
+        assert (p * q).almost_equal(q * p, tolerance=1e-8)

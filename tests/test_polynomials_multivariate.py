@@ -1,0 +1,135 @@
+"""Unit and property tests for sparse multivariate polynomials."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polynomials import (
+    BivariatePolynomial,
+    MultivariatePolynomial,
+    UnivariatePolynomial,
+)
+
+
+def xy(terms, max_degrees=None):
+    return MultivariatePolynomial(("x", "y"), terms, max_degrees=max_degrees)
+
+
+class TestConstruction:
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            MultivariatePolynomial(("x", "x"))
+
+    def test_exponent_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xy({(1,): 2.0})
+
+    def test_zero_one_constant_variable(self):
+        variables = ("x", "y")
+        assert MultivariatePolynomial.zero(variables).is_zero()
+        assert MultivariatePolynomial.one(variables).coefficient({}) == 1
+        assert MultivariatePolynomial.constant(variables, 5).coefficient({}) == 5
+        x = MultivariatePolynomial.variable(variables, "x")
+        assert x.coefficient({"x": 1}) == 1
+        with pytest.raises(ValueError):
+            MultivariatePolynomial.variable(variables, "z")
+
+    def test_zero_coefficients_dropped(self):
+        assert xy({(1, 0): 0.0}).is_zero()
+
+    def test_truncation_drops_terms(self):
+        p = xy({(3, 0): 1.0, (1, 0): 2.0}, max_degrees={"x": 2})
+        assert p.coefficient({"x": 3}) == 0
+        assert p.coefficient({"x": 1}) == 2.0
+
+
+class TestArithmetic:
+    def test_addition_and_subtraction(self):
+        p = xy({(1, 0): 1.0})
+        q = xy({(1, 0): 2.0, (0, 1): 3.0})
+        total = p + q
+        assert total.coefficient({"x": 1}) == 3.0
+        assert (total - q) == p
+
+    def test_scalar_operations(self):
+        p = xy({(1, 1): 2.0})
+        assert (p * 3).coefficient({"x": 1, "y": 1}) == 6.0
+        assert (p + 1).coefficient({}) == 1
+        assert (-p).coefficient({"x": 1, "y": 1}) == -2.0
+
+    def test_multiplication(self):
+        x = MultivariatePolynomial.variable(("x", "y"), "x")
+        y = MultivariatePolynomial.variable(("x", "y"), "y")
+        square = (x + y) * (x + y)
+        assert square.coefficient({"x": 1, "y": 1}) == 2
+
+    def test_incompatible_variables_rejected(self):
+        p = MultivariatePolynomial(("x",), {(1,): 1.0})
+        q = MultivariatePolynomial(("y",), {(1,): 1.0})
+        with pytest.raises(ValueError):
+            p + q
+
+    def test_degree(self):
+        p = xy({(2, 1): 1.0, (0, 3): 2.0})
+        assert p.degree("x") == 2
+        assert p.degree("y") == 3
+        assert MultivariatePolynomial.zero(("x", "y")).degree("x") == 0
+
+    def test_repr_and_hash(self):
+        p = xy({(1, 2): 1.5})
+        assert "y^2" in repr(p)
+        assert hash(p) == hash(xy({(1, 2): 1.5}))
+
+
+class TestAgreementWithDenseRepresentations:
+    """The sparse representation must agree with the specialised ones."""
+
+    @given(
+        st.lists(st.floats(-3, 3, allow_nan=False), min_size=1, max_size=5),
+        st.lists(st.floats(-3, 3, allow_nan=False), min_size=1, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_univariate_product(self, a, b):
+        dense = UnivariatePolynomial(a) * UnivariatePolynomial(b)
+        sparse_a = MultivariatePolynomial(
+            ("x",), {(i,): c for i, c in enumerate(a)}
+        )
+        sparse_b = MultivariatePolynomial(
+            ("x",), {(i,): c for i, c in enumerate(b)}
+        )
+        sparse = sparse_a * sparse_b
+        for exponent in range(dense.degree + 1):
+            assert math.isclose(
+                dense.coefficient(exponent),
+                sparse.coefficient({"x": exponent}),
+                rel_tol=1e-9,
+                abs_tol=1e-9,
+            )
+
+    def test_matches_bivariate_product(self):
+        dense = BivariatePolynomial([[1, 2], [3, 4]]) * BivariatePolynomial(
+            [[0, 1], [1, 0]]
+        )
+        sparse_a = xy({(0, 0): 1, (0, 1): 2, (1, 0): 3, (1, 1): 4})
+        sparse_b = xy({(0, 1): 1, (1, 0): 1})
+        sparse = sparse_a * sparse_b
+        for i in range(dense.degree_x + 1):
+            for j in range(dense.degree_y + 1):
+                assert math.isclose(
+                    dense.coefficient(i, j), sparse.coefficient((i, j))
+                )
+
+    def test_evaluate_and_sum(self):
+        p = xy({(1, 0): 0.5, (0, 1): 0.25, (0, 0): 0.25})
+        assert math.isclose(p.sum_of_coefficients(), 1.0)
+        assert math.isclose(p.evaluate({"x": 2.0, "y": 4.0}), 0.5 * 2 + 1 + 0.25)
+
+    def test_almost_equal(self):
+        p = xy({(1, 0): 1.0})
+        q = xy({(1, 0): 1.0 + 1e-12})
+        assert p.almost_equal(q)
+        assert not p.almost_equal(xy({(1, 0): 1.1}))

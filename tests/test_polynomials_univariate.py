@@ -1,0 +1,172 @@
+"""Unit and property tests for dense univariate polynomials."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polynomials import UnivariatePolynomial
+
+coefficient_lists = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=8
+)
+
+
+class TestConstruction:
+    def test_zero_polynomial(self):
+        p = UnivariatePolynomial.zero()
+        assert p.is_zero()
+        assert p.degree == 0
+        assert p.coefficient(0) == 0
+
+    def test_one_and_constant(self):
+        assert UnivariatePolynomial.one().coefficient(0) == 1
+        assert UnivariatePolynomial.constant(3.5).evaluate(2.0) == 3.5
+
+    def test_variable(self):
+        x = UnivariatePolynomial.variable()
+        assert x.degree == 1
+        assert x.coefficient(1) == 1
+        assert x.evaluate(7.0) == 7.0
+
+    def test_monomial(self):
+        m = UnivariatePolynomial.monomial(2.0, 3)
+        assert m.degree == 3
+        assert m.coefficient(3) == 2.0
+        assert m.coefficient(2) == 0
+
+    def test_monomial_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            UnivariatePolynomial.monomial(1.0, -1)
+
+    def test_trailing_zeros_trimmed(self):
+        p = UnivariatePolynomial([1, 2, 0, 0])
+        assert p.degree == 1
+
+    def test_negative_max_degree_rejected(self):
+        with pytest.raises(ValueError):
+            UnivariatePolynomial([1], max_degree=-1)
+
+    def test_empty_coefficients_is_zero(self):
+        assert UnivariatePolynomial([]).is_zero()
+
+
+class TestArithmetic:
+    def test_addition(self):
+        p = UnivariatePolynomial([1, 2])
+        q = UnivariatePolynomial([3, 0, 5])
+        assert (p + q).coefficients == (4, 2, 5)
+
+    def test_scalar_addition(self):
+        p = UnivariatePolynomial([1, 2])
+        assert (p + 3).coefficients == (4, 2)
+        assert (3 + p).coefficients == (4, 2)
+
+    def test_subtraction(self):
+        p = UnivariatePolynomial([1, 2])
+        q = UnivariatePolynomial([1, 2])
+        assert (p - q).is_zero()
+
+    def test_multiplication(self):
+        # (1 + x) * (1 - x) = 1 - x^2
+        p = UnivariatePolynomial([1, 1])
+        q = UnivariatePolynomial([1, -1])
+        assert (p * q).coefficients == (1, 0, -1)
+
+    def test_scalar_multiplication(self):
+        p = UnivariatePolynomial([1, 2])
+        assert (p * 2).coefficients == (2, 4)
+        assert (2 * p).coefficients == (2, 4)
+        assert (-p).coefficients == (-1, -2)
+
+    def test_truncation_in_multiplication(self):
+        p = UnivariatePolynomial([1, 1], max_degree=2)
+        result = p * p * p  # (1+x)^3 truncated at degree 2
+        assert result.coefficients == (1, 3, 3)
+
+    def test_truncation_limits_merge(self):
+        p = UnivariatePolynomial([1, 1], max_degree=5)
+        q = UnivariatePolynomial([1, 1], max_degree=2)
+        assert (p * q).max_degree == 2
+
+    def test_unsupported_operand(self):
+        p = UnivariatePolynomial([1])
+        with pytest.raises(TypeError):
+            p + "not a polynomial"
+
+
+class TestEvaluation:
+    def test_horner_evaluation(self):
+        p = UnivariatePolynomial([1, 2, 3])  # 1 + 2x + 3x^2
+        assert p.evaluate(2.0) == 1 + 4 + 12
+
+    def test_sum_of_coefficients(self):
+        p = UnivariatePolynomial([0.2, 0.3, 0.5])
+        assert math.isclose(p.sum_of_coefficients(), 1.0)
+
+    def test_coefficient_out_of_range(self):
+        p = UnivariatePolynomial([1, 2])
+        assert p.coefficient(10) == 0
+        with pytest.raises(ValueError):
+            p.coefficient(-1)
+
+
+class TestComparison:
+    def test_equality_and_hash(self):
+        assert UnivariatePolynomial([1, 2]) == UnivariatePolynomial([1, 2, 0])
+        assert hash(UnivariatePolynomial([1, 2])) == hash(
+            UnivariatePolynomial([1, 2])
+        )
+
+    def test_almost_equal(self):
+        p = UnivariatePolynomial([1.0, 2.0])
+        q = UnivariatePolynomial([1.0 + 1e-12, 2.0])
+        assert p.almost_equal(q)
+        assert not p.almost_equal(UnivariatePolynomial([1.1, 2.0]))
+
+    def test_repr_contains_terms(self):
+        assert "x" in repr(UnivariatePolynomial([0, 1]))
+
+
+class TestProperties:
+    @given(coefficient_lists, coefficient_lists, st.floats(-3, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_addition_is_pointwise(self, a, b, x):
+        p, q = UnivariatePolynomial(a), UnivariatePolynomial(b)
+        assert math.isclose(
+            (p + q).evaluate(x), p.evaluate(x) + q.evaluate(x),
+            rel_tol=1e-9, abs_tol=1e-7,
+        )
+
+    @given(coefficient_lists, coefficient_lists, st.floats(-3, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_is_pointwise(self, a, b, x):
+        p, q = UnivariatePolynomial(a), UnivariatePolynomial(b)
+        assert math.isclose(
+            (p * q).evaluate(x), p.evaluate(x) * q.evaluate(x),
+            rel_tol=1e-7, abs_tol=1e-6,
+        )
+
+    @given(coefficient_lists, coefficient_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        p, q = UnivariatePolynomial(a), UnivariatePolynomial(b)
+        assert (p * q).almost_equal(q * p, tolerance=1e-9)
+
+    @given(coefficient_lists, st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_matches_untruncated_prefix(self, a, limit):
+        full = UnivariatePolynomial(a) * UnivariatePolynomial(a)
+        truncated = UnivariatePolynomial(a, max_degree=limit) * UnivariatePolynomial(
+            a, max_degree=limit
+        )
+        for exponent in range(limit + 1):
+            assert math.isclose(
+                truncated.coefficient(exponent),
+                full.coefficient(exponent),
+                rel_tol=1e-9,
+                abs_tol=1e-9,
+            )

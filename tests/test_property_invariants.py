@@ -1,0 +1,157 @@
+"""Hypothesis property tests tying the whole stack together.
+
+Random BID databases are generated from hypothesis strategies, and the
+paper's closed-form / polynomial-time answers are compared against the
+explicit possible-worlds oracle on every generated instance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.consensus.jaccard import expected_jaccard_distance_to_world
+from repro.consensus.set_consensus import (
+    expected_symmetric_difference_to_world,
+    mean_world_symmetric_difference,
+    median_world_symmetric_difference,
+)
+from repro.consensus.topk.footrule import expected_topk_footrule_distance
+from repro.consensus.topk.symmetric_difference import (
+    expected_topk_symmetric_difference,
+    mean_topk_symmetric_difference,
+)
+from repro.core.consensus_bruteforce import (
+    brute_force_mean_topk,
+    brute_force_mean_world,
+    brute_force_median_world,
+    expected_distance,
+)
+from repro.core.distances import jaccard_distance, symmetric_difference_distance
+from repro.core.topk_distances import (
+    topk_footrule_distance,
+    topk_symmetric_difference,
+)
+from repro.models.bid import BlockIndependentDatabase
+
+
+@st.composite
+def bid_databases(draw, min_blocks=2, max_blocks=4, exhaustive=False):
+    """Strategy generating small BID databases with distinct integer scores."""
+    block_count = draw(st.integers(min_blocks, max_blocks))
+    scores = draw(
+        st.lists(
+            st.integers(1, 10_000),
+            min_size=block_count * 2,
+            max_size=block_count * 2,
+            unique=True,
+        )
+    )
+    score_iterator = iter(scores)
+    blocks = []
+    for index in range(block_count):
+        alternative_count = draw(st.integers(1, 2))
+        raw = [
+            draw(st.floats(0.05, 1.0, allow_nan=False))
+            for _ in range(alternative_count)
+        ]
+        if exhaustive:
+            norm = sum(raw)
+        else:
+            norm = sum(raw) / draw(st.floats(0.3, 0.95))
+        alternatives = []
+        for j in range(alternative_count):
+            score = float(next(score_iterator))
+            alternatives.append((score, score, raw[j] / norm))
+        blocks.append((f"t{index + 1}", alternatives))
+    return BlockIndependentDatabase(blocks)
+
+
+class TestSetConsensusProperties:
+    @given(bid_databases())
+    @settings(max_examples=25, deadline=None)
+    def test_mean_world_beats_every_possible_world(self, database):
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        _, mean_value = mean_world_symmetric_difference(tree)
+        for world in distribution.worlds:
+            value = expected_symmetric_difference_to_world(tree, world.alternatives)
+            assert mean_value <= value + 1e-9
+
+    @given(bid_databases())
+    @settings(max_examples=25, deadline=None)
+    def test_median_world_optimal_among_possible_worlds(self, database):
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        _, median_value = median_world_symmetric_difference(tree)
+        _, oracle = brute_force_median_world(distribution)
+        assert math.isclose(median_value, oracle, abs_tol=1e-9)
+
+    @given(bid_databases())
+    @settings(max_examples=20, deadline=None)
+    def test_jaccard_formula_agrees_with_oracle(self, database):
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        candidate = frozenset(tree.alternatives()[:2])
+        closed_form = expected_jaccard_distance_to_world(tree, candidate)
+        oracle = expected_distance(
+            candidate,
+            distribution,
+            answer_of=lambda w: w.alternatives,
+            distance=jaccard_distance,
+        )
+        assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+
+class TestTopKProperties:
+    @given(bid_databases(min_blocks=3, max_blocks=4, exhaustive=True), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_theorem3_formula_and_optimality(self, database, k):
+        tree = database.tree
+        k = min(k, len(tree.keys()))
+        distribution = enumerate_worlds(tree)
+        answer, value = mean_topk_symmetric_difference(tree, k)
+        oracle_value = expected_distance(
+            tuple(answer),
+            distribution,
+            answer_of=lambda w: w.top_k(k),
+            distance=lambda a, b: topk_symmetric_difference(a, b, k=k),
+        )
+        assert math.isclose(value, oracle_value, abs_tol=1e-9)
+        _, best = brute_force_mean_topk(
+            distribution, k, candidate_items=tree.keys()
+        )
+        assert value <= best + 1e-9
+
+    @given(bid_databases(min_blocks=3, max_blocks=4, exhaustive=True), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_footrule_formula_agrees_with_oracle(self, database, k):
+        tree = database.tree
+        k = min(k, len(tree.keys()))
+        distribution = enumerate_worlds(tree)
+        candidate = tuple(tree.keys()[:k])
+        closed_form = expected_topk_footrule_distance(tree, candidate, k)
+        oracle = expected_distance(
+            candidate,
+            distribution,
+            answer_of=lambda w: w.top_k(k),
+            distance=lambda a, b: topk_footrule_distance(a, b, k=k),
+        )
+        assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+    @given(bid_databases(min_blocks=2, max_blocks=4))
+    @settings(max_examples=20, deadline=None)
+    def test_rank_probabilities_are_a_distribution(self, database):
+        statistics = RankStatistics(database.tree)
+        n = statistics.number_of_tuples()
+        for key in statistics.keys():
+            positions = statistics.rank_position_probabilities(key, max_rank=n)
+            assert all(-1e-12 <= p <= 1.0 + 1e-9 for p in positions)
+            total = sum(positions)
+            presence = database.presence_probability(key)
+            assert total <= presence + 1e-9
+            assert math.isclose(total, presence, abs_tol=1e-6)

@@ -1,0 +1,161 @@
+"""Tests for the classical rank-aggregation substrate."""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.exceptions import ConsensusError, EnumerationLimitError
+from repro.rankagg.borda import borda_aggregation, borda_scores
+from repro.rankagg.footrule import (
+    footrule_distance_between_rankings,
+    optimal_footrule_aggregation,
+)
+from repro.rankagg.kemeny import (
+    exact_kemeny_aggregation,
+    exact_kemeny_from_preferences,
+    kendall_tau_between_rankings,
+    pairwise_majority_matrix,
+    weighted_kendall_cost,
+)
+from repro.rankagg.pivot import pivot_aggregation, pivot_rank_aggregation
+
+
+def random_rankings(seed, items=5, voters=4):
+    rng = random.Random(seed)
+    universe = [f"i{j}" for j in range(items)]
+    rankings = []
+    for _ in range(voters):
+        ranking = list(universe)
+        rng.shuffle(ranking)
+        rankings.append((tuple(ranking), rng.uniform(0.5, 2.0)))
+    return rankings
+
+
+class TestKendallAndKemeny:
+    def test_kendall_between_rankings(self):
+        assert kendall_tau_between_rankings(("a", "b", "c"), ("a", "b", "c")) == 0
+        assert kendall_tau_between_rankings(("a", "b", "c"), ("c", "b", "a")) == 3
+        with pytest.raises(ConsensusError):
+            kendall_tau_between_rankings(("a",), ("b",))
+
+    def test_pairwise_majority(self):
+        rankings = [(("a", "b"), 1.0), (("b", "a"), 3.0)]
+        matrix = pairwise_majority_matrix(rankings)
+        assert matrix[("b", "a")] == pytest.approx(0.75)
+        assert matrix[("a", "b")] == pytest.approx(0.25)
+        with pytest.raises(ConsensusError):
+            pairwise_majority_matrix([(("a", "b"), 0.0)])
+
+    def test_weighted_kendall_cost(self):
+        preference = {("a", "b"): 0.8, ("b", "a"): 0.2}
+        assert weighted_kendall_cost(("a", "b"), preference) == pytest.approx(0.2)
+        assert weighted_kendall_cost(("b", "a"), preference) == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_kemeny_is_optimal(self, seed):
+        rankings = random_rankings(seed, items=4)
+        optimum, cost = exact_kemeny_aggregation(rankings)
+        preference = pairwise_majority_matrix(rankings)
+        universe = list(optimum)
+        for candidate in permutations(universe):
+            assert weighted_kendall_cost(candidate, preference) >= cost - 1e-12
+
+    def test_kemeny_enumeration_limit(self):
+        rankings = random_rankings(0, items=9)
+        with pytest.raises(EnumerationLimitError):
+            exact_kemeny_aggregation(rankings, limit=10)
+
+    def test_kemeny_from_preferences_empty(self):
+        ranking, cost = exact_kemeny_from_preferences([], {})
+        assert ranking == ()
+        assert cost == 0.0
+
+
+class TestFootruleAggregation:
+    def test_distance(self):
+        assert footrule_distance_between_rankings(("a", "b"), ("b", "a")) == 2
+        with pytest.raises(ConsensusError):
+            footrule_distance_between_rankings(("a",), ("b",))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_optimal_footrule_is_optimal(self, seed):
+        rankings = random_rankings(seed, items=4)
+        aggregated, cost = optimal_footrule_aggregation(rankings)
+        universe = list(aggregated)
+
+        def total_footrule(candidate):
+            return sum(
+                weight * footrule_distance_between_rankings(candidate, ranking)
+                for ranking, weight in rankings
+            )
+
+        assert math.isclose(cost, total_footrule(aggregated), abs_tol=1e-9)
+        for candidate in permutations(universe):
+            assert total_footrule(candidate) >= cost - 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_footrule_two_approximates_kemeny(self, seed):
+        rankings = random_rankings(seed, items=5)
+        preference = pairwise_majority_matrix(rankings)
+        _, kemeny_cost = exact_kemeny_aggregation(rankings)
+        footrule_answer, _ = optimal_footrule_aggregation(rankings)
+        footrule_kendall_cost = weighted_kendall_cost(footrule_answer, preference)
+        if kemeny_cost == 0:
+            assert footrule_kendall_cost == 0
+        else:
+            assert footrule_kendall_cost <= 2.0 * kemeny_cost + 1e-9
+
+    def test_mismatched_item_sets_rejected(self):
+        with pytest.raises(ConsensusError):
+            optimal_footrule_aggregation([(("a", "b"), 1.0), (("a", "c"), 1.0)])
+        with pytest.raises(ConsensusError):
+            optimal_footrule_aggregation([])
+
+
+class TestPivot:
+    def test_unanimous_input_recovered(self):
+        rankings = [(("a", "b", "c"), 1.0)] * 3
+        assert pivot_rank_aggregation(rankings) == ("a", "b", "c")
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ConsensusError):
+            pivot_aggregation(["a", "a"], lambda x, y: 0.5)
+
+    def test_randomised_pivot_produces_permutation(self):
+        rankings = random_rankings(3, items=6)
+        result = pivot_rank_aggregation(rankings, rng=random.Random(0))
+        assert sorted(result) == sorted({i for r, _ in rankings for i in r})
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_pivot_reasonable_versus_kemeny(self, seed):
+        rankings = random_rankings(seed, items=5)
+        preference = pairwise_majority_matrix(rankings)
+        _, kemeny_cost = exact_kemeny_aggregation(rankings)
+        pivot_answer = pivot_rank_aggregation(rankings)
+        pivot_cost = weighted_kendall_cost(pivot_answer, preference)
+        total_pairs = 5 * 4 / 2
+        # The deterministic pivot is a heuristic; sanity-check that it is
+        # never worse than 3x the optimum on these small instances (the
+        # classical expected guarantee for random pivoting).
+        assert pivot_cost <= max(3.0 * kemeny_cost, 0.35 * total_pairs) + 1e-9
+
+
+class TestBorda:
+    def test_scores(self):
+        rankings = [(("a", "b", "c"), 1.0), (("b", "a", "c"), 1.0)]
+        scores = borda_scores(rankings)
+        assert scores["a"] == pytest.approx(3.0)
+        assert scores["b"] == pytest.approx(3.0)
+        assert scores["c"] == pytest.approx(0.0)
+
+    def test_aggregation_order(self):
+        rankings = [(("a", "b", "c"), 2.0), (("b", "a", "c"), 1.0)]
+        assert borda_aggregation(rankings)[0] == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConsensusError):
+            borda_scores([])

@@ -1,0 +1,148 @@
+"""Tests for consensus worlds under symmetric difference (Theorem 2, Cor. 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.andxor.builders import from_explicit_worlds, x_tuple_tree
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.set_consensus import (
+    expected_symmetric_difference_to_world,
+    is_possible_world,
+    mean_world_symmetric_difference,
+    median_world_symmetric_difference,
+    paper_median_world_claim,
+)
+from repro.core.consensus_bruteforce import (
+    brute_force_mean_world,
+    brute_force_median_world,
+    expected_distance,
+)
+from repro.core.distances import symmetric_difference_distance
+from repro.core.tuples import TupleAlternative
+from tests.conftest import small_bid, small_tuple_independent, small_xtuple
+
+
+def databases_for_seed(seed):
+    return [
+        small_tuple_independent(seed, count=4).tree,
+        small_bid(seed, blocks=3).tree,
+        small_xtuple(seed, groups=3).tree,
+    ]
+
+
+class TestExpectedDistanceFormula:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_enumeration(self, seed):
+        for tree in databases_for_seed(seed):
+            distribution = enumerate_worlds(tree)
+            candidates = [
+                frozenset(),
+                frozenset(tree.alternatives()[:1]),
+                frozenset(distribution.worlds[0].alternatives),
+            ]
+            for candidate in candidates:
+                closed_form = expected_symmetric_difference_to_world(
+                    tree, candidate
+                )
+                oracle = expected_distance(
+                    candidate,
+                    distribution,
+                    answer_of=lambda w: w.alternatives,
+                    distance=symmetric_difference_distance,
+                )
+                assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+    def test_candidate_with_foreign_alternative(self):
+        tree = small_tuple_independent(1, count=3).tree
+        foreign = TupleAlternative("zz", 123456)
+        value = expected_symmetric_difference_to_world(tree, frozenset([foreign]))
+        base = expected_symmetric_difference_to_world(tree, frozenset())
+        # A never-present alternative always costs exactly 1 extra.
+        assert math.isclose(value, base + 1.0)
+
+
+class TestTheorem2MeanWorld:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_mean_world_is_optimal(self, seed):
+        for tree in databases_for_seed(seed):
+            distribution = enumerate_worlds(tree)
+            answer, value = mean_world_symmetric_difference(tree)
+            _, oracle_value = brute_force_mean_world(
+                distribution, restrict_to_valid_worlds=False
+            )
+            assert math.isclose(value, oracle_value, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mean_world_is_high_probability_set(self, seed):
+        tree = small_bid(seed, blocks=4).tree
+        answer, _ = mean_world_symmetric_difference(tree)
+        for alternative in answer:
+            assert tree.alternative_probability(alternative) > 0.5
+        for alternative in tree.alternatives():
+            if alternative not in answer:
+                assert tree.alternative_probability(alternative) <= 0.5 + 1e-12
+
+
+class TestMedianWorld:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_median_world_matches_bruteforce(self, seed):
+        for tree in databases_for_seed(seed):
+            distribution = enumerate_worlds(tree)
+            answer, value = median_world_symmetric_difference(tree)
+            _, oracle_value = brute_force_median_world(distribution)
+            assert math.isclose(value, oracle_value, abs_tol=1e-9)
+            assert is_possible_world(tree, answer)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_corollary1_holds_for_bid_with_slack(self, seed):
+        """For BID databases whose blocks can be empty, the > 1/2 set is a
+        possible world, so Corollary 1 applies verbatim."""
+        tree = small_bid(seed, blocks=4).tree  # non-exhaustive blocks
+        claimed, possible = paper_median_world_claim(tree)
+        assert possible
+        median, median_value = median_world_symmetric_difference(tree)
+        assert math.isclose(
+            expected_symmetric_difference_to_world(tree, claimed),
+            median_value,
+            abs_tol=1e-9,
+        )
+
+    def test_corollary1_counterexample(self):
+        """A three-way exhaustive xor block with all probabilities below 1/2:
+        the > 1/2 set is empty, which is not a possible world, so the paper's
+        statement needs the caveat documented in the module."""
+        tree = x_tuple_tree(
+            [[(("a", 3), 0.4), (("b", 2), 0.3), (("c", 1), 0.3)]]
+        )
+        claimed, possible = paper_median_world_claim(tree)
+        assert claimed == frozenset()
+        assert not possible
+        median, value = median_world_symmetric_difference(tree)
+        # The true median picks the most likely tuple (a).
+        assert median == frozenset([TupleAlternative("a", 3)])
+        distribution = enumerate_worlds(tree)
+        _, oracle_value = brute_force_median_world(distribution)
+        assert math.isclose(value, oracle_value, abs_tol=1e-12)
+
+    def test_median_of_explicit_worlds(self):
+        tree = from_explicit_worlds(
+            [
+                ([("a", 1), ("b", 2)], 0.45),
+                ([("a", 1)], 0.35),
+                ([("c", 3)], 0.2),
+            ]
+        )
+        answer, value = median_world_symmetric_difference(tree)
+        distribution = enumerate_worlds(tree)
+        _, oracle_value = brute_force_median_world(distribution)
+        assert math.isclose(value, oracle_value, abs_tol=1e-12)
+
+    def test_median_never_beats_mean(self):
+        for seed in range(1, 5):
+            for tree in databases_for_seed(seed):
+                _, mean_value = mean_world_symmetric_difference(tree)
+                _, median_value = median_world_symmetric_difference(tree)
+                assert median_value >= mean_value - 1e-9

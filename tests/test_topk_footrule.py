@@ -1,0 +1,102 @@
+"""Tests for Top-k consensus under the Spearman footrule distance (Sec. 5.4).
+
+These tests are the reproduction of experiment F2 (the Figure 2 derivation):
+the assignment-problem decomposition must equal the brute-force expected
+footrule distance, and its optimum must match exhaustive search.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.consensus.topk.footrule import (
+    FootruleStatistics,
+    expected_topk_footrule_distance,
+    mean_topk_footrule,
+)
+from repro.core.consensus_bruteforce import brute_force_mean_topk, expected_distance
+from repro.core.topk_distances import topk_footrule_distance
+from repro.exceptions import ConsensusError
+from tests.conftest import small_bid, small_tuple_independent, small_xtuple
+
+
+class TestFigure2Decomposition:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 3), (4, 2), (5, 3)])
+    def test_formula_matches_enumeration(self, seed, k):
+        """Experiment F2: C + sum_i f(tau(i), i) equals the true expectation."""
+        for tree in (
+            small_tuple_independent(seed, count=5).tree,
+            small_bid(seed, blocks=4, exhaustive=True).tree,
+            small_xtuple(seed, groups=4).tree,
+        ):
+            distribution = enumerate_worlds(tree)
+            keys = tree.keys()
+            candidates = [tuple(keys[:k]), tuple(reversed(keys[:k]))]
+            for candidate in candidates:
+                closed_form = expected_topk_footrule_distance(tree, candidate, k)
+                oracle = expected_distance(
+                    candidate,
+                    distribution,
+                    answer_of=lambda w: w.top_k(k),
+                    distance=lambda a, b: topk_footrule_distance(a, b, k=k),
+                )
+                assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+    def test_upsilon_statistics(self):
+        tree = small_bid(2, blocks=4, exhaustive=True).tree
+        k = 2
+        footrule = FootruleStatistics(tree, k)
+        for key in footrule.keys():
+            upsilon1 = footrule.upsilon1(key)
+            upsilon2 = footrule.upsilon2(key)
+            assert 0.0 <= upsilon1 <= 1.0 + 1e-9
+            assert upsilon1 <= upsilon2 + 1e-9 <= k * upsilon1 + 1e-9
+        with pytest.raises(ConsensusError):
+            footrule.upsilon3(footrule.keys()[0], 0)
+
+    def test_invalid_candidates_rejected(self):
+        tree = small_tuple_independent(1, count=4).tree
+        with pytest.raises(ConsensusError):
+            expected_topk_footrule_distance(tree, ("t1",), 2)
+        with pytest.raises(ConsensusError):
+            expected_topk_footrule_distance(tree, ("t1", "t1"), 2)
+
+
+class TestExactMeanAnswer:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 3), (4, 2), (6, 3)])
+    def test_assignment_solution_is_optimal(self, seed, k):
+        for tree in (
+            small_tuple_independent(seed, count=5).tree,
+            small_bid(seed, blocks=4, exhaustive=True).tree,
+        ):
+            distribution = enumerate_worlds(tree)
+            answer, value = mean_topk_footrule(tree, k)
+            _, oracle_value = brute_force_mean_topk(
+                distribution, k, distance="footrule",
+                candidate_items=tree.keys(),
+            )
+            assert math.isclose(value, oracle_value, abs_tol=1e-9)
+
+    def test_certain_database_recovers_true_ranking(self):
+        """With no uncertainty the footrule consensus is the true Top-k."""
+        from repro.models.bid import BlockIndependentDatabase
+
+        database = BlockIndependentDatabase(
+            {
+                "a": [(40, 1.0)],
+                "b": [(30, 1.0)],
+                "c": [(20, 1.0)],
+                "d": [(10, 1.0)],
+            }
+        )
+        answer, value = mean_topk_footrule(database.tree, 2)
+        assert answer == ("a", "b")
+        assert math.isclose(value, 0.0, abs_tol=1e-12)
+
+    def test_returns_distinct_tuples(self):
+        tree = small_bid(12, blocks=5).tree
+        answer, _ = mean_topk_footrule(tree, 3)
+        assert len(set(answer)) == 3

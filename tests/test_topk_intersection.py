@@ -1,0 +1,132 @@
+"""Tests for Top-k consensus under the intersection metric (Section 5.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.consensus.topk.intersection import (
+    approximate_topk_intersection,
+    expected_topk_intersection_distance,
+    intersection_objective,
+    mean_topk_intersection,
+)
+from repro.consensus.topk.ranking_functions import (
+    harmonic_number,
+    parameterized_ranking_function,
+    upsilon_h,
+)
+from repro.core.consensus_bruteforce import brute_force_mean_topk, expected_distance
+from repro.core.topk_distances import topk_intersection_distance
+from repro.exceptions import ConsensusError
+from tests.conftest import small_bid, small_tuple_independent, small_xtuple
+
+
+class TestExpectedDistanceFormula:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 3), (3, 2), (4, 3)])
+    def test_matches_enumeration(self, seed, k):
+        for tree in (
+            small_tuple_independent(seed, count=5).tree,
+            small_bid(seed, blocks=4, exhaustive=True).tree,
+        ):
+            distribution = enumerate_worlds(tree)
+            keys = tree.keys()
+            candidates = [tuple(keys[:k]), tuple(reversed(keys[-k:]))]
+            for candidate in candidates:
+                closed_form = expected_topk_intersection_distance(
+                    tree, candidate, k
+                )
+                oracle = expected_distance(
+                    candidate,
+                    distribution,
+                    answer_of=lambda w: w.top_k(k),
+                    distance=lambda a, b: topk_intersection_distance(a, b, k=k),
+                )
+                assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+    def test_wrong_answer_length_rejected(self):
+        tree = small_tuple_independent(1, count=4).tree
+        with pytest.raises(ConsensusError):
+            expected_topk_intersection_distance(tree, ("t1",), 2)
+
+
+class TestExactMeanAnswer:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 3), (4, 2), (5, 3)])
+    def test_assignment_solution_is_optimal(self, seed, k):
+        for tree in (
+            small_tuple_independent(seed, count=5).tree,
+            small_bid(seed, blocks=4, exhaustive=True).tree,
+        ):
+            distribution = enumerate_worlds(tree)
+            answer, value = mean_topk_intersection(tree, k)
+            _, oracle_value = brute_force_mean_topk(
+                distribution, k, distance="intersection",
+                candidate_items=tree.keys(),
+            )
+            assert math.isclose(value, oracle_value, abs_tol=1e-9)
+
+    def test_returns_distinct_tuples(self):
+        tree = small_bid(11, blocks=5).tree
+        answer, _ = mean_topk_intersection(tree, 3)
+        assert len(set(answer)) == 3
+
+
+class TestUpsilonHApproximation:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 3), (3, 2), (6, 3), (7, 4)])
+    def test_objective_within_harmonic_factor(self, seed, k):
+        """The paper's guarantee: A(tau_H) >= A(tau*) / H_k."""
+        tree = small_bid(seed, blocks=5, exhaustive=True).tree
+        statistics = RankStatistics(tree)
+        exact_answer, _ = mean_topk_intersection(statistics, k)
+        approx_answer, _ = approximate_topk_intersection(statistics, k)
+        exact_objective = intersection_objective(statistics, exact_answer, k)
+        approx_objective = intersection_objective(statistics, approx_answer, k)
+        assert approx_objective >= exact_objective / harmonic_number(k) - 1e-9
+        # And of course the exact answer has the larger objective.
+        assert exact_objective >= approx_objective - 1e-9
+
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 3), (4, 2)])
+    def test_expected_distance_ordering(self, seed, k):
+        tree = small_tuple_independent(seed, count=6).tree
+        _, exact_value = mean_topk_intersection(tree, k)
+        _, approx_value = approximate_topk_intersection(tree, k)
+        assert approx_value >= exact_value - 1e-9
+
+    def test_upsilon_h_values(self):
+        """Upsilon_H(t) = sum_{i<=k} Pr(r(t)<=i)/i, cross-checked directly."""
+        tree = small_bid(3, blocks=4).tree
+        statistics = RankStatistics(tree)
+        k = 3
+        values = upsilon_h(statistics, k)
+        for key in statistics.keys():
+            expected = sum(
+                statistics.rank_at_most(key, i) / i for i in range(1, k + 1)
+            )
+            assert math.isclose(values[key], expected, abs_tol=1e-9)
+
+    def test_parameterized_ranking_function_constant_weight(self):
+        """With weight 1 on every position up to k, Upsilon equals Pr(r<=k)."""
+        tree = small_bid(5, blocks=4).tree
+        statistics = RankStatistics(tree)
+        k = 2
+        values = parameterized_ranking_function(
+            statistics, weight=lambda i: 1.0, max_rank=k
+        )
+        for key in statistics.keys():
+            assert math.isclose(
+                values[key], statistics.rank_at_most(key, k), abs_tol=1e-9
+            )
+
+
+class TestHarmonicNumbers:
+    def test_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1.0 + 0.5 + 1 / 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)

@@ -1,0 +1,86 @@
+"""Tests for Top-k consensus under the Kendall tau distance (Section 5.5)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.consensus.topk.kendall import (
+    approximate_topk_kendall,
+    brute_force_mean_topk_kendall,
+    expected_topk_kendall_distance,
+    footrule_topk_for_kendall,
+)
+from repro.exceptions import ConsensusError, EnumerationLimitError
+from tests.conftest import small_bid, small_tuple_independent
+
+
+class TestExpectedDistance:
+    def test_enumerate_and_sample_agree(self):
+        tree = small_bid(1, blocks=4, exhaustive=True).tree
+        k = 2
+        answer = tuple(tree.keys()[:k])
+        exact = expected_topk_kendall_distance(tree, answer, k, method="enumerate")
+        estimate = expected_topk_kendall_distance(
+            tree, answer, k, method="sample", samples=4000,
+            rng=random.Random(0),
+        )
+        assert abs(exact - estimate) < 0.15
+
+    def test_unknown_method_rejected(self):
+        tree = small_bid(1, blocks=3).tree
+        with pytest.raises(ConsensusError):
+            expected_topk_kendall_distance(tree, tree.keys()[:1], 1, method="bogus")
+
+
+class TestApproximations:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 2), (4, 2)])
+    def test_footrule_route_within_factor_two(self, seed, k):
+        """d_F-optimal answers 2-approximate the Kendall optimum (and in
+        practice usually match it on small instances)."""
+        tree = small_bid(seed, blocks=4, exhaustive=True).tree
+        optimal_answer, optimal_value = brute_force_mean_topk_kendall(tree, k)
+        footrule_answer = footrule_topk_for_kendall(tree, k)
+        footrule_value = expected_topk_kendall_distance(tree, footrule_answer, k)
+        if optimal_value < 1e-12:
+            assert footrule_value < 1e-9
+        else:
+            assert footrule_value <= 2.0 * optimal_value + 1e-9
+
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 2), (5, 3)])
+    def test_pivot_route_close_to_optimal(self, seed, k):
+        """The pivot aggregation on Pr(r(ti) < r(tj)) stays within the
+        constant-factor regime the paper targets (we check a factor of 2 on
+        these small instances, and 3/2 empirically in the benchmarks)."""
+        tree = small_bid(seed, blocks=4, exhaustive=True).tree
+        optimal_answer, optimal_value = brute_force_mean_topk_kendall(tree, k)
+        pivot_answer = approximate_topk_kendall(tree, k)
+        pivot_value = expected_topk_kendall_distance(tree, pivot_answer, k)
+        assert len(set(pivot_answer)) == k
+        if optimal_value < 1e-12:
+            assert pivot_value < 1e-9
+        else:
+            assert pivot_value <= 2.0 * optimal_value + 1e-9
+
+    def test_pivot_with_rng_and_pool(self):
+        tree = small_tuple_independent(3, count=6).tree
+        answer = approximate_topk_kendall(
+            tree, 3, candidate_pool_size=5, rng=random.Random(1)
+        )
+        assert len(answer) == 3
+
+    def test_certain_database_recovers_true_ranking(self):
+        from repro.models.bid import BlockIndependentDatabase
+
+        database = BlockIndependentDatabase(
+            {"a": [(40, 1.0)], "b": [(30, 1.0)], "c": [(20, 1.0)]}
+        )
+        assert approximate_topk_kendall(database.tree, 2) == ("a", "b")
+        assert footrule_topk_for_kendall(database.tree, 2) == ("a", "b")
+
+    def test_bruteforce_limits(self):
+        tree = small_tuple_independent(1, count=6).tree
+        with pytest.raises(EnumerationLimitError):
+            brute_force_mean_topk_kendall(tree, 5, candidate_limit=10)

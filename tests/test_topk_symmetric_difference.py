@@ -1,0 +1,215 @@
+"""Tests for Top-k consensus under symmetric difference (Theorems 3 and 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.andxor.enumeration import enumerate_worlds
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.consensus.topk.symmetric_difference import (
+    expected_topk_symmetric_difference,
+    mean_topk_symmetric_difference,
+    median_topk_symmetric_difference,
+)
+from repro.core.consensus_bruteforce import (
+    brute_force_mean_topk,
+    brute_force_median_topk,
+    expected_distance,
+)
+from repro.core.topk_distances import topk_symmetric_difference
+from repro.exceptions import ConsensusError, InfeasibleAnswerError
+from repro.models.bid import BlockIndependentDatabase
+from tests.conftest import small_bid, small_tuple_independent, small_xtuple
+
+
+class TestExpectedDistanceFormula:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 3), (4, 1)])
+    def test_matches_enumeration(self, seed, k):
+        for tree in (
+            small_tuple_independent(seed, count=5).tree,
+            small_bid(seed, blocks=4).tree,
+            small_xtuple(seed, groups=4).tree,
+        ):
+            distribution = enumerate_worlds(tree)
+            keys = tree.keys()
+            candidates = [tuple(keys[:k]), tuple(keys[-k:])]
+            for candidate in candidates:
+                closed_form = expected_topk_symmetric_difference(
+                    tree, candidate, k
+                )
+                oracle = expected_distance(
+                    candidate,
+                    distribution,
+                    answer_of=lambda w: w.top_k(k),
+                    distance=lambda a, b: topk_symmetric_difference(a, b, k=k),
+                )
+                assert math.isclose(closed_form, oracle, abs_tol=1e-9)
+
+    def test_unknown_tuple_rejected(self):
+        tree = small_tuple_independent(1, count=4).tree
+        with pytest.raises(ConsensusError):
+            expected_topk_symmetric_difference(tree, ("nope",), 2)
+
+    def test_invalid_k_rejected(self):
+        tree = small_tuple_independent(1, count=4).tree
+        with pytest.raises(ConsensusError):
+            mean_topk_symmetric_difference(tree, 0)
+        with pytest.raises(ConsensusError):
+            mean_topk_symmetric_difference(tree, 10)
+
+
+class TestTheorem3MeanAnswer:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 3), (4, 2), (5, 3)])
+    def test_mean_answer_is_optimal(self, seed, k):
+        for tree in (
+            small_tuple_independent(seed, count=5).tree,
+            small_bid(seed, blocks=4).tree,
+        ):
+            distribution = enumerate_worlds(tree)
+            answer, value = mean_topk_symmetric_difference(tree, k)
+            _, oracle_value = brute_force_mean_topk(
+                distribution, k, distance="symmetric_difference",
+                candidate_items=tree.keys(),
+            )
+            assert math.isclose(value, oracle_value, abs_tol=1e-9)
+
+    def test_mean_answer_is_largest_membership(self):
+        tree = small_bid(7, blocks=5).tree
+        k = 2
+        statistics = RankStatistics(tree)
+        membership = statistics.top_k_membership_probabilities(k)
+        answer, _ = mean_topk_symmetric_difference(statistics, k)
+        cutoff = min(membership[key] for key in answer)
+        for key, probability in membership.items():
+            if probability > cutoff + 1e-12:
+                assert key in answer
+
+    def test_accepts_statistics_and_tree(self):
+        tree = small_bid(8, blocks=4).tree
+        statistics = RankStatistics(tree)
+        assert mean_topk_symmetric_difference(tree, 2) == (
+            mean_topk_symmetric_difference(statistics, 2)
+        )
+
+
+class TestTheorem4MedianAnswer:
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (3, 3), (4, 2), (5, 1)])
+    def test_median_matches_bruteforce_on_exhaustive_bid(self, seed, k):
+        """On attribute-uncertainty databases (every block exhaustive) every
+        world has exactly n tuples, so the paper's assumption |pw| >= k holds
+        and the DP must equal the brute-force median."""
+        database = small_bid(seed, blocks=4, exhaustive=True)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        answer, value = median_topk_symmetric_difference(tree, k)
+        _, oracle_value = brute_force_median_topk(
+            distribution, k, distance="symmetric_difference"
+        )
+        assert math.isclose(value, oracle_value, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 2), (6, 2)])
+    def test_median_matches_bruteforce_on_exhaustive_xtuples(self, seed, k):
+        database = small_xtuple(seed, groups=4, exhaustive=True)
+        tree = database.tree
+        distribution = enumerate_worlds(tree)
+        answer, value = median_topk_symmetric_difference(tree, k)
+        _, oracle_value = brute_force_median_topk(
+            distribution, k, distance="symmetric_difference"
+        )
+        assert math.isclose(value, oracle_value, abs_tol=1e-9)
+
+    def test_median_answer_is_some_worlds_topk(self):
+        database = small_bid(9, blocks=4, exhaustive=True)
+        tree = database.tree
+        k = 2
+        answer, _ = median_topk_symmetric_difference(tree, k)
+        distribution = enumerate_worlds(tree)
+        possible_answers = {world.top_k(k) for world in distribution.worlds}
+        assert tuple(answer) in possible_answers
+
+    def test_median_never_beats_mean(self):
+        for seed in range(1, 6):
+            tree = small_bid(seed, blocks=4, exhaustive=True).tree
+            _, mean_value = mean_topk_symmetric_difference(tree, 2)
+            _, median_value = median_topk_symmetric_difference(tree, 2)
+            assert median_value >= mean_value - 1e-9
+
+    @pytest.mark.parametrize("seed,k", [(1, 2), (2, 3), (3, 2), (4, 4), (5, 3)])
+    def test_tuple_independent_fast_sweep_matches_generic_dp(self, seed, k):
+        """The O(n log k) tuple-independent median sweep must agree with the
+        generic Theorem 4 dynamic program (both optimise over size-k
+        answers)."""
+        database = small_tuple_independent(seed, count=6)
+        fast_statistics = RankStatistics(database.tree, use_fast_path=True)
+        generic_statistics = RankStatistics(database.tree, use_fast_path=False)
+        try:
+            _, fast_value = median_topk_symmetric_difference(fast_statistics, k)
+        except InfeasibleAnswerError:
+            with pytest.raises(InfeasibleAnswerError):
+                median_topk_symmetric_difference(generic_statistics, k)
+            return
+        _, generic_value = median_topk_symmetric_difference(
+            generic_statistics, k
+        )
+        assert math.isclose(fast_value, generic_value, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_tuple_independent_fast_sweep_with_certain_tuples(self, seed):
+        """With enough certain tuples every world has >= k tuples, so the
+        sweep must also match the brute-force median."""
+        import random as random_module
+
+        rng = random_module.Random(seed)
+        scores = rng.sample(range(10, 500), 6)
+        tuples = []
+        for index, score in enumerate(scores):
+            probability = 1.0 if index % 2 == 0 else rng.uniform(0.2, 0.9)
+            tuples.append((f"t{index}", score, float(score), probability))
+        from repro.models.tuple_independent import TupleIndependentDatabase
+
+        database = TupleIndependentDatabase(tuples)
+        k = 3
+        distribution = enumerate_worlds(database.tree)
+        answer, value = median_topk_symmetric_difference(database.tree, k)
+        _, oracle_value = brute_force_median_topk(distribution, k)
+        assert math.isclose(value, oracle_value, abs_tol=1e-9)
+        possible_answers = {world.top_k(k) for world in distribution.worlds}
+        assert tuple(answer) in possible_answers
+
+    def test_certain_tuple_forces_membership(self):
+        """A certain high-score tuple must appear in every median answer."""
+        from repro.models.tuple_independent import TupleIndependentDatabase
+
+        database = TupleIndependentDatabase(
+            [
+                ("sure", 100, 100.0, 1.0),
+                ("likely", 90, 90.0, 0.9),
+                ("rare", 80, 80.0, 0.1),
+                ("low", 10, 10.0, 0.9),
+            ]
+        )
+        answer, _ = median_topk_symmetric_difference(database.tree, 2)
+        assert "sure" in answer
+
+    def test_worked_example(self):
+        """A hand-checkable instance: t1 is a strong but uncertain leader."""
+        database = BlockIndependentDatabase(
+            {
+                "t1": [(100, 0.55), (1, 0.45)],
+                "t2": [(90, 1.0)],
+                "t3": [(80, 1.0)],
+                "t4": [(70, 1.0)],
+            }
+        )
+        answer, _ = mean_topk_symmetric_difference(database.tree, 2)
+        # Pr(r(t2) <= 2) = 1, Pr(r(t3) <= 2) = 0.45, Pr(r(t1) <= 2) = 0.55.
+        assert set(answer) == {"t1", "t2"}
+        median, _ = median_topk_symmetric_difference(database.tree, 2)
+        assert set(median) == {"t1", "t2"}
+
+    def test_infeasible_when_worlds_too_small(self):
+        database = BlockIndependentDatabase({"t1": [(10, 0.5)]})
+        with pytest.raises((InfeasibleAnswerError, ConsensusError)):
+            median_topk_symmetric_difference(database.tree, 2)

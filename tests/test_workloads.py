@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators and named scenarios."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.exceptions import WorkloadError
+from repro.workloads.generators import (
+    random_andxor_tree,
+    random_bid_database,
+    random_groupby_matrix,
+    random_tuple_independent_database,
+    random_xtuple_database,
+)
+from repro.workloads.scenarios import (
+    extraction_groupby_scenario,
+    movie_rating_scenario,
+    sensor_network_scenario,
+)
+from repro.workloads.scores import gaussian_scores, uniform_scores, zipf_scores
+
+
+class TestScores:
+    @pytest.mark.parametrize(
+        "factory", [uniform_scores, zipf_scores, gaussian_scores]
+    )
+    def test_distinct_scores(self, factory):
+        rng = random.Random(0)
+        scores = factory(200, rng)
+        assert len(scores) == 200
+        assert len(set(scores)) == 200
+
+    def test_invalid_parameters(self):
+        rng = random.Random(0)
+        with pytest.raises(WorkloadError):
+            uniform_scores(-1, rng)
+        with pytest.raises(WorkloadError):
+            uniform_scores(3, rng, low=5, high=1)
+        with pytest.raises(WorkloadError):
+            zipf_scores(3, rng, exponent=0)
+        with pytest.raises(WorkloadError):
+            gaussian_scores(3, rng, standard_deviation=0)
+
+
+class TestGenerators:
+    def test_tuple_independent_reproducible(self):
+        first = random_tuple_independent_database(20, rng=5)
+        second = random_tuple_independent_database(20, rng=5)
+        assert first.tuple_probabilities() == second.tuple_probabilities()
+        assert len(first) == 20
+
+    def test_tuple_independent_bounds_checked(self):
+        with pytest.raises(WorkloadError):
+            random_tuple_independent_database(5, min_probability=0.9, max_probability=0.1)
+
+    def test_bid_exhaustive_blocks_sum_to_one(self):
+        database = random_bid_database(10, rng=1, exhaustive=True)
+        for key in database.keys():
+            assert math.isclose(
+                database.block_presence_probability(key), 1.0, abs_tol=1e-9
+            )
+
+    def test_bid_valid_rank_statistics(self):
+        database = random_bid_database(8, rng=2)
+        statistics = RankStatistics(database.tree)
+        assert len(statistics.keys()) == 8
+
+    def test_bid_bad_bounds(self):
+        with pytest.raises(WorkloadError):
+            random_bid_database(3, min_alternatives=0)
+
+    def test_xtuple_generator(self):
+        database = random_xtuple_database(6, rng=3, exhaustive=True)
+        assert len(database.groups()) == 6
+        with pytest.raises(WorkloadError):
+            random_xtuple_database(3, min_members=2, max_members=1)
+
+    def test_random_andxor_tree_valid(self):
+        tree = random_andxor_tree(15, rng=4)
+        tree.validate()
+        assert len(tree.keys()) == 15
+        with pytest.raises(WorkloadError):
+            random_andxor_tree(0)
+
+    def test_zipf_scored_database(self):
+        database = random_tuple_independent_database(
+            10, rng=6, score_distribution="zipf"
+        )
+        assert len(database) == 10
+        with pytest.raises(WorkloadError):
+            random_tuple_independent_database(5, score_distribution="bogus")
+
+    def test_groupby_matrix_rows_sum_to_one(self):
+        rows = random_groupby_matrix(10, 4, rng=7)
+        assert len(rows) == 10
+        for row in rows:
+            assert math.isclose(sum(row.values()), 1.0, abs_tol=1e-9)
+        with pytest.raises(WorkloadError):
+            random_groupby_matrix(0, 3)
+        with pytest.raises(WorkloadError):
+            random_groupby_matrix(3, 3, sparsity=1.5)
+
+
+class TestScenarios:
+    def test_sensor_network(self):
+        scenario = sensor_network_scenario(sensor_count=6)
+        assert len(scenario.database) == 6
+        # Every sensor surely reports something (attribute uncertainty only).
+        for key in scenario.database.keys():
+            assert scenario.database.presence_probability(key) == pytest.approx(1.0)
+        RankStatistics(scenario.database.tree)
+
+    def test_movie_ratings(self):
+        scenario = movie_rating_scenario(movie_count=8)
+        assert len(scenario.database) == 8
+        assert "movie" in scenario.description
+
+    def test_extraction_groupby(self):
+        scenario = extraction_groupby_scenario(mention_count=10, company_count=3)
+        assert len(scenario.database) == 10
+        values = {a.value for a in scenario.database.alternatives()}
+        assert values <= {f"company{i + 1}" for i in range(3)}
