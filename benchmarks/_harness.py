@@ -3,17 +3,28 @@
 Every experiment (see DESIGN.md, Section 2) produces a small table of
 measured quantities -- empirical optimality gaps, approximation ratios,
 runtimes -- alongside the pytest-benchmark timing statistics.  The helpers
-here print those tables and persist them under ``benchmarks/results/`` so the
-numbers recorded in EXPERIMENTS.md can be regenerated with a single
-``pytest benchmarks/ --benchmark-only`` run.
+here print those tables and persist them under ``benchmarks/results/`` --
+a text rendering plus a machine-readable JSON document that records the
+active compute backend (``repro.engine``), so BENCH trajectories can tell
+NumPy runs from pure-Python runs.  Everything can be regenerated with a
+single ``pytest benchmarks/ --benchmark-only`` run.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from typing import Iterable, Sequence
 
+from repro.engine import get_backend
+
 RESULTS_DIRECTORY = os.path.join(os.path.dirname(__file__), "results")
+
+
+def active_backend() -> str:
+    """Name of the compute backend benchmarks are running on."""
+    return get_backend().name
 
 
 def format_table(
@@ -47,8 +58,10 @@ def report(
     notes: str = "",
 ) -> str:
     """Print an experiment table and persist it under benchmarks/results/."""
+    rows = [list(row) for row in rows]
     table = format_table(header, rows)
-    body = f"[{experiment}] {title}\n{table}"
+    backend = active_backend()
+    body = f"[{experiment}] {title} (backend: {backend})\n{table}"
     if notes:
         body += f"\n{notes}"
     print("\n" + body)
@@ -56,4 +69,24 @@ def report(
     path = os.path.join(RESULTS_DIRECTORY, f"{experiment}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(body + "\n")
+    document = {
+        "experiment": experiment,
+        "title": title,
+        "backend": backend,
+        "header": list(header),
+        "rows": [[_json_cell(cell) for cell in row] for row in rows],
+        "notes": notes,
+    }
+    json_path = os.path.join(RESULTS_DIRECTORY, f"{experiment}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
     return body
+
+
+def _json_cell(cell: object) -> object:
+    if isinstance(cell, float) and (math.isnan(cell) or math.isinf(cell)):
+        return None  # keep the document strict JSON (no bare NaN/Infinity)
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
+    return str(cell)

@@ -95,7 +95,7 @@ def test_e4_runtime_scaling(benchmark):
 
     def run():
         statistics._rank_cache.clear()
-        statistics._fast_cache.clear()
+        statistics._matrix_cache.clear()
         return mean_topk_symmetric_difference(statistics, k)
 
     benchmark(run)

@@ -1,7 +1,10 @@
 """Pytest configuration for the benchmark harness.
 
 Ensures the shared harness helpers (``_harness.py``) are importable and that
-the package itself can be imported straight from a source checkout.
+the package itself can be imported straight from a source checkout, and adds
+a ``--repro-backend`` option selecting the compute backend benchmarks run on
+(``pytest benchmarks/ --repro-backend=python`` forces the pure fallback;
+the ``REPRO_BACKEND`` environment variable works everywhere else).
 """
 
 from __future__ import annotations
@@ -14,3 +17,24 @@ _SRC = os.path.join(os.path.dirname(_HERE), "src")
 for path in (_HERE, _SRC):
     if path not in sys.path:
         sys.path.insert(0, path)
+
+
+def pytest_addoption(parser):
+    # Only takes effect when benchmarks/ is on the initial command line
+    # (pytest registers conftest options for the directories it is invoked
+    # on); plain `pytest` from the repo root ignores it harmlessly.
+    parser.addoption(
+        "--repro-backend",
+        action="store",
+        default=None,
+        choices=("auto", "python", "numpy"),
+        help="compute backend for repro.engine (default: auto-detect)",
+    )
+
+
+def pytest_configure(config):
+    choice = config.getoption("--repro-backend", default=None)
+    if choice:
+        from repro.engine import set_backend
+
+        set_backend(None if choice == "auto" else choice)

@@ -18,6 +18,8 @@ The package is organised bottom-up:
 * :mod:`repro.baselines` -- prior Top-k ranking semantics.
 * :mod:`repro.algebra` -- a lineage-based probabilistic SPJ algebra.
 * :mod:`repro.workloads` -- synthetic workload generators and scenarios.
+* :mod:`repro.engine` -- the vectorized compute engine every layer above
+  runs on: pluggable array backends plus batched rank matrices.
 
 Quickstart
 ----------
@@ -28,6 +30,34 @@ Quickstart
 ...     "t3": [(70, 0.5)],
 ... })
 >>> answer, distance = mean_topk_symmetric_difference(database.tree, k=2)
+
+Compute backends
+----------------
+All polynomial convolutions and rank-probability sweeps run through
+:func:`repro.engine.get_backend`.  Two backends ship: ``numpy`` (vectorized;
+requires the optional ``numpy`` dependency, e.g. ``pip install repro[fast]``)
+and ``python`` (dependency-free reference).  By default the NumPy backend is
+picked when importable; override with the ``REPRO_BACKEND`` environment
+variable (``numpy`` | ``python`` | ``auto``) or programmatically:
+
+>>> from repro.engine import set_backend, use_backend
+>>> set_backend("python")           # doctest: +SKIP
+>>> with use_backend("numpy"):      # doctest: +SKIP
+...     ...
+
+Batched rank probabilities
+--------------------------
+:meth:`RankStatistics.rank_matrix` returns a
+:class:`~repro.engine.RankMatrix` -- the dense ``n_tuples × max_rank``
+matrix of ``Pr(r(t) = i)`` with a key index, computed in one backend sweep.
+Its views power the Top-k consensus algorithms:
+
+>>> from repro import RankStatistics
+>>> statistics = RankStatistics(database.tree)
+>>> matrix = statistics.rank_matrix(2)
+>>> matrix.row("t2")                # [Pr(r=1), Pr(r=2)]  # doctest: +SKIP
+>>> matrix.cumulative().to_dict()   # Pr(r(t) <= i) per key  # doctest: +SKIP
+>>> matrix.membership()             # Pr(r(t) <= 2) per key  # doctest: +SKIP
 """
 
 from repro.core.tuples import TupleAlternative
@@ -43,6 +73,7 @@ from repro.andxor.builders import (
 )
 from repro.andxor.enumeration import enumerate_worlds
 from repro.andxor.rank_probabilities import RankStatistics
+from repro.engine import RankMatrix, get_backend, set_backend, use_backend
 from repro.models import (
     BlockIndependentDatabase,
     ProbabilisticRelation,
@@ -84,6 +115,10 @@ __all__ = [
     "coexistence_group_tree",
     "enumerate_worlds",
     "RankStatistics",
+    "RankMatrix",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "ProbabilisticRelation",
     "TupleIndependentDatabase",
     "BlockIndependentDatabase",

@@ -25,6 +25,7 @@ from typing import Callable, Mapping, Optional, Sequence
 
 from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
 from repro.andxor.tree import AndXorTree
+from repro.engine import get_backend
 from repro.exceptions import ModelError
 from repro.polynomials import (
     BivariatePolynomial,
@@ -122,10 +123,17 @@ def univariate_generating_function(
                 result = result + recurse(child) * probability
             return result
         if isinstance(node, AndNode):
-            result = one
-            for child in node.children():
-                result = result * recurse(child)
-            return result
+            # Multiply-accumulate the children's coefficient lists in one
+            # backend call instead of materialising the intermediate
+            # polynomial after every factor.
+            factors = [recurse(child)._coefficients for child in node.children()]
+            if not factors:
+                return one
+            out_len = sum(len(factor) - 1 for factor in factors) + 1
+            if max_degree is not None:
+                out_len = min(out_len, max_degree + 1)
+            product = get_backend().polynomial_product(factors, out_len)
+            return UnivariatePolynomial(product, max_degree=max_degree)
         raise ModelError(f"unsupported node type {type(node).__name__}")
 
     return recurse(tree.root)

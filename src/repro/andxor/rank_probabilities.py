@@ -26,6 +26,7 @@ from repro.andxor.generating import bivariate_generating_function
 from repro.andxor.nodes import Leaf
 from repro.andxor.tree import AndXorTree
 from repro.core.tuples import TupleAlternative
+from repro.engine import RankMatrix, get_backend
 from repro.exceptions import ModelError
 
 
@@ -63,7 +64,7 @@ class RankStatistics:
         self._fast_layout: Optional[List[Tuple[Hashable, float, float]]] = (
             self._detect_fast_layout() if use_fast_path else None
         )
-        self._fast_cache: Dict[int, Dict[Hashable, List[float]]] = {}
+        self._matrix_cache: Dict[int, RankMatrix] = {}
 
     def _detect_fast_layout(
         self,
@@ -98,33 +99,40 @@ class RankStatistics:
         layout.sort(key=lambda item: -item[2])
         return layout
 
-    def _fast_rank_table(self, max_rank: int) -> Dict[Hashable, List[float]]:
-        """One-pass rank distributions for tuple-independent databases.
+    def rank_matrix(self, max_rank: int | None = None) -> RankMatrix:
+        """Batched rank-position probabilities for every tuple at once.
 
-        Processing tuples in decreasing score order while maintaining the
-        truncated generating function ``Π (1 - p_i + p_i x)`` of the
-        already-processed (higher-scoring) tuples, the probability that the
-        current tuple has rank ``j`` is its own probability times the
-        coefficient of ``x^(j-1)``.
+        Returns the :class:`~repro.engine.RankMatrix` whose row for key
+        ``t`` is ``[Pr(r(t) = 1), ..., Pr(r(t) = max_rank)]``.  For
+        tuple-independent databases the whole matrix is produced by one
+        backend sweep of the running product ``Π (1 - p_i + p_i x)`` in
+        decreasing score order (the probability that a tuple has rank ``j``
+        is its own probability times the coefficient of ``x^(j-1)``); the
+        general and/xor layout assembles the matrix from the per-alternative
+        bivariate generating functions.  Matrices are cached per
+        ``max_rank``.
         """
-        cached = self._fast_cache.get(max_rank)
+        if max_rank is None:
+            max_rank = self.number_of_tuples()
+        cached = self._matrix_cache.get(max_rank)
         if cached is not None:
             return cached
-        assert self._fast_layout is not None
-        coefficients = [1.0] + [0.0] * (max_rank - 1)
-        table: Dict[Hashable, List[float]] = {}
-        for key, probability, _ in self._fast_layout:
-            table[key] = [probability * c for c in coefficients]
-            # Multiply the running product by (1 - p + p x), truncated.
-            previous = 0.0
-            for index in range(max_rank):
-                current = coefficients[index]
-                coefficients[index] = (
-                    current * (1.0 - probability) + previous * probability
-                )
-                previous = current
-        self._fast_cache[max_rank] = table
-        return table
+        backend = get_backend()
+        if self._fast_layout is not None:
+            keys = [key for key, _, _ in self._fast_layout]
+            probabilities = [p for _, p, _ in self._fast_layout]
+            native = backend.rank_probability_matrix(probabilities, max_rank)
+        else:
+            keys = self.keys()
+            native = backend.matrix_from_rows(
+                [
+                    self._general_rank_positions(key, max_rank)
+                    for key in keys
+                ]
+            )
+        matrix = RankMatrix(keys, native, backend, max_rank)
+        self._matrix_cache[max_rank] = matrix
+        return matrix
 
     def _validate_scores(self) -> None:
         by_score: Dict[float, TupleAlternative] = {}
@@ -184,14 +192,20 @@ class RankStatistics:
         """
         if max_rank is None:
             max_rank = self.number_of_tuples()
+        if self._fast_layout is not None:
+            matrix = self.rank_matrix(max_rank)
+            if key not in matrix:
+                raise ModelError(f"unknown tuple key {key!r}")
+            return matrix.row(key)
+        return self._general_rank_positions(key, max_rank)
+
+    def _general_rank_positions(
+        self, key: Hashable, max_rank: int
+    ) -> List[float]:
+        """Per-key rank distribution via bivariate generating functions."""
         cached = self._rank_cache.get((key, max_rank))
         if cached is not None:
             return list(cached)
-        if self._fast_layout is not None:
-            table = self._fast_rank_table(max_rank)
-            if key not in table:
-                raise ModelError(f"unknown tuple key {key!r}")
-            return list(table[key])
         result = [0.0] * max_rank
         for alternative in self._tree.alternatives_of(key):
             score = self._scores[alternative]
@@ -227,20 +241,11 @@ class RankStatistics:
 
     def rank_at_most_table(self, k: int) -> Dict[Hashable, List[float]]:
         """``Pr(r(t) <= i)`` for every tuple and every ``i`` in ``1..k``."""
-        table: Dict[Hashable, List[float]] = {}
-        for key in self.keys():
-            positions = self.rank_position_probabilities(key, max_rank=k)
-            cumulative = []
-            running = 0.0
-            for probability in positions:
-                running += probability
-                cumulative.append(running)
-            table[key] = cumulative
-        return table
+        return self.rank_matrix(k).cumulative().to_dict()
 
     def top_k_membership_probabilities(self, k: int) -> Dict[Hashable, float]:
         """``Pr(r(t) <= k)`` for every tuple key."""
-        return {key: self.rank_at_most(key, k) for key in self.keys()}
+        return self.rank_matrix(k).membership()
 
     # ------------------------------------------------------------------
     # Pairwise preferences and expected ranks
@@ -333,12 +338,8 @@ def rank_position_probabilities(
 ) -> Dict[Hashable, List[float]]:
     """``Pr(r(t) = i)`` for every tuple key and position ``i <= max_rank``."""
     statistics = RankStatistics(tree)
-    if max_rank is None:
-        max_rank = statistics.number_of_tuples()
-    return {
-        key: statistics.rank_position_probabilities(key, max_rank=max_rank)
-        for key in statistics.keys()
-    }
+    matrix = statistics.rank_matrix(max_rank)
+    return {key: matrix.row(key) for key in statistics.keys()}
 
 
 def rank_at_most_probabilities(

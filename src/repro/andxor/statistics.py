@@ -8,12 +8,44 @@ algorithms of Sections 4-6.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.andxor.generating import univariate_generating_function
-from repro.andxor.nodes import Leaf
+from repro.andxor.nodes import AndNode, Leaf, XorNode
 from repro.andxor.tree import AndXorTree
 from repro.core.tuples import TupleAlternative
+from repro.engine import get_backend
+# Trailing-zero trimming shared with the polynomial representation, so the
+# Bernoulli fast path returns the same shape as the generating-function path
+# (e.g. a probability-0 leaf must not lengthen the distribution).
+from repro.polynomials.univariate import _trim as _trimmed
+
+
+def _independent_leaf_probabilities(
+    tree: AndXorTree, marked: Callable[[Leaf], bool] | None = None
+) -> Optional[List[float]]:
+    """Leaf probabilities when the tree is an AND of single-leaf XOR blocks.
+
+    In that (tuple-independent) layout the size generating function is the
+    plain Bernoulli product ``Π (1 - p_i + p_i x)`` over the marked leaves
+    -- an unmarked leaf contributes ``(1 - p) + p * 1 = 1`` -- which the
+    backend evaluates in one batched sweep.  Returns None when the layout
+    does not apply.
+    """
+    root = tree.root
+    if not isinstance(root, AndNode):
+        return None
+    probabilities: List[float] = []
+    for child in root.children():
+        if not isinstance(child, XorNode):
+            return None
+        edges = child.edges()
+        if len(edges) != 1 or not edges[0][0].is_leaf():
+            return None
+        leaf, probability = edges[0]
+        if marked is None or marked(leaf):
+            probabilities.append(probability)
+    return probabilities
 
 
 def size_distribution(tree: AndXorTree) -> List[float]:
@@ -21,6 +53,9 @@ def size_distribution(tree: AndXorTree) -> List[float]:
 
     Returns a list ``d`` with ``d[i] = Pr(|pw| = i)``.
     """
+    probabilities = _independent_leaf_probabilities(tree)
+    if probabilities is not None:
+        return _trimmed(get_backend().bernoulli_product(probabilities))
     polynomial = univariate_generating_function(tree)
     return list(polynomial.coefficients)
 
@@ -32,6 +67,9 @@ def subset_size_distribution(
 
     This is Example 2 of the paper.
     """
+    probabilities = _independent_leaf_probabilities(tree, marked)
+    if probabilities is not None:
+        return _trimmed(get_backend().bernoulli_product(probabilities))
     polynomial = univariate_generating_function(tree, marked=marked)
     return list(polynomial.coefficients)
 

@@ -32,6 +32,7 @@ from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
     as_rank_statistics,
+    rank_matrix_view,
     validate_k,
 )
 from repro.exceptions import ConsensusError, EnumerationLimitError
@@ -78,11 +79,8 @@ def u_rank_topk(source: TreeOrStatistics, k: int) -> TopKAnswer:
     the tuples not already used at earlier positions.
     """
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    position_probabilities: Dict[Hashable, List[float]] = {
-        key: statistics.rank_position_probabilities(key, max_rank=k)
-        for key in statistics.keys()
-    }
+    matrix = rank_matrix_view(statistics, k)
+    position_probabilities: Dict[Hashable, List[float]] = matrix.to_dict()
     answer: List[Hashable] = []
     used = set()
     for position in range(1, k + 1):
@@ -113,8 +111,7 @@ def probabilistic_threshold_topk(
             f"the PT-k threshold must lie in (0, 1], got {threshold}"
         )
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    membership = statistics.top_k_membership_probabilities(k)
+    membership = rank_matrix_view(statistics, k).membership()
     selected = [
         key for key, probability in membership.items()
         if probability >= threshold
@@ -127,8 +124,7 @@ def probabilistic_threshold_topk(
 def global_topk(source: TreeOrStatistics, k: int) -> TopKAnswer:
     """The Global-Top-k answer: ``k`` tuples with largest ``Pr(r(t) <= k)``."""
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    membership = statistics.top_k_membership_probabilities(k)
+    membership = rank_matrix_view(statistics, k).membership()
     return tuple(
         sorted(membership, key=lambda key: (-membership[key], repr(key)))[:k]
     )

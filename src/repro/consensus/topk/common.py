@@ -6,6 +6,7 @@ from typing import Hashable, List, Sequence, Tuple, Union
 
 from repro.andxor.rank_probabilities import RankStatistics
 from repro.andxor.tree import AndXorTree
+from repro.engine import RankMatrix
 from repro.exceptions import ConsensusError
 
 TreeOrStatistics = Union[AndXorTree, RankStatistics]
@@ -41,6 +42,20 @@ def validate_k(statistics: RankStatistics, k: int) -> int:
     return k
 
 
+def rank_matrix_view(
+    statistics: RankStatistics, k: int, cumulative: bool = False
+) -> RankMatrix:
+    """The validated ``n_tuples × k`` rank matrix of a database.
+
+    The shared entry point the Top-k consensus algorithms use instead of
+    assembling per-key ``List[float]`` dictionaries one lookup at a time;
+    ``cumulative=True`` returns the ``Pr(r(t) <= i)`` view.
+    """
+    validate_k(statistics, k)
+    matrix = statistics.rank_matrix(k)
+    return matrix.cumulative() if cumulative else matrix
+
+
 def order_by_score(
     statistics: RankStatistics, keys: Sequence[Hashable]
 ) -> TopKAnswer:
@@ -49,12 +64,13 @@ def order_by_score(
     This is the natural presentation order for order-insensitive answers such
     as the symmetric-difference consensus.
     """
-    def best_score(key: Hashable) -> float:
-        return max(
+    best_score = {
+        key: max(
             statistics.score_of(alternative)
             for alternative in statistics.tree.alternatives_of(key)
         )
-
+        for key in keys
+    }
     return tuple(
-        sorted(keys, key=lambda key: (-best_score(key), repr(key)))
+        sorted(keys, key=lambda key: (-best_score[key], repr(key)))
     )

@@ -34,6 +34,7 @@ from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
     as_rank_statistics,
+    rank_matrix_view,
     validate_k,
 )
 from repro.exceptions import ConsensusError
@@ -46,10 +47,13 @@ class FootruleStatistics:
     def __init__(self, source: TreeOrStatistics, k: int) -> None:
         self._statistics = as_rank_statistics(source)
         self._k = validate_k(self._statistics, k)
-        self._positions: Dict[Hashable, List[float]] = {
-            key: self._statistics.rank_position_probabilities(key, max_rank=k)
-            for key in self._statistics.keys()
-        }
+        self._matrix = rank_matrix_view(self._statistics, k)
+        self._positions: Dict[Hashable, List[float]] = self._matrix.to_dict()
+        # Υ1 and Υ2 for all tuples in two weighted row sums.
+        self._upsilon1 = self._matrix.membership()
+        self._upsilon2 = self._matrix.weighted_sums(
+            [float(i) for i in range(1, k + 1)]
+        )
 
     @property
     def k(self) -> int:
@@ -62,14 +66,11 @@ class FootruleStatistics:
 
     def upsilon1(self, key: Hashable) -> float:
         """``Υ1(t) = Pr(r(t) <= k)``."""
-        return sum(self._positions[key])
+        return self._upsilon1[key]
 
     def upsilon2(self, key: Hashable) -> float:
         """``Υ2(t) = Σ_{i<=k} i Pr(r(t) = i)``."""
-        return sum(
-            (i + 1) * probability
-            for i, probability in enumerate(self._positions[key])
-        )
+        return self._upsilon2[key]
 
     def upsilon3(self, key: Hashable, position: int) -> float:
         """``Υ3(t, i) = Σ_{j<=k} Pr(r(t)=j) |i-j| - i Pr(r(t) > k)``.

@@ -21,12 +21,13 @@ and the benchmark harness measures the empirical gap.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Hashable, Sequence, Tuple
 
 from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
     as_rank_statistics,
+    rank_matrix_view,
     validate_k,
 )
 from repro.consensus.topk.ranking_functions import upsilon_h
@@ -34,27 +35,23 @@ from repro.exceptions import ConsensusError
 from repro.matching.hungarian import maximize_profit_assignment
 
 
-def _rank_at_most_table(statistics, k: int) -> Dict[Hashable, List[float]]:
-    """``Pr(r(t) <= i)`` for every tuple and ``i = 1..k`` (cached upstream)."""
-    return statistics.rank_at_most_table(k)
-
-
 def expected_topk_intersection_distance(
     source: TreeOrStatistics, answer: Sequence[Hashable], k: int
 ) -> float:
     """Expected intersection distance between ``answer`` and the random Top-k."""
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
     answer = tuple(answer)
     if len(answer) != k:
         raise ConsensusError(
             f"the candidate answer must have exactly k = {k} items"
         )
-    table = _rank_at_most_table(statistics, k)
+    cumulative = rank_matrix_view(statistics, k, cumulative=True)
+    totals = cumulative.column_totals()
+    table = cumulative.to_dict()
     total = 0.0
     for i in range(1, k + 1):
         prefix = set(answer[:i])
-        value = i + sum(column[i - 1] for column in table.values())
+        value = i + totals[i - 1]
         value -= 2.0 * sum(table[key][i - 1] for key in prefix)
         total += value / (2.0 * i)
     return total / k
@@ -65,7 +62,7 @@ def intersection_objective(
 ) -> float:
     """The objective ``A(τ)`` maximised by the mean intersection answer."""
     statistics = as_rank_statistics(source)
-    table = _rank_at_most_table(statistics, k)
+    table = rank_matrix_view(statistics, k, cumulative=True).to_dict()
     total = 0.0
     for i in range(1, k + 1):
         prefix = answer[:i]
@@ -83,17 +80,16 @@ def mean_topk_intersection(
     answer and its expected intersection distance.
     """
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    keys = statistics.keys()
-    table = _rank_at_most_table(statistics, k)
-    # profit[position j - 1][tuple index]
-    profit = [
-        [
-            sum(table[key][i - 1] / i for i in range(j, k + 1))
-            for key in keys
-        ]
-        for j in range(1, k + 1)
-    ]
+    cumulative = rank_matrix_view(statistics, k, cumulative=True)
+    keys = cumulative.keys()
+    # profit[position j - 1][tuple index]: one weighted row sum per
+    # position, with weights 1/i on the suffix i >= j.
+    harmonic_weights = [1.0 / i for i in range(1, k + 1)]
+    profit = []
+    for j in range(1, k + 1):
+        weights = [0.0] * (j - 1) + harmonic_weights[j - 1 :]
+        row_sums = cumulative.weighted_sums(weights)
+        profit.append([row_sums[key] for key in keys])
     assignment, _ = maximize_profit_assignment(profit)
     answer = tuple(keys[column] for column in assignment)
     return answer, expected_topk_intersection_distance(statistics, answer, k)

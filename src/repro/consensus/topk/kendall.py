@@ -34,6 +34,7 @@ from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
     as_rank_statistics,
+    rank_matrix_view,
     validate_k,
 )
 from repro.consensus.topk.footrule import mean_topk_footrule
@@ -96,8 +97,7 @@ def approximate_topk_kendall(
     ``k`` items form the answer.
     """
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    membership = statistics.top_k_membership_probabilities(k)
+    membership = rank_matrix_view(statistics, k).membership()
     if candidate_pool_size is None:
         candidate_pool_size = min(2 * k, len(membership))
     candidate_pool_size = max(candidate_pool_size, k)

@@ -19,6 +19,7 @@ from repro.consensus.topk.common import (
     as_rank_statistics,
     validate_k,
 )
+from repro.engine import RankMatrix
 
 
 def harmonic_number(n: int) -> float:
@@ -33,18 +34,15 @@ def parameterized_ranking_function(
     weight: Callable[[int], float],
     max_rank: int,
 ) -> Dict[Hashable, float]:
-    """``Υ_ω(t) = Σ_{i=1..max_rank} ω(i) Pr(r(t) = i)`` for every tuple."""
+    """``Υ_ω(t) = Σ_{i=1..max_rank} ω(i) Pr(r(t) = i)`` for every tuple.
+
+    Evaluated for all tuples at once as a matrix-vector product of the
+    batched :class:`~repro.engine.RankMatrix` with the weight vector.
+    """
     statistics = as_rank_statistics(source)
-    values: Dict[Hashable, float] = {}
-    for key in statistics.keys():
-        positions = statistics.rank_position_probabilities(
-            key, max_rank=max_rank
-        )
-        values[key] = sum(
-            weight(i + 1) * probability
-            for i, probability in enumerate(positions)
-        )
-    return values
+    matrix: RankMatrix = statistics.rank_matrix(max_rank)
+    weights = [weight(position) for position in range(1, max_rank + 1)]
+    return matrix.weighted_sums(weights)
 
 
 def upsilon_h(source: TreeOrStatistics, k: int) -> Dict[Hashable, float]:

@@ -32,7 +32,7 @@ from repro.consensus.topk.common import (
     TreeOrStatistics,
     as_rank_statistics,
     order_by_score,
-    validate_k,
+    rank_matrix_view,
 )
 from repro.core.tuples import TupleAlternative
 from repro.exceptions import ConsensusError, InfeasibleAnswerError, ModelError
@@ -55,9 +55,9 @@ def expected_topk_symmetric_difference(
     by ``2k``.
     """
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
+    matrix = rank_matrix_view(statistics, k)
     answer_set = set(answer)
-    membership = statistics.top_k_membership_probabilities(k)
+    membership = matrix.membership()
     for key in answer_set:
         if key not in membership:
             raise ConsensusError(f"answer mentions unknown tuple {key!r}")
@@ -81,8 +81,7 @@ def mean_topk_symmetric_difference(
     normalised distance.
     """
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    membership = statistics.top_k_membership_probabilities(k)
+    membership = rank_matrix_view(statistics, k).membership()
     chosen = sorted(
         membership, key=lambda key: (-membership[key], repr(key))
     )[:k]
@@ -231,9 +230,8 @@ def median_topk_symmetric_difference(
     the ``O(n log k)`` sweep described in the module docstring.
     """
     statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
     tree = statistics.tree
-    membership = statistics.top_k_membership_probabilities(k)
+    membership = rank_matrix_view(statistics, k).membership()
     layout = statistics.independent_tuple_layout()
     if layout is not None:
         members = _median_topk_tuple_independent(layout, membership, k)

@@ -1,0 +1,129 @@
+"""Vectorized compute engine: pluggable array backends + batched matrices.
+
+All hot numeric loops of the reproduction -- polynomial convolutions,
+``Π (1 - p_i + p_i x)`` products, the one-pass rank-distribution sweep --
+run through a :class:`~repro.engine.backends.Backend`.  Two implementations
+ship:
+
+* ``python`` -- :class:`PurePythonBackend`, the dependency-free reference.
+* ``numpy`` -- :class:`NumpyBackend`, vectorized float64 kernels (requires
+  the optional ``numpy`` dependency, installable via the ``[fast]`` extra).
+
+Selection
+---------
+``get_backend()`` resolves, in order:
+
+1. an explicit ``set_backend(...)`` / ``use_backend(...)`` override,
+2. the ``REPRO_BACKEND`` environment variable (``numpy``, ``python`` or
+   ``auto``),
+3. ``auto``: NumPy when importable, pure Python otherwise.
+
+>>> from repro.engine import get_backend, use_backend
+>>> get_backend().name  # doctest: +SKIP
+'numpy'
+>>> with use_backend("python"):
+...     ...  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.engine.backends import (
+    Backend,
+    NumpyBackend,
+    PurePythonBackend,
+    numpy_available,
+)
+from repro.engine.rank_matrix import RankMatrix
+
+__all__ = [
+    "Backend",
+    "PurePythonBackend",
+    "NumpyBackend",
+    "RankMatrix",
+    "available_backends",
+    "get_backend",
+    "numpy_available",
+    "set_backend",
+    "use_backend",
+]
+
+_ENV_VARIABLE = "REPRO_BACKEND"
+_active_backend: Optional[Backend] = None
+
+
+def available_backends() -> list:
+    """Names of the backends usable in this environment."""
+    names = ["python"]
+    if numpy_available():
+        names.append("numpy")
+    return names
+
+
+def _backend_by_name(name: str) -> Backend:
+    normalized = name.strip().lower()
+    if normalized in ("auto", ""):
+        return NumpyBackend() if numpy_available() else PurePythonBackend()
+    if normalized in ("python", "pure", "purepython"):
+        return PurePythonBackend()
+    if normalized == "numpy":
+        return NumpyBackend()
+    raise ValueError(
+        f"unknown backend {name!r}; expected 'numpy', 'python' or 'auto'"
+    )
+
+
+def get_backend() -> Backend:
+    """The active backend (resolving ``REPRO_BACKEND`` on first use)."""
+    global _active_backend
+    if _active_backend is None:
+        _active_backend = _backend_by_name(
+            os.environ.get(_ENV_VARIABLE, "auto")
+        )
+    return _active_backend
+
+
+def set_backend(backend: Union[Backend, str, None]) -> Backend:
+    """Set the active backend explicitly.
+
+    ``backend`` may be a :class:`Backend` instance, a name (``"numpy"``,
+    ``"python"``, ``"auto"``) or ``None`` to drop the override and
+    re-resolve from the environment on next use.  Returns the backend now
+    active.
+    """
+    global _active_backend
+    if backend is None:
+        # Drop the override but stay lazy: report what the environment
+        # resolves to right now without caching it, so later environment
+        # changes still take effect on the next get_backend() call.
+        _active_backend = None
+        return _backend_by_name(os.environ.get(_ENV_VARIABLE, "auto"))
+    if isinstance(backend, str):
+        backend = _backend_by_name(backend)
+    if not isinstance(backend, Backend):
+        raise TypeError(
+            f"expected a Backend, a backend name or None, got {backend!r}"
+        )
+    _active_backend = backend
+    return backend
+
+
+@contextmanager
+def use_backend(backend: Union[Backend, str, None]) -> Iterator[Backend]:
+    """Context manager scoping a backend override.
+
+    Note that caches keyed on results (e.g.
+    :class:`~repro.andxor.rank_probabilities.RankStatistics` instances)
+    retain whatever backend computed them; create fresh statistics inside
+    the context when comparing backends.
+    """
+    global _active_backend
+    previous = _active_backend
+    active = set_backend(backend)
+    try:
+        yield active
+    finally:
+        _active_backend = previous

@@ -1,0 +1,548 @@
+"""Pluggable array backends for the hot numeric kernels.
+
+Every probability the paper needs is a coefficient extraction from a
+generating function, and the generating-function arithmetic reduces to a
+handful of dense kernels: truncated polynomial convolution (univariate and
+bivariate), multiply-accumulate products of many small factors, the
+``Π (1 - p_i + p_i x)`` Bernoulli products of tuple-independent databases,
+and the prefix-product sweep that yields every tuple's rank distribution in
+one pass.  This module defines the :class:`Backend` interface for those
+kernels and two implementations:
+
+* :class:`PurePythonBackend` -- the reference semantics, dependency-free.
+  It preserves exact arithmetic (``int`` and ``fractions.Fraction``
+  coefficients stay exact).
+* :class:`NumpyBackend` -- vectorized ``float64`` kernels.  Inputs with
+  non-float coefficients (e.g. ``Fraction``) or very small operands are
+  transparently routed to the pure-Python kernels, so exactness and
+  small-case speed are never sacrificed.
+
+Backend selection lives in :mod:`repro.engine` (``get_backend`` /
+``set_backend`` / the ``REPRO_BACKEND`` environment variable); this module
+deliberately imports nothing from the rest of the package so every layer can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # NumPy is an optional accelerator, never a hard dependency.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on NumPy-free installs
+    _np = None
+
+Number = Any  # int, float or fractions.Fraction
+Exponents = Tuple[int, ...]
+
+
+def numpy_available() -> bool:
+    """True when NumPy could be imported."""
+    return _np is not None
+
+
+class Backend:
+    """Interface of the vectorizable kernels.
+
+    Matrix-valued results (``rank_probability_matrix``, ``matrix_from_rows``,
+    ``cumulative_rows``) use a backend-native layout -- list-of-lists for the
+    pure backend, a 2-D ``ndarray`` for NumPy -- and the row/aggregation
+    accessors accept that same native layout, so batch consumers such as
+    :class:`repro.engine.RankMatrix` never round-trip through Python lists.
+    """
+
+    name: str = "abstract"
+
+    # -- polynomial kernels -------------------------------------------------
+    def convolve(
+        self, a: Sequence[Number], b: Sequence[Number], out_len: int
+    ) -> List[Number]:
+        """Truncated product of two dense coefficient lists.
+
+        ``result[m] = Σ_i a[i] * b[m - i]`` for ``m < out_len``.
+        """
+        raise NotImplementedError
+
+    def convolve2d(
+        self,
+        a: Sequence[Sequence[Number]],
+        b: Sequence[Sequence[Number]],
+        out_x: int,
+        out_y: int,
+    ) -> List[List[Number]]:
+        """Truncated product of two dense coefficient matrices."""
+        raise NotImplementedError
+
+    def sparse_convolve(
+        self,
+        terms_a: Dict[Exponents, Number],
+        terms_b: Dict[Exponents, Number],
+        limit_vector: Sequence[Optional[int]],
+    ) -> Dict[Exponents, Number]:
+        """Product of two sparse exponent-vector term maps with truncation."""
+        raise NotImplementedError
+
+    def polynomial_product(
+        self,
+        factors: Sequence[Sequence[Number]],
+        out_len: Optional[int] = None,
+    ) -> List[Number]:
+        """Multiply-accumulate product of many dense coefficient lists."""
+        raise NotImplementedError
+
+    def bernoulli_product(
+        self,
+        probabilities: Sequence[float],
+        out_len: Optional[int] = None,
+    ) -> List[float]:
+        """Coefficients of ``Π_i (1 - p_i + p_i x)``, optionally truncated.
+
+        Coefficient ``j`` is the probability that exactly ``j`` of the
+        independent events occur (Example 1 of the paper for a
+        tuple-independent database).
+        """
+        raise NotImplementedError
+
+    # -- batched rank kernels ----------------------------------------------
+    def rank_probability_matrix(
+        self, probabilities: Sequence[float], max_rank: int
+    ) -> Any:
+        """Rank distributions of independent tuples sorted by score.
+
+        ``probabilities`` lists the presence probabilities in decreasing
+        score order; row ``i`` of the result holds
+        ``[Pr(r(t_i) = 1), ..., Pr(r(t_i) = max_rank)]``.  Maintaining the
+        truncated running product ``Π_{j<i} (1 - p_j + p_j x)``, row ``i`` is
+        ``p_i`` times its coefficients -- one sweep for all tuples.
+        """
+        raise NotImplementedError
+
+    # -- native matrix helpers ----------------------------------------------
+    def matrix_from_rows(self, rows: Sequence[Sequence[float]]) -> Any:
+        """Pack per-key coefficient rows into the backend-native layout."""
+        raise NotImplementedError
+
+    def cumulative_rows(self, matrix: Any) -> Any:
+        """Row-wise running sums (``Pr(r(t) = i)`` -> ``Pr(r(t) <= i)``)."""
+        raise NotImplementedError
+
+    def matrix_row(self, matrix: Any, index: int) -> List[float]:
+        """One row of a native matrix as a Python list."""
+        raise NotImplementedError
+
+    def matrix_column(self, matrix: Any, index: int) -> List[float]:
+        """One column of a native matrix as a Python list."""
+        raise NotImplementedError
+
+    def row_sums(self, matrix: Any) -> List[float]:
+        """Per-row totals of a native matrix."""
+        raise NotImplementedError
+
+    def column_sums(self, matrix: Any) -> List[float]:
+        """Per-column totals of a native matrix."""
+        raise NotImplementedError
+
+    def matvec(self, matrix: Any, weights: Sequence[float]) -> List[float]:
+        """Per-row weighted sums ``Σ_j matrix[i][j] * weights[j]``."""
+        raise NotImplementedError
+
+    def matrix_to_lists(self, matrix: Any) -> List[List[float]]:
+        """Convert a native matrix into a list of row lists."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# Pure-Python reference backend
+# ----------------------------------------------------------------------
+class PurePythonBackend(Backend):
+    """Reference implementation; exact on ``int`` / ``Fraction`` inputs."""
+
+    name = "python"
+
+    def convolve(
+        self, a: Sequence[Number], b: Sequence[Number], out_len: int
+    ) -> List[Number]:
+        result: List[Number] = [0] * out_len
+        for i, coeff_a in enumerate(a):
+            if coeff_a == 0 or i >= out_len:
+                continue
+            limit = min(len(b), out_len - i)
+            for j in range(limit):
+                coeff_b = b[j]
+                if coeff_b != 0:
+                    result[i + j] += coeff_a * coeff_b
+        return result
+
+    def convolve2d(
+        self,
+        a: Sequence[Sequence[Number]],
+        b: Sequence[Sequence[Number]],
+        out_x: int,
+        out_y: int,
+    ) -> List[List[Number]]:
+        rows: List[List[Number]] = [[0] * out_y for _ in range(out_x)]
+        for i, row_a in enumerate(a):
+            if i >= out_x:
+                break
+            for j, coeff_a in enumerate(row_a):
+                if coeff_a == 0 or j >= out_y:
+                    continue
+                max_p = min(len(b), out_x - i)
+                for p in range(max_p):
+                    row_b = b[p]
+                    max_q = min(len(row_b), out_y - j)
+                    target = rows[i + p]
+                    for q in range(max_q):
+                        coeff_b = row_b[q]
+                        if coeff_b != 0:
+                            target[j + q] += coeff_a * coeff_b
+        return rows
+
+    def sparse_convolve(
+        self,
+        terms_a: Dict[Exponents, Number],
+        terms_b: Dict[Exponents, Number],
+        limit_vector: Sequence[Optional[int]],
+    ) -> Dict[Exponents, Number]:
+        limits = tuple(limit_vector)
+        terms: Dict[Exponents, Number] = {}
+        for exp_a, coeff_a in terms_a.items():
+            for exp_b, coeff_b in terms_b.items():
+                combined = tuple(x + y for x, y in zip(exp_a, exp_b))
+                skip = False
+                for value, limit in zip(combined, limits):
+                    if limit is not None and value > limit:
+                        skip = True
+                        break
+                if skip:
+                    continue
+                terms[combined] = terms.get(combined, 0) + coeff_a * coeff_b
+        return terms
+
+    def polynomial_product(
+        self,
+        factors: Sequence[Sequence[Number]],
+        out_len: Optional[int] = None,
+    ) -> List[Number]:
+        result: List[Number] = [1]
+        for factor in factors:
+            length = len(result) + len(factor) - 1
+            if out_len is not None:
+                length = min(length, out_len)
+            result = self.convolve(result, factor, length)
+        return result
+
+    def bernoulli_product(
+        self,
+        probabilities: Sequence[float],
+        out_len: Optional[int] = None,
+    ) -> List[float]:
+        length = len(probabilities) + 1
+        if out_len is not None:
+            length = min(length, out_len)
+        if length < 1:
+            return []
+        coefficients = [0.0] * length
+        coefficients[0] = 1.0
+        degree = 0
+        for probability in probabilities:
+            degree = min(degree + 1, length - 1)
+            previous = 0.0
+            for index in range(degree + 1):
+                current = coefficients[index]
+                coefficients[index] = (
+                    current * (1.0 - probability) + previous * probability
+                )
+                previous = current
+        return coefficients
+
+    def rank_probability_matrix(
+        self, probabilities: Sequence[float], max_rank: int
+    ) -> List[List[float]]:
+        if max_rank < 1:
+            return [[] for _ in probabilities]
+        coefficients = [1.0] + [0.0] * (max_rank - 1)
+        rows: List[List[float]] = []
+        for probability in probabilities:
+            rows.append([probability * c for c in coefficients])
+            previous = 0.0
+            for index in range(max_rank):
+                current = coefficients[index]
+                coefficients[index] = (
+                    current * (1.0 - probability) + previous * probability
+                )
+                previous = current
+        return rows
+
+    def matrix_from_rows(
+        self, rows: Sequence[Sequence[float]]
+    ) -> List[List[float]]:
+        return [list(row) for row in rows]
+
+    def cumulative_rows(
+        self, matrix: List[List[float]]
+    ) -> List[List[float]]:
+        out: List[List[float]] = []
+        for row in matrix:
+            running = 0.0
+            cumulative = []
+            for value in row:
+                running += value
+                cumulative.append(running)
+            out.append(cumulative)
+        return out
+
+    def matrix_row(self, matrix: List[List[float]], index: int) -> List[float]:
+        return list(matrix[index])
+
+    def matrix_column(
+        self, matrix: List[List[float]], index: int
+    ) -> List[float]:
+        return [row[index] for row in matrix]
+
+    def row_sums(self, matrix: List[List[float]]) -> List[float]:
+        return [sum(row) for row in matrix]
+
+    def column_sums(self, matrix: List[List[float]]) -> List[float]:
+        if not matrix:
+            return []
+        totals = [0.0] * len(matrix[0])
+        for row in matrix:
+            for index, value in enumerate(row):
+                totals[index] += value
+        return totals
+
+    def matvec(
+        self, matrix: List[List[float]], weights: Sequence[float]
+    ) -> List[float]:
+        return [
+            sum(value * weight for value, weight in zip(row, weights))
+            for row in matrix
+        ]
+
+    def matrix_to_lists(
+        self, matrix: List[List[float]]
+    ) -> List[List[float]]:
+        return [list(row) for row in matrix]
+
+
+# ----------------------------------------------------------------------
+# NumPy backend
+# ----------------------------------------------------------------------
+def _is_float_compatible(values: Sequence[Number]) -> bool:
+    """True when every coefficient can be losslessly treated as float64.
+
+    ``Fraction`` / ``Decimal`` coefficients must keep exact arithmetic, and
+    general int coefficients could overflow 2**53 through the products and
+    sums of a convolution, so both route to the pure-Python kernels.  Ints
+    in {-1, 0, 1} are allowed: they arise from variable/one/zero
+    polynomials mixed into float probability arithmetic and cannot lose
+    precision.  (``numpy`` scalars subclass ``float``/``int`` or are
+    rejected by the tuple check, both of which are correct.)
+    """
+    for value in values:
+        if isinstance(value, float):
+            continue
+        if isinstance(value, int) and -1 <= value <= 1:
+            continue
+        return False
+    return True
+
+
+class NumpyBackend(Backend):
+    """Vectorized float64 kernels on top of NumPy.
+
+    Parameters
+    ----------
+    small_cutoff:
+        Operand-size threshold below which the scalar kernels are used for
+        ``convolve`` / ``convolve2d`` / ``sparse_convolve`` /
+        ``polynomial_product`` -- for tiny polynomials the ``ndarray``
+        round-trip costs more than it saves.  Set to 0 to force the vector
+        path (used by the parity tests).
+    """
+
+    name = "numpy"
+
+    def __init__(self, small_cutoff: int = 256) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "NumpyBackend requested but numpy is not importable; "
+                "install the [fast] extra or set REPRO_BACKEND=python"
+            )
+        self._small_cutoff = small_cutoff
+        self._fallback = PurePythonBackend()
+
+    def convolve(
+        self, a: Sequence[Number], b: Sequence[Number], out_len: int
+    ) -> List[Number]:
+        if (
+            len(a) * len(b) < self._small_cutoff
+            or not _is_float_compatible(a)
+            or not _is_float_compatible(b)
+        ):
+            return self._fallback.convolve(a, b, out_len)
+        full = _np.convolve(
+            _np.asarray(a, dtype=_np.float64),
+            _np.asarray(b, dtype=_np.float64),
+        )[:out_len]
+        if full.shape[0] < out_len:  # zero-pad to match the pure backend
+            full = _np.pad(full, (0, out_len - full.shape[0]))
+        return full.tolist()
+
+    def convolve2d(
+        self,
+        a: Sequence[Sequence[Number]],
+        b: Sequence[Sequence[Number]],
+        out_x: int,
+        out_y: int,
+    ) -> List[List[Number]]:
+        cells_a = len(a) * len(a[0]) if a else 0
+        cells_b = len(b) * len(b[0]) if b else 0
+        if (
+            cells_a * cells_b < self._small_cutoff
+            or not all(_is_float_compatible(row) for row in a)
+            or not all(_is_float_compatible(row) for row in b)
+        ):
+            return self._fallback.convolve2d(a, b, out_x, out_y)
+        matrix_a = _np.asarray(a, dtype=_np.float64)
+        matrix_b = _np.asarray(b, dtype=_np.float64)
+        out = _np.zeros((out_x, out_y), dtype=_np.float64)
+        # 2-D truncated convolution as a sum of shifted 1-D convolutions
+        # over the rows of the smaller operand.
+        if matrix_b.shape[0] > matrix_a.shape[0]:
+            matrix_a, matrix_b = matrix_b, matrix_a
+        for p in range(min(matrix_b.shape[0], out_x)):
+            row_b = matrix_b[p]
+            limit_x = min(matrix_a.shape[0], out_x - p)
+            for i in range(limit_x):
+                segment = _np.convolve(matrix_a[i], row_b)[:out_y]
+                out[i + p, : segment.shape[0]] += segment
+        return out.tolist()
+
+    def sparse_convolve(
+        self,
+        terms_a: Dict[Exponents, Number],
+        terms_b: Dict[Exponents, Number],
+        limit_vector: Sequence[Optional[int]],
+    ) -> Dict[Exponents, Number]:
+        if not terms_a or not terms_b:
+            return {}
+        if (
+            len(terms_a) * len(terms_b) < self._small_cutoff
+            or not _is_float_compatible(list(terms_a.values()))
+            or not _is_float_compatible(list(terms_b.values()))
+        ):
+            return self._fallback.sparse_convolve(
+                terms_a, terms_b, limit_vector
+            )
+        exps_a = _np.array(list(terms_a.keys()), dtype=_np.int64)
+        exps_b = _np.array(list(terms_b.keys()), dtype=_np.int64)
+        coeffs_a = _np.array(list(terms_a.values()), dtype=_np.float64)
+        coeffs_b = _np.array(list(terms_b.values()), dtype=_np.float64)
+        combined = (exps_a[:, None, :] + exps_b[None, :, :]).reshape(
+            -1, exps_a.shape[1]
+        )
+        products = _np.multiply.outer(coeffs_a, coeffs_b).reshape(-1)
+        mask = _np.ones(combined.shape[0], dtype=bool)
+        for axis, limit in enumerate(limit_vector):
+            if limit is not None:
+                mask &= combined[:, axis] <= limit
+        combined = combined[mask]
+        products = products[mask]
+        if combined.shape[0] == 0:
+            return {}
+        unique, inverse = _np.unique(combined, axis=0, return_inverse=True)
+        totals = _np.zeros(unique.shape[0], dtype=_np.float64)
+        _np.add.at(totals, inverse.reshape(-1), products)
+        return {
+            tuple(int(e) for e in exponents): float(total)
+            for exponents, total in zip(unique, totals)
+        }
+
+    def polynomial_product(
+        self,
+        factors: Sequence[Sequence[Number]],
+        out_len: Optional[int] = None,
+    ) -> List[Number]:
+        total_coefficients = sum(len(factor) for factor in factors)
+        if total_coefficients < self._small_cutoff or not all(
+            _is_float_compatible(factor) for factor in factors
+        ):
+            return self._fallback.polynomial_product(factors, out_len)
+        result = _np.ones(1, dtype=_np.float64)
+        for factor in factors:
+            result = _np.convolve(
+                result, _np.asarray(factor, dtype=_np.float64)
+            )
+            if out_len is not None and result.shape[0] > out_len:
+                result = result[:out_len]
+        return result.tolist()
+
+    def bernoulli_product(
+        self,
+        probabilities: Sequence[float],
+        out_len: Optional[int] = None,
+    ) -> List[float]:
+        length = len(probabilities) + 1
+        if out_len is not None:
+            length = min(length, out_len)
+        if length < 1:
+            return []
+        coefficients = _np.zeros(length, dtype=_np.float64)
+        coefficients[0] = 1.0
+        for probability in _np.asarray(probabilities, dtype=_np.float64):
+            shifted = _np.empty_like(coefficients)
+            shifted[0] = 0.0
+            shifted[1:] = coefficients[:-1]
+            coefficients = (
+                coefficients * (1.0 - probability) + shifted * probability
+            )
+        return coefficients.tolist()
+
+    def rank_probability_matrix(
+        self, probabilities: Sequence[float], max_rank: int
+    ) -> Any:
+        values = _np.asarray(probabilities, dtype=_np.float64)
+        count = values.shape[0]
+        if max_rank < 1:
+            return _np.zeros((count, 0), dtype=_np.float64)
+        coefficients = _np.zeros(max_rank, dtype=_np.float64)
+        coefficients[0] = 1.0
+        rows = _np.empty((count, max_rank), dtype=_np.float64)
+        shifted = _np.empty_like(coefficients)
+        for index in range(count):
+            probability = values[index]
+            _np.multiply(probability, coefficients, out=rows[index])
+            shifted[0] = 0.0
+            shifted[1:] = coefficients[:-1]
+            coefficients *= 1.0 - probability
+            coefficients += shifted * probability
+        return rows
+
+    def matrix_from_rows(self, rows: Sequence[Sequence[float]]) -> Any:
+        return _np.asarray(rows, dtype=_np.float64)
+
+    def cumulative_rows(self, matrix: Any) -> Any:
+        return _np.cumsum(matrix, axis=1)
+
+    def matrix_row(self, matrix: Any, index: int) -> List[float]:
+        return matrix[index].tolist()
+
+    def matrix_column(self, matrix: Any, index: int) -> List[float]:
+        return matrix[:, index].tolist()
+
+    def row_sums(self, matrix: Any) -> List[float]:
+        return matrix.sum(axis=1).tolist()
+
+    def column_sums(self, matrix: Any) -> List[float]:
+        return matrix.sum(axis=0).tolist()
+
+    def matvec(self, matrix: Any, weights: Sequence[float]) -> List[float]:
+        return (matrix @ _np.asarray(weights, dtype=_np.float64)).tolist()
+
+    def matrix_to_lists(self, matrix: Any) -> List[List[float]]:
+        return matrix.tolist()

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple, Union
 
+from repro.engine import get_backend
+
 Number = Union[int, float]
 
 
@@ -265,21 +267,9 @@ class BivariatePolynomial:
             out_x = min(out_x, limit_x + 1)
         if limit_y is not None:
             out_y = min(out_y, limit_y + 1)
-        rows = [[0] * out_y for _ in range(out_x)]
-        for i, self_row in enumerate(self._rows):
-            if i >= out_x:
-                break
-            for j, a in enumerate(self_row):
-                if a == 0 or j >= out_y:
-                    continue
-                max_p = min(len(other._rows), out_x - i)
-                for p in range(max_p):
-                    other_row = other._rows[p]
-                    max_q = min(len(other_row), out_y - j)
-                    for q in range(max_q):
-                        b = other_row[q]
-                        if b != 0:
-                            rows[i + p][j + q] += a * b
+        rows = get_backend().convolve2d(
+            self._rows, other._rows, out_x, out_y
+        )
         return BivariatePolynomial(
             rows, max_degree_x=limit_x, max_degree_y=limit_y
         )

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
 
+from repro.engine import get_backend
+
 Number = Union[int, float]
 Exponents = Tuple[int, ...]
 
@@ -220,18 +222,9 @@ class MultivariatePolynomial:
         limit_vector = tuple(
             limits.get(variable) for variable in self._variables
         )
-        terms: Dict[Exponents, Number] = {}
-        for exp_a, coeff_a in self._terms.items():
-            for exp_b, coeff_b in other._terms.items():
-                combined = tuple(a + b for a, b in zip(exp_a, exp_b))
-                skip = False
-                for value, limit in zip(combined, limit_vector):
-                    if limit is not None and value > limit:
-                        skip = True
-                        break
-                if skip:
-                    continue
-                terms[combined] = terms.get(combined, 0) + coeff_a * coeff_b
+        terms = get_backend().sparse_convolve(
+            self._terms, other._terms, limit_vector
+        )
         return MultivariatePolynomial(
             self._variables, terms, max_degrees=limits
         )

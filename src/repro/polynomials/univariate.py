@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Union
 
+from repro.engine import get_backend
+
 Number = Union[int, float]
 
 
@@ -179,15 +181,9 @@ class UnivariatePolynomial:
         out_len = len(self._coefficients) + len(other._coefficients) - 1
         if max_degree is not None:
             out_len = min(out_len, max_degree + 1)
-        result = [0] * out_len
-        for i, a in enumerate(self._coefficients):
-            if a == 0 or i >= out_len:
-                continue
-            limit = min(len(other._coefficients), out_len - i)
-            for j in range(limit):
-                b = other._coefficients[j]
-                if b != 0:
-                    result[i + j] += a * b
+        result = get_backend().convolve(
+            self._coefficients, other._coefficients, out_len
+        )
         return UnivariatePolynomial(result, max_degree=max_degree)
 
     __rmul__ = __mul__

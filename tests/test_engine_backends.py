@@ -1,0 +1,338 @@
+"""Backend parity: NumPy and pure-Python kernels must agree to 1e-9.
+
+The engine promises that switching backends never changes results, only
+speed.  These tests drive both implementations over randomized inputs --
+raw kernels, polynomial products on random and/xor trees, and the batched
+``RankMatrix`` API against the per-key ``rank_position_probabilities`` path
+(both the fast tuple-independent layout and the general bivariate layout).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from tests.conftest import small_bid, small_tuple_independent
+from repro.andxor.generating import (
+    bivariate_generating_function,
+    univariate_generating_function,
+)
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.andxor.statistics import size_distribution
+from repro.engine import (
+    PurePythonBackend,
+    available_backends,
+    get_backend,
+    numpy_available,
+    set_backend,
+    use_backend,
+)
+from repro.workloads.generators import (
+    random_andxor_tree,
+    random_bid_database,
+    random_tuple_independent_database,
+)
+
+pure = PurePythonBackend()
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+
+def forced_numpy_backend():
+    """A NumpyBackend that always takes the vector path (no small-input
+    fallback), so parity tests actually exercise the NumPy kernels."""
+    from repro.engine import NumpyBackend
+
+    return NumpyBackend(small_cutoff=0)
+
+
+def assert_close_lists(left, right, tolerance=1e-9):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert math.isclose(a, b, abs_tol=tolerance)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_python_always_available(self):
+        assert "python" in available_backends()
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        set_backend(None)  # drop any override, re-resolve from env
+        try:
+            assert get_backend().name == "python"
+        finally:
+            monkeypatch.delenv("REPRO_BACKEND")
+            set_backend(None)
+
+    def test_use_backend_scopes_override(self):
+        before = get_backend()
+        with use_backend("python") as active:
+            assert active.name == "python"
+            assert get_backend() is active
+        assert get_backend() is before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_backend("fortran")
+
+    @needs_numpy
+    def test_numpy_selectable_by_name(self):
+        with use_backend("numpy") as active:
+            assert active.name == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Raw kernel parity
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestKernelParity:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_convolve(self, seed):
+        rng = random.Random(seed)
+        vector = forced_numpy_backend()
+        a = [rng.uniform(-1, 1) for _ in range(rng.randint(1, 40))]
+        b = [rng.uniform(-1, 1) for _ in range(rng.randint(1, 40))]
+        # out_len may exceed the full product length, in which case both
+        # backends must zero-pad to exactly out_len.
+        out_len = rng.randint(1, len(a) + len(b) + 5)
+        left = pure.convolve(a, b, out_len)
+        right = vector.convolve(a, b, out_len)
+        assert len(left) == len(right) == out_len
+        assert_close_lists(left, right)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_convolve2d(self, seed):
+        rng = random.Random(100 + seed)
+        vector = forced_numpy_backend()
+        a = [
+            [rng.uniform(-1, 1) for _ in range(rng.randint(1, 8))]
+            for _ in range(rng.randint(1, 8))
+        ]
+        b = [
+            [rng.uniform(-1, 1) for _ in range(rng.randint(1, 8))]
+            for _ in range(rng.randint(1, 8))
+        ]
+        a = [row + [0.0] * (max(len(r) for r in a) - len(row)) for row in a]
+        b = [row + [0.0] * (max(len(r) for r in b) - len(row)) for row in b]
+        out_x = len(a) + len(b) - 1
+        out_y = len(a[0]) + len(b[0]) - 1
+        left = pure.convolve2d(a, b, out_x, out_y)
+        right = vector.convolve2d(a, b, out_x, out_y)
+        for row_l, row_r in zip(left, right):
+            assert_close_lists(row_l, row_r)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_sparse_convolve(self, seed):
+        rng = random.Random(200 + seed)
+        vector = forced_numpy_backend()
+
+        def random_terms():
+            return {
+                (rng.randint(0, 4), rng.randint(0, 4), rng.randint(0, 4)):
+                    rng.uniform(-1, 1)
+                for _ in range(rng.randint(1, 30))
+            }
+
+        terms_a, terms_b = random_terms(), random_terms()
+        limits = (rng.randint(2, 8), None, rng.randint(2, 8))
+        left = pure.sparse_convolve(terms_a, terms_b, limits)
+        right = vector.sparse_convolve(terms_a, terms_b, limits)
+        assert set(left) == set(right)
+        for exponents in left:
+            assert math.isclose(
+                left[exponents], right[exponents], abs_tol=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_bernoulli_product_and_polynomial_product(self, seed):
+        rng = random.Random(300 + seed)
+        vector = forced_numpy_backend()
+        probabilities = [rng.random() for _ in range(rng.randint(1, 60))]
+        for out_len in (None, 5, len(probabilities) + 1):
+            assert_close_lists(
+                pure.bernoulli_product(probabilities, out_len),
+                vector.bernoulli_product(probabilities, out_len),
+            )
+        # A Bernoulli product is a polynomial product of binomials; the
+        # three routes must agree.
+        factors = [[1.0 - p, p] for p in probabilities]
+        assert_close_lists(
+            pure.bernoulli_product(probabilities),
+            vector.polynomial_product(factors),
+        )
+        assert_close_lists(
+            pure.polynomial_product(factors, 7),
+            vector.polynomial_product(factors, 7),
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rank_probability_matrix(self, seed):
+        rng = random.Random(400 + seed)
+        vector = forced_numpy_backend()
+        probabilities = [rng.random() for _ in range(rng.randint(2, 50))]
+        max_rank = rng.randint(1, len(probabilities))
+        left = pure.rank_probability_matrix(probabilities, max_rank)
+        right = vector.matrix_to_lists(
+            vector.rank_probability_matrix(probabilities, max_rank)
+        )
+        for row_l, row_r in zip(left, right):
+            assert_close_lists(row_l, row_r)
+
+    def test_exact_arithmetic_preserved(self):
+        """Fraction coefficients must not be degraded to float64."""
+        from fractions import Fraction
+
+        vector = forced_numpy_backend()
+        a = [Fraction(1, 3), Fraction(2, 3)]
+        b = [Fraction(1, 7), Fraction(3, 7)]
+        result = vector.convolve(a, b, 3)
+        assert result == pure.convolve(a, b, 3)
+        assert all(isinstance(value, Fraction) for value in result)
+
+
+# ----------------------------------------------------------------------
+# Generating-function parity on randomized and/xor trees
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestTreeParity:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_univariate_generating_function(self, seed):
+        tree = random_andxor_tree(rng=seed, leaf_count=12)
+        with use_backend("python"):
+            left = univariate_generating_function(tree)
+        with use_backend(forced_numpy_backend()):
+            right = univariate_generating_function(tree)
+        assert left.almost_equal(right, tolerance=1e-9)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_bivariate_generating_function(self, seed):
+        tree = random_andxor_tree(rng=50 + seed, leaf_count=10)
+        leaves = sorted(
+            tree.keys(), key=repr
+        )
+        marked = set(leaves[::3])
+        special = leaves[0]
+
+        def variable_of(leaf):
+            if leaf.alternative.key == special:
+                return "y"
+            if leaf.alternative.key in marked:
+                return "x"
+            return None
+
+        with use_backend("python"):
+            left = bivariate_generating_function(tree, variable_of)
+        with use_backend(forced_numpy_backend()):
+            right = bivariate_generating_function(tree, variable_of)
+        assert left.almost_equal(right, tolerance=1e-9)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_size_distribution_fast_path(self, seed):
+        database = random_tuple_independent_database(30, rng=seed)
+        with use_backend("python"):
+            left = size_distribution(database.tree)
+        with use_backend(forced_numpy_backend()):
+            right = size_distribution(database.tree)
+        assert_close_lists(left, right)
+
+
+# ----------------------------------------------------------------------
+# RankMatrix vs the per-key rank_distribution path
+# ----------------------------------------------------------------------
+class TestRankMatrixAgainstPerKeyPath:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("backend_name", ["python", "numpy"])
+    def test_fast_layout(self, seed, backend_name):
+        if backend_name == "numpy" and not numpy_available():
+            pytest.skip("numpy not installed")
+        database = small_tuple_independent(seed, count=8)
+        with use_backend(backend_name):
+            statistics = RankStatistics(database.tree)
+            assert statistics.independent_tuple_layout() is not None
+            matrix = statistics.rank_matrix(5)
+            # The general (bivariate generating function) path is the oracle.
+            oracle = RankStatistics(database.tree, use_fast_path=False)
+            for key in statistics.keys():
+                assert_close_lists(
+                    matrix.row(key),
+                    oracle.rank_position_probabilities(key, max_rank=5),
+                )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("backend_name", ["python", "numpy"])
+    def test_general_layout(self, seed, backend_name):
+        if backend_name == "numpy" and not numpy_available():
+            pytest.skip("numpy not installed")
+        database = small_bid(seed, blocks=5)
+        with use_backend(backend_name):
+            statistics = RankStatistics(database.tree)
+            assert statistics.independent_tuple_layout() is None
+            matrix = statistics.rank_matrix(4)
+            for key in statistics.keys():
+                assert_close_lists(
+                    matrix.row(key),
+                    statistics.rank_position_probabilities(key, max_rank=4),
+                )
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_cross_backend_rank_matrices_agree(self, seed):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        database = random_bid_database(
+            12, rng=seed, max_alternatives=2, exhaustive=True
+        )
+        with use_backend("python"):
+            left = RankStatistics(database.tree).rank_matrix(6)
+        with use_backend("numpy"):
+            right = RankStatistics(database.tree).rank_matrix(6)
+        assert left.keys() == right.keys()
+        for key in left.keys():
+            assert_close_lists(left.row(key), right.row(key))
+        assert_close_lists(left.column_totals(), right.column_totals())
+        left_members = left.membership()
+        right_members = right.membership()
+        for key in left_members:
+            assert math.isclose(
+                left_members[key], right_members[key], abs_tol=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_matrix_views_consistent(self, seed):
+        database = small_tuple_independent(seed, count=6)
+        statistics = RankStatistics(database.tree)
+        matrix = statistics.rank_matrix(4)
+        cumulative = matrix.cumulative()
+        table = statistics.rank_at_most_table(4)
+        for key in statistics.keys():
+            assert_close_lists(cumulative.row(key), table[key])
+            assert math.isclose(
+                matrix.membership()[key],
+                statistics.rank_at_most(key, 4),
+                abs_tol=1e-12,
+            )
+        # weighted_sums with unit weights reproduces membership
+        unit = matrix.weighted_sums([1.0] * 4)
+        for key, value in matrix.membership().items():
+            assert math.isclose(unit[key], value, abs_tol=1e-12)
+        # column/row agree with to_dict
+        as_dict = matrix.to_dict()
+        for position in range(1, 5):
+            column = matrix.column(position)
+            for key, value in zip(matrix.keys(), column):
+                assert math.isclose(
+                    value, as_dict[key][position - 1], abs_tol=1e-12
+                )
+
+    def test_unknown_key_raises(self):
+        database = small_tuple_independent(1, count=4)
+        matrix = RankStatistics(database.tree).rank_matrix(2)
+        with pytest.raises(KeyError):
+            matrix.row("no-such-key")

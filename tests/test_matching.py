@@ -5,11 +5,22 @@ from __future__ import annotations
 import math
 import random
 
-import numpy
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from scipy.optimize import linear_sum_assignment
+
+# The scipy oracle comparisons require the optional numeric stack; the rest
+# of the suite (and the pure-Python compute backend) must pass without it.
+try:
+    import numpy
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover - NumPy-free installs
+    numpy = None
+    linear_sum_assignment = None
+
+requires_scipy_oracle = pytest.mark.skipif(
+    linear_sum_assignment is None, reason="numpy/scipy not installed"
+)
 
 from repro.exceptions import MatchingError
 from repro.matching.bipartite import (
@@ -58,6 +69,7 @@ class TestHungarian:
         assert total == 10
         assert assignment == [1, 0]
 
+    @requires_scipy_oracle
     @pytest.mark.parametrize("rows,cols,seed", [
         (3, 3, 0), (4, 6, 1), (5, 5, 2), (6, 9, 3), (8, 8, 4), (2, 10, 5),
     ])
@@ -69,6 +81,7 @@ class TestHungarian:
         reference = float(numpy.array(cost)[row_index, col_index].sum())
         assert math.isclose(ours, reference, rel_tol=1e-9, abs_tol=1e-9)
 
+    @requires_scipy_oracle
     @given(
         st.integers(1, 5),
         st.integers(0, 4),
