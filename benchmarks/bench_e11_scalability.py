@@ -14,6 +14,7 @@ import time
 
 from _harness import report
 from repro.andxor.rank_probabilities import RankStatistics
+from repro.session import QuerySession
 from repro.consensus.topk.footrule import mean_topk_footrule
 from repro.consensus.topk.intersection import approximate_topk_intersection
 from repro.consensus.topk.kendall import approximate_topk_kendall
@@ -93,3 +94,69 @@ def test_e11_end_to_end_scaling(benchmark):
         return mean_topk_footrule(statistics, K)
 
     benchmark.pedantic(pipeline, rounds=3, iterations=1)
+
+
+def test_e11_session_cold_vs_warm(benchmark):
+    """Cold-vs-warm QuerySession timings for the full consensus suite.
+
+    A cold session computes the shared artifacts (rank matrix, membership,
+    preference matrix, Υ tables); a warm session answers the same battery of
+    queries from its cache.  The JSON results record the active backend, so
+    BENCH trajectories can tell NumPy runs from pure-Python runs.
+    """
+    rows = []
+    for n in (500, 1000, 2000, 4000):
+        database = random_tuple_independent_database(
+            n, rng=n, score_distribution="zipf"
+        )
+
+        def run_suite(session):
+            session.mean_topk_symmetric_difference(K)
+            session.median_topk_symmetric_difference(K)
+            session.approximate_topk_intersection(K)
+            session.mean_topk_footrule(K)
+            session.approximate_topk_kendall(K)
+
+        session = QuerySession(database.tree)
+        start = time.perf_counter()
+        run_suite(session)
+        cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        run_suite(session)
+        warm = time.perf_counter() - start
+
+        info = session.cache_info()
+        rows.append(
+            (
+                n,
+                cold,
+                warm,
+                cold / warm if warm > 0 else float("inf"),
+                info["hits"],
+                info["misses"],
+            )
+        )
+    report(
+        "E11b",
+        f"QuerySession cold vs warm consensus Top-{K} suite (seconds)",
+        ("tuples", "cold (s)", "warm (s)", "speedup", "cache hits",
+         "cache misses"),
+        rows,
+        notes=(
+            "Cold sessions compute the shared rank/preference matrices once; "
+            "warm sessions serve the whole query battery from the session "
+            "cache (memoized artifacts and memoized query results)."
+        ),
+    )
+
+    database = random_tuple_independent_database(1000, rng=1, score_distribution="zipf")
+    warm_session = QuerySession(database.tree)
+    warm_session.mean_topk_footrule(K)
+
+    def warm_pipeline():
+        warm_session.mean_topk_symmetric_difference(K)
+        warm_session.approximate_topk_intersection(K)
+        return warm_session.mean_topk_footrule(K)
+
+    benchmark.pedantic(warm_pipeline, rounds=3, iterations=1)

@@ -89,3 +89,57 @@ def test_e7_runtime_scaling(benchmark):
     database = random_tuple_independent_database(100, rng=4)
     statistics = RankStatistics(database.tree)
     benchmark(lambda: approximate_topk_kendall(statistics, k))
+
+
+def test_e7_session_pairwise_matrix(benchmark):
+    """Batched pairwise-preference matrix + cold/warm session Kendall runs.
+
+    The pivot route's only expensive input is the pairwise matrix
+    ``Pr(r(t_i) < r(t_j))``; the backend kernel computes the candidate-pool
+    grid in one call, and a warm session reuses it (and the rank matrix)
+    across repeated Kendall queries.  The JSON results record the active
+    backend.
+    """
+    from repro.session import QuerySession
+
+    k = 10
+    rows = []
+    for n in (200, 500, 1000):
+        database = random_tuple_independent_database(n, rng=n)
+
+        session = QuerySession(database.tree)
+        start = time.perf_counter()
+        session.approximate_topk_kendall(k)
+        cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        session.approximate_topk_kendall(k)
+        warm = time.perf_counter() - start
+
+        statistics = RankStatistics(database.tree)
+        start = time.perf_counter()
+        statistics.preference_matrix()
+        full_matrix = time.perf_counter() - start
+
+        info = session.cache_info()
+        rows.append(
+            (n, cold, warm, full_matrix, info["hits"], info["misses"])
+        )
+    report(
+        "E7c",
+        "Kendall pivot via session pairwise matrix, k = 10",
+        ("n", "cold session (s)", "warm session (s)",
+         "full n x n matrix (s)", "cache hits", "cache misses"),
+        rows,
+        notes=(
+            "The cold run batches the candidate-pool preference grid through "
+            "the backend kernel; the warm run serves the memoized answer. "
+            "The full-matrix column times the whole n x n grid in one kernel "
+            "call."
+        ),
+    )
+
+    database = random_tuple_independent_database(500, rng=13)
+    warm = QuerySession(database.tree)
+    warm.approximate_topk_kendall(k)
+    benchmark(lambda: warm.approximate_topk_kendall(k))

@@ -29,12 +29,17 @@ from repro.models.bid import BlockIndependentDatabase
 
 
 def build_database() -> BlockIndependentDatabase:
-    """Eight customer records with planted two-cluster structure plus noise."""
+    """Six customer records with planted two-cluster structure plus noise.
+
+    Small enough that the brute-force optimum (every partition of the
+    records against every possible world) stays tractable, so the example
+    can report an empirical approximation ratio in seconds.
+    """
     rng = random.Random(5)
     blocks = {}
     planted = {
-        "alice": "premium", "bob": "premium", "carol": "premium",
-        "dave": "budget", "erin": "budget", "frank": "budget",
+        "alice": "premium", "bob": "premium",
+        "dave": "budget", "erin": "budget",
         "grace": None, "heidi": None,  # genuinely ambiguous records
     }
     segments = ["premium", "budget", "dormant"]

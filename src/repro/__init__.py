@@ -19,7 +19,9 @@ The package is organised bottom-up:
 * :mod:`repro.algebra` -- a lineage-based probabilistic SPJ algebra.
 * :mod:`repro.workloads` -- synthetic workload generators and scenarios.
 * :mod:`repro.engine` -- the vectorized compute engine every layer above
-  runs on: pluggable array backends plus batched rank matrices.
+  runs on: pluggable array backends plus batched rank / pairwise matrices.
+* :mod:`repro.session` -- the query-session layer sharing memoized
+  statistics artifacts across consensus queries on one database.
 
 Quickstart
 ----------
@@ -58,6 +60,25 @@ Its views power the Top-k consensus algorithms:
 >>> matrix.row("t2")                # [Pr(r=1), Pr(r=2)]  # doctest: +SKIP
 >>> matrix.cumulative().to_dict()   # Pr(r(t) <= i) per key  # doctest: +SKIP
 >>> matrix.membership()             # Pr(r(t) <= 2) per key  # doctest: +SKIP
+
+Query sessions
+--------------
+When several consensus queries hit the same database, open a
+:class:`~repro.session.QuerySession`: it lazily computes and memoizes the
+shared artifacts (rank matrix, cumulative view, Top-k membership vector,
+the batched :class:`~repro.engine.PairwisePreferenceMatrix`, expected-rank
+tables, Jaccard prefix scans), so a warm session answers a second query --
+a different distance over the same tree -- without recomputation.  Every
+module-level consensus function also accepts a session wherever it accepts
+a tree or ``RankStatistics``.
+
+>>> from repro import QuerySession
+>>> session = QuerySession(database.tree)
+>>> answer, _ = session.mean_topk_symmetric_difference(2)   # cold
+>>> answer2, _ = session.mean_topk_footrule(2)              # warm
+>>> session.cache_info()["artifacts"]["rank_matrix"]  # doctest: +SKIP
+{'hits': 1, 'misses': 1}
+>>> session.set_scoring(lambda a: -a.effective_score())  # invalidates
 """
 
 from repro.core.tuples import TupleAlternative
@@ -73,7 +94,14 @@ from repro.andxor.builders import (
 )
 from repro.andxor.enumeration import enumerate_worlds
 from repro.andxor.rank_probabilities import RankStatistics
-from repro.engine import RankMatrix, get_backend, set_backend, use_backend
+from repro.engine import (
+    PairwisePreferenceMatrix,
+    RankMatrix,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.session import QuerySession, as_session
 from repro.models import (
     BlockIndependentDatabase,
     ProbabilisticRelation,
@@ -116,6 +144,9 @@ __all__ = [
     "enumerate_worlds",
     "RankStatistics",
     "RankMatrix",
+    "PairwisePreferenceMatrix",
+    "QuerySession",
+    "as_session",
     "get_backend",
     "set_backend",
     "use_backend",

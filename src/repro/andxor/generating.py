@@ -140,6 +140,64 @@ def univariate_generating_function(
 
 
 # ----------------------------------------------------------------------
+# Conditional univariate specialisation
+# ----------------------------------------------------------------------
+def conditional_univariate_generating_function(
+    tree: AndXorTree,
+    pinned_choices: Mapping[int, int],
+    marked: LeafPredicate,
+    max_degree: int | None = None,
+) -> UnivariatePolynomial:
+    """Univariate generating function conditioned on fixed xor choices.
+
+    ``pinned_choices`` maps xor-node ids to the index of the child that the
+    node is known to have picked (e.g. the root path of a leaf conditioned to
+    be present, as returned by :meth:`AndXorTree.leaf_choices`).  Pinned xor
+    nodes contribute their chosen child with probability one -- conditioning
+    on a leaf's presence is exactly fixing the independent xor choices on its
+    root path -- so the coefficient of ``x**i`` is the *conditional*
+    probability that exactly ``i`` marked leaves are present.
+
+    This is the kernel of the general and/xor rank path: one conditional
+    univariate polynomial per leaf replaces the bivariate generating
+    function per alternative, and the and-node products batch through the
+    backend's multiply-accumulate kernel.
+    """
+    variable = UnivariatePolynomial.variable(max_degree=max_degree)
+    one = UnivariatePolynomial.one(max_degree=max_degree)
+
+    def recurse(node: Node) -> UnivariatePolynomial:
+        if isinstance(node, Leaf):
+            return variable if marked(node) else one
+        if isinstance(node, XorNode):
+            pinned = pinned_choices.get(id(node))
+            if pinned is not None:
+                return recurse(node.edges()[pinned][0])
+            result = UnivariatePolynomial.constant(
+                node.none_probability, max_degree=max_degree
+            )
+            for child, probability in node.edges():
+                if probability == 0.0:
+                    continue
+                result = result + recurse(child) * probability
+            return result
+        if isinstance(node, AndNode):
+            factors = [
+                recurse(child)._coefficients for child in node.children()
+            ]
+            if not factors:
+                return one
+            out_len = sum(len(factor) - 1 for factor in factors) + 1
+            if max_degree is not None:
+                out_len = min(out_len, max_degree + 1)
+            product = get_backend().polynomial_product(factors, out_len)
+            return UnivariatePolynomial(product, max_degree=max_degree)
+        raise ModelError(f"unsupported node type {type(node).__name__}")
+
+    return recurse(tree.root)
+
+
+# ----------------------------------------------------------------------
 # Bivariate specialisation
 # ----------------------------------------------------------------------
 def bivariate_generating_function(

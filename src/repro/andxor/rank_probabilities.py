@@ -10,24 +10,33 @@ with ``r(t) = ∞`` when ``t`` is absent.  This module computes
   Kendall-tau approximation (Section 5.5), and
 * Cormode-style expected ranks used as a baseline ranking semantics.
 
-The computation follows the paper: for an alternative ``(t, a)`` with score
-``s``, build the generating function that assigns ``y`` to that leaf and
-``x`` to every leaf of a *different* key with score larger than ``s``; the
-coefficient of ``x^(j-1) y`` is the probability that ``t`` is ranked at
-position ``j`` through this alternative.  Probabilities of a tuple's
-alternatives add up because alternatives are mutually exclusive.
+The computation follows the paper's generating-function framework: for a
+leaf carrying alternative ``(t, a)`` with score ``s``, condition on that
+leaf being present (which pins the independent xor choices on its root
+path) and take the univariate generating function marking every leaf of a
+*different* key with score larger than ``s``; the coefficient of
+``x^(j-1)`` times the leaf's probability is the probability that ``t`` is
+ranked at position ``j`` through this leaf.  Probabilities of a tuple's
+leaves add up because same-key leaves are mutually exclusive.  This is
+equivalent to the paper's per-alternative bivariate generating function
+with ``y`` on the target leaf, but the conditional univariate form batches
+its and-node products through the engine's multiply-accumulate kernel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.andxor.generating import bivariate_generating_function
+from repro.andxor.generating import (
+    conditional_univariate_generating_function,
+)
 from repro.andxor.nodes import Leaf
 from repro.andxor.tree import AndXorTree
 from repro.core.tuples import TupleAlternative
-from repro.engine import RankMatrix, get_backend
+from repro.engine import PairwisePreferenceMatrix, RankMatrix, get_backend
 from repro.exceptions import ModelError
+
+ScoringFunction = Callable[[TupleAlternative], float]
 
 
 class RankStatistics:
@@ -37,11 +46,17 @@ class RankStatistics:
     ----------
     tree:
         The and/xor tree.  Every leaf must carry a numeric score (either an
-        explicit score or a numeric value attribute).
+        explicit score or a numeric value attribute) unless ``scoring``
+        supplies the scores.
     validate_scores:
         When True (default) scores of alternatives belonging to *different*
         tuples must be pairwise distinct, matching the paper's no-ties
         assumption.
+    scoring:
+        Optional scoring function overriding
+        :meth:`TupleAlternative.effective_score`; this is how a
+        :class:`repro.session.QuerySession` re-scores a database without
+        rebuilding the tree.
     """
 
     def __init__(
@@ -49,12 +64,24 @@ class RankStatistics:
         tree: AndXorTree,
         validate_scores: bool = True,
         use_fast_path: bool = True,
+        scoring: Optional[ScoringFunction] = None,
     ) -> None:
         self._tree = tree
-        self._scores: Dict[TupleAlternative, float] = {
-            alternative: alternative.effective_score()
-            for alternative in tree.alternatives()
-        }
+        self._scoring = scoring
+        # Construction flags, re-read by QuerySession so invalidation can
+        # rebuild an equivalent statistics object.
+        self._validate_scores_flag = validate_scores
+        self._use_fast_path_flag = use_fast_path
+        if scoring is None:
+            self._scores = {
+                alternative: alternative.effective_score()
+                for alternative in tree.alternatives()
+            }
+        else:
+            self._scores = {
+                alternative: float(scoring(alternative))
+                for alternative in tree.alternatives()
+            }
         if validate_scores:
             self._validate_scores()
         self._rank_cache: Dict[Tuple[Hashable, int], List[float]] = {}
@@ -65,6 +92,10 @@ class RankStatistics:
             self._detect_fast_layout() if use_fast_path else None
         )
         self._matrix_cache: Dict[int, RankMatrix] = {}
+        self._preference_cache: Dict[
+            Optional[Tuple[Hashable, ...]], PairwisePreferenceMatrix
+        ] = {}
+        self._expected_rank_cache: Optional[Dict[Hashable, float]] = None
 
     def _detect_fast_layout(
         self,
@@ -108,8 +139,9 @@ class RankStatistics:
         backend sweep of the running product ``Π (1 - p_i + p_i x)`` in
         decreasing score order (the probability that a tuple has rank ``j``
         is its own probability times the coefficient of ``x^(j-1)``); the
-        general and/xor layout assembles the matrix from the per-alternative
-        bivariate generating functions.  Matrices are cached per
+        general and/xor layout assembles the matrix from per-leaf
+        conditional univariate generating functions (see
+        :meth:`_general_rank_positions`).  Matrices are cached per
         ``max_rank``.
         """
         if max_rank is None:
@@ -153,6 +185,22 @@ class RankStatistics:
     def tree(self) -> AndXorTree:
         """The underlying and/xor tree."""
         return self._tree
+
+    def session(self) -> "QuerySession":
+        """The (lazily created) query session bound to these statistics.
+
+        Repeated coercions of the same statistics object through
+        :func:`repro.session.as_session` return this one session, so
+        module-level consensus calls against a shared ``RankStatistics``
+        transparently share a warm artifact cache.
+        """
+        session = getattr(self, "_query_session", None)
+        if session is None:
+            from repro.session import QuerySession  # local import: no cycle
+
+            session = QuerySession(self)
+            self._query_session = session
+        return session
 
     def independent_tuple_layout(
         self,
@@ -202,36 +250,58 @@ class RankStatistics:
     def _general_rank_positions(
         self, key: Hashable, max_rank: int
     ) -> List[float]:
-        """Per-key rank distribution via bivariate generating functions."""
+        """Per-key rank distribution via conditional generating functions.
+
+        Conditioning on one leaf of the tuple being present fixes the
+        independent xor choices on its root path, so ``Pr(r(t) = j)`` is
+
+        ``Σ_leaves Pr(leaf) · Pr(exactly j-1 higher-scored other-key leaves
+        present | leaf present)``
+
+        and the conditional count distribution is a *univariate* generating
+        function of the pinned tree -- batched through the backend's
+        multiply-accumulate kernel -- instead of one bivariate generating
+        function per alternative.
+        """
         cached = self._rank_cache.get((key, max_rank))
         if cached is not None:
             return list(cached)
+        if max_rank < 1:
+            return []
         result = [0.0] * max_rank
         for alternative in self._tree.alternatives_of(key):
-            score = self._scores[alternative]
+            threshold = self._scores[alternative]
 
-            def variable_of(
+            def marked(
                 leaf: Leaf,
-                target: TupleAlternative = alternative,
-                threshold: float = score,
-            ) -> Optional[str]:
-                if leaf.alternative == target:
-                    return "y"
-                if (
-                    leaf.alternative.key != target.key
-                    and self._scores[leaf.alternative] > threshold
-                ):
-                    return "x"
-                return None
+                target_key: Hashable = key,
+                score: float = threshold,
+            ) -> bool:
+                return (
+                    leaf.alternative.key != target_key
+                    and self._scores[leaf.alternative] > score
+                )
 
-            polynomial = bivariate_generating_function(
-                self._tree,
-                variable_of,
-                max_degree_x=max_rank - 1,
-                max_degree_y=1,
-            )
-            for position in range(1, max_rank + 1):
-                result[position - 1] += polynomial.coefficient(position - 1, 1)
+            for pinned_leaf in self._tree.leaves_of_alternative(alternative):
+                leaf_probability = self._tree.leaf_probability(pinned_leaf)
+                if leaf_probability == 0.0:
+                    continue
+                pinned = {
+                    xor_id: index
+                    for xor_id, (index, _) in self._tree.leaf_choices(
+                        pinned_leaf
+                    ).items()
+                }
+                polynomial = conditional_univariate_generating_function(
+                    self._tree,
+                    pinned,
+                    marked,
+                    max_degree=max_rank - 1,
+                )
+                for exponent, coefficient in enumerate(
+                    polynomial.coefficients
+                ):
+                    result[exponent] += leaf_probability * coefficient
         self._rank_cache[(key, max_rank)] = list(result)
         return result
 
@@ -274,20 +344,64 @@ class RankStatistics:
                     )
         return presence_first - both_with_second_higher
 
+    def preference_matrix(
+        self, keys: Sequence[Hashable] | None = None
+    ) -> PairwisePreferenceMatrix:
+        """Batched ``Pr(r(t_i) < r(t_j))`` over ``keys`` (default: all).
+
+        Because the preference probability of a pair does not depend on the
+        other tuples, a sub-grid over a candidate pool is exactly the
+        restriction of the full matrix.  For tuple-independent databases the
+        whole grid is one backend kernel call
+        (:meth:`~repro.engine.backends.Backend.pairwise_preference_matrix`);
+        the general and/xor layout assembles the grid from the closed-form
+        pairwise joint probabilities.  Matrices are cached per key subset.
+        """
+        cache_key: Optional[Tuple[Hashable, ...]] = (
+            None if keys is None else tuple(keys)
+        )
+        cached = self._preference_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        backend = get_backend()
+        matrix_keys = list(self.keys() if keys is None else keys)
+        if self._fast_layout is not None:
+            layout = {
+                key: (probability, score)
+                for key, probability, score in self._fast_layout
+            }
+            missing = [key for key in matrix_keys if key not in layout]
+            if missing:
+                raise ModelError(
+                    f"unknown tuple keys {sorted(map(repr, missing))}"
+                )
+            native = backend.pairwise_preference_matrix(
+                [layout[key][0] for key in matrix_keys],
+                [layout[key][1] for key in matrix_keys],
+            )
+        else:
+            native = backend.matrix_from_rows(
+                [
+                    [
+                        self.pairwise_preference(first, second)
+                        for second in matrix_keys
+                    ]
+                    for first in matrix_keys
+                ]
+            )
+        matrix = PairwisePreferenceMatrix(matrix_keys, native, backend)
+        self._preference_cache[cache_key] = matrix
+        return matrix
+
     def pairwise_preference_matrix(
         self, keys: Sequence[Hashable] | None = None
     ) -> Dict[Tuple[Hashable, Hashable], float]:
-        """``Pr(r(t_i) < r(t_j))`` for every ordered pair of distinct tuples."""
-        if keys is None:
-            keys = self.keys()
-        matrix: Dict[Tuple[Hashable, Hashable], float] = {}
-        for first in keys:
-            for second in keys:
-                if first != second:
-                    matrix[(first, second)] = self.pairwise_preference(
-                        first, second
-                    )
-        return matrix
+        """``Pr(r(t_i) < r(t_j))`` for every ordered pair of distinct tuples.
+
+        Thin dictionary view over :meth:`preference_matrix`, kept for source
+        compatibility with pre-session callers.
+        """
+        return self.preference_matrix(keys).to_dict()
 
     def expected_rank(self, key: Hashable) -> float:
         """Cormode-style expected rank of tuple ``t``.
@@ -326,8 +440,35 @@ class RankStatistics:
         return 1.0 + higher_and_present + absent_size
 
     def expected_rank_table(self) -> Dict[Hashable, float]:
-        """Expected rank of every tuple key."""
-        return {key: self.expected_rank(key) for key in self.keys()}
+        """Expected rank of every tuple key.
+
+        On tuple-independent databases the whole table is assembled from
+        prefix sums of the score-sorted probabilities in ``O(n log n)``
+        (``E[rank(t_i)] = 1 + p_i S_i + (1 - p_i)(T - p_i)`` with ``S_i`` the
+        probability mass of higher-scored tuples and ``T`` the total mass)
+        instead of ``n²`` scalar joint-probability lookups; results are
+        cached.
+        """
+        if self._expected_rank_cache is not None:
+            return dict(self._expected_rank_cache)
+        if self._fast_layout is not None:
+            probabilities = [p for _, p, _ in self._fast_layout]
+            total = sum(probabilities)
+            table: Dict[Hashable, float] = {}
+            higher_mass = 0.0
+            for (key, probability, _), p in zip(
+                self._fast_layout, probabilities
+            ):
+                table[key] = (
+                    1.0
+                    + probability * higher_mass
+                    + (1.0 - probability) * (total - probability)
+                )
+                higher_mass += p
+        else:
+            table = {key: self.expected_rank(key) for key in self.keys()}
+        self._expected_rank_cache = table
+        return dict(table)
 
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,32 @@ from repro.engine import get_backend
 from repro.polynomials.univariate import _trim as _trimmed
 
 
+def independent_leaf_probability_pairs(
+    tree: AndXorTree,
+) -> Optional[List[Tuple[Leaf, float]]]:
+    """``(leaf, probability)`` pairs when the tree is tuple-independent.
+
+    The shared structural detector for the AND-of-single-leaf-XOR-blocks
+    layout (pure tuple-level uncertainty): every fast path keying off this
+    layout -- Bernoulli size products here, the Jaccard prefix kernel in
+    :mod:`repro.consensus.jaccard` -- goes through this one walk so the
+    detectors cannot drift apart.  Returns None when the layout does not
+    apply.
+    """
+    root = tree.root
+    if not isinstance(root, AndNode):
+        return None
+    pairs: List[Tuple[Leaf, float]] = []
+    for child in root.children():
+        if not isinstance(child, XorNode):
+            return None
+        edges = child.edges()
+        if len(edges) != 1 or not edges[0][0].is_leaf():
+            return None
+        pairs.append(edges[0])
+    return pairs
+
+
 def _independent_leaf_probabilities(
     tree: AndXorTree, marked: Callable[[Leaf], bool] | None = None
 ) -> Optional[List[float]]:
@@ -32,20 +58,14 @@ def _independent_leaf_probabilities(
     backend evaluates in one batched sweep.  Returns None when the layout
     does not apply.
     """
-    root = tree.root
-    if not isinstance(root, AndNode):
+    pairs = independent_leaf_probability_pairs(tree)
+    if pairs is None:
         return None
-    probabilities: List[float] = []
-    for child in root.children():
-        if not isinstance(child, XorNode):
-            return None
-        edges = child.edges()
-        if len(edges) != 1 or not edges[0][0].is_leaf():
-            return None
-        leaf, probability = edges[0]
-        if marked is None or marked(leaf):
-            probabilities.append(probability)
-    return probabilities
+    return [
+        probability
+        for leaf, probability in pairs
+        if marked is None or marked(leaf)
+    ]
 
 
 def size_distribution(tree: AndXorTree) -> List[float]:

@@ -145,6 +145,14 @@ class AndXorTree:
         assert self._alternatives_by_key is not None
         return list(self._alternatives_by_key.get(key, []))
 
+    def leaves_of_alternative(
+        self, alternative: TupleAlternative
+    ) -> List[Leaf]:
+        """All leaves carrying the given alternative (mutually exclusive)."""
+        self._ensure_indexes()
+        assert self._leaves_by_alternative is not None
+        return list(self._leaves_by_alternative.get(alternative, []))
+
     def size(self) -> int:
         """Total number of nodes in the tree."""
         count = 0

@@ -31,7 +31,7 @@ from repro.andxor.sampling import sample_worlds
 from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
-    as_rank_statistics,
+    as_session,
     rank_matrix_view,
     validate_k,
 )
@@ -52,9 +52,9 @@ def u_topk(
     databases only); ``method="sample"`` estimates the mode by Monte-Carlo
     sampling.
     """
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    tree = statistics.tree
+    session = as_session(source)
+    validate_k(session, k)
+    tree = session.tree
     if method == "enumerate":
         distribution = enumerate_worlds(tree, limit=enumeration_limit)
         answers = distribution.answer_distribution(lambda world: world.top_k(k))
@@ -78,13 +78,13 @@ def u_rank_topk(source: TreeOrStatistics, k: int) -> TopKAnswer:
     Position ``i`` is filled with the tuple maximising ``Pr(r(t) = i)`` among
     the tuples not already used at earlier positions.
     """
-    statistics = as_rank_statistics(source)
-    matrix = rank_matrix_view(statistics, k)
+    session = as_session(source)
+    matrix = rank_matrix_view(session, k)
     position_probabilities: Dict[Hashable, List[float]] = matrix.to_dict()
     answer: List[Hashable] = []
     used = set()
     for position in range(1, k + 1):
-        candidates = [key for key in statistics.keys() if key not in used]
+        candidates = [key for key in session.keys() if key not in used]
         best = max(
             candidates,
             key=lambda key: (
@@ -110,8 +110,8 @@ def probabilistic_threshold_topk(
         raise ConsensusError(
             f"the PT-k threshold must lie in (0, 1], got {threshold}"
         )
-    statistics = as_rank_statistics(source)
-    membership = rank_matrix_view(statistics, k).membership()
+    session = as_session(source)
+    membership = session.top_k_membership(k)
     selected = [
         key for key, probability in membership.items()
         if probability >= threshold
@@ -123,8 +123,8 @@ def probabilistic_threshold_topk(
 
 def global_topk(source: TreeOrStatistics, k: int) -> TopKAnswer:
     """The Global-Top-k answer: ``k`` tuples with largest ``Pr(r(t) <= k)``."""
-    statistics = as_rank_statistics(source)
-    membership = rank_matrix_view(statistics, k).membership()
+    session = as_session(source)
+    membership = session.top_k_membership(k)
     return tuple(
         sorted(membership, key=lambda key: (-membership[key], repr(key)))[:k]
     )
@@ -132,9 +132,9 @@ def global_topk(source: TreeOrStatistics, k: int) -> TopKAnswer:
 
 def expected_rank_topk(source: TreeOrStatistics, k: int) -> TopKAnswer:
     """The expected-rank answer: ``k`` tuples with the smallest expected rank."""
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    expected = statistics.expected_rank_table()
+    session = as_session(source)
+    validate_k(session, k)
+    expected = session.expected_rank_table()
     return tuple(
         sorted(expected, key=lambda key: (expected[key], repr(key)))[:k]
     )
@@ -146,13 +146,13 @@ def expected_score_topk(source: TreeOrStatistics, k: int) -> TopKAnswer:
     The expectation charges absent tuples a score of zero, i.e. it is
     ``Σ_a score(a) * Pr(alternative a present)``.
     """
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    tree = statistics.tree
+    session = as_session(source)
+    validate_k(session, k)
+    tree = session.tree
     expected: Dict[Hashable, float] = {}
-    for key in statistics.keys():
+    for key in session.keys():
         expected[key] = sum(
-            statistics.score_of(alternative)
+            session.score_of(alternative)
             * tree.alternative_probability(alternative)
             for alternative in tree.alternatives_of(key)
         )

@@ -27,7 +27,7 @@ from repro.andxor.sampling import sample_worlds
 from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
-    as_rank_statistics,
+    as_session,
     validate_k,
 )
 from repro.consensus.topk.footrule import expected_topk_footrule_distance
@@ -111,8 +111,8 @@ def evaluate_topk_answer(
         ``"closed_form"`` (exact, not available for ``"kendall"``),
         ``"enumerate"`` (exact, exponential) or ``"sample"`` (Monte-Carlo).
     """
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
+    session = as_session(source)
+    validate_k(session, k)
     answer = tuple(answer)
     unknown = [m for m in metrics if m not in TOPK_METRICS]
     if unknown:
@@ -128,9 +128,9 @@ def evaluate_topk_answer(
                     f"no closed form is available for metric {metric!r}; "
                     "use method='enumerate' or method='sample'"
                 )
-            distances[metric] = closed_form(statistics, answer, k)
+            distances[metric] = closed_form(session, answer, k)
     elif method == "enumerate":
-        distribution = enumerate_worlds(statistics.tree, limit=enumeration_limit)
+        distribution = enumerate_worlds(session.tree, limit=enumeration_limit)
         for metric in metrics:
             distance = _pairwise_distance(metric, k)
             distances[metric] = distribution.expectation(
@@ -138,7 +138,7 @@ def evaluate_topk_answer(
             )
     elif method == "sample":
         rng = rng or random.Random(0)
-        worlds = sample_worlds(statistics.tree, samples, rng)
+        worlds = sample_worlds(session.tree, samples, rng)
         for metric in metrics:
             distance = _pairwise_distance(metric, k)
             distances[metric] = sum(
@@ -163,13 +163,13 @@ def compare_topk_answers(
     """Evaluate several named answers (e.g. competing ranking semantics).
 
     Returns a mapping from the answer's name to its
-    :class:`AnswerEvaluation`; the rank statistics are computed once and
-    shared across all evaluations.
+    :class:`AnswerEvaluation`; one query session is shared across all
+    evaluations, so the rank statistics are computed once.
     """
-    statistics = as_rank_statistics(source)
+    session = as_session(source)
     return {
         name: evaluate_topk_answer(
-            statistics, answer, k, metrics=metrics, method=method, **kwargs
+            session, answer, k, metrics=metrics, method=method, **kwargs
         )
         for name, answer in answers.items()
     }

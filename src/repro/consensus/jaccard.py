@@ -16,14 +16,27 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.andxor.generating import bivariate_generating_function
 from repro.andxor.nodes import Leaf
-from repro.andxor.statistics import alternative_probability_table
+from repro.andxor.statistics import (
+    alternative_probability_table,
+    independent_leaf_probability_pairs,
+)
 from repro.andxor.tree import AndXorTree
 from repro.consensus.set_consensus import is_possible_world
 from repro.core.tuples import TupleAlternative
+from repro.engine import get_backend
 from repro.exceptions import ConsensusError
 
 World = FrozenSet[TupleAlternative]
@@ -55,12 +68,70 @@ def expected_jaccard_distance_to_world(
     return expected
 
 
+def _independent_alternative_probabilities(
+    tree: AndXorTree,
+) -> Optional[Dict[TupleAlternative, float]]:
+    """Per-alternative probabilities when the tree is tuple-independent.
+
+    Returns the mapping only for the AND-of-single-leaf-XOR-blocks layout
+    with distinct alternatives (pure tuple-level uncertainty); None
+    otherwise.  This is the layout for which the backend's batched Jaccard
+    prefix kernel applies.
+    """
+    pairs = independent_leaf_probability_pairs(tree)
+    if pairs is None:
+        return None
+    table: Dict[TupleAlternative, float] = {}
+    for leaf, probability in pairs:
+        if leaf.alternative in table:
+            return None
+        table[leaf.alternative] = probability
+    return table
+
+
 def _prefix_scan(
     tree: AndXorTree,
     ordered_alternatives: Sequence[TupleAlternative],
     require_possible: bool,
 ) -> Tuple[World, float]:
-    """Evaluate every prefix of ``ordered_alternatives`` and return the best."""
+    """Evaluate every prefix of ``ordered_alternatives`` and return the best.
+
+    On tuple-independent databases the scan is a single backend kernel call
+    (:meth:`~repro.engine.backends.Backend.jaccard_prefix_values`): the
+    distribution of ``|pw \\ W_m|`` is maintained incrementally across
+    prefixes instead of rebuilding one bivariate generating function per
+    prefix, and every prefix of a tuple-independent database is a possible
+    world, so the kernel covers the ``require_possible`` case too.
+    """
+    independent = _independent_alternative_probabilities(tree)
+    if independent is not None and len(ordered_alternatives) == len(
+        independent
+    ):
+        probabilities = [
+            independent[alternative] for alternative in ordered_alternatives
+        ]
+        values = get_backend().jaccard_prefix_values(probabilities)
+        # A prefix is a possible world unless it excludes a certain
+        # (probability-one) tuple; certain tuples sort first, so feasible
+        # prefixes are exactly those containing all of them.
+        minimum_size = (
+            sum(1 for p in probabilities if 1.0 - p <= 0.0)
+            if require_possible
+            else 0
+        )
+        best_size: Optional[int] = None
+        best_value = float("inf")
+        for size, value in enumerate(values):
+            if size < minimum_size:
+                continue
+            if value < best_value - 1e-15:
+                best_value = value
+                best_size = size
+        if best_size is None:
+            raise ConsensusError(
+                "no feasible candidate world found for the Jaccard consensus"
+            )
+        return frozenset(ordered_alternatives[:best_size]), best_value
     best_world: World | None = None
     best_value = float("inf")
     for size in range(len(ordered_alternatives) + 1):

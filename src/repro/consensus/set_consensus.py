@@ -26,6 +26,7 @@ from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
 from repro.andxor.statistics import alternative_probability_table
 from repro.andxor.tree import AndXorTree
 from repro.core.tuples import TupleAlternative
+from repro.engine import get_backend
 from repro.exceptions import ConsensusError, ModelError
 
 World = FrozenSet[TupleAlternative]
@@ -44,13 +45,14 @@ def expected_symmetric_difference_to_world(
     probabilities = dict(alternative_probability_table(tree))
     for alternative in candidate_set:
         probabilities.setdefault(alternative, 0.0)
-    total = 0.0
-    for alternative, probability in probabilities.items():
-        if alternative in candidate_set:
-            total += 1.0 - probability
-        else:
-            total += probability
-    return total
+    # Included alternatives contribute 1 - Pr(t), excluded ones Pr(t); one
+    # contribution vector, totalled by the backend.
+    return get_backend().vector_sum(
+        [
+            1.0 - probability if alternative in candidate_set else probability
+            for alternative, probability in probabilities.items()
+        ]
+    )
 
 
 def mean_world_symmetric_difference(

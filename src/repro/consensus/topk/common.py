@@ -8,33 +8,47 @@ from repro.andxor.rank_probabilities import RankStatistics
 from repro.andxor.tree import AndXorTree
 from repro.engine import RankMatrix
 from repro.exceptions import ConsensusError
+from repro.session import QuerySession
+from repro.session import as_session as _as_session
 
-TreeOrStatistics = Union[AndXorTree, RankStatistics]
+TreeOrStatistics = Union[AndXorTree, RankStatistics, QuerySession]
 TopKAnswer = Tuple[Hashable, ...]
 
 
+def as_session(source: TreeOrStatistics) -> QuerySession:
+    """Coerce a tree / statistics / session into a :class:`QuerySession`.
+
+    This is the shared entry point of every consensus algorithm: passing an
+    existing session (or a statistics object, whose attached session is
+    reused) shares the memoized rank matrices, preference matrices and
+    membership vectors across queries; passing a bare tree builds a
+    throwaway session so the module-level API stays source-compatible.
+    """
+    try:
+        return _as_session(source)
+    except TypeError:
+        raise ConsensusError(
+            "expected an AndXorTree, RankStatistics or QuerySession, got "
+            f"{type(source).__name__}"
+        ) from None
+
+
 def as_rank_statistics(source: TreeOrStatistics) -> RankStatistics:
-    """Coerce a tree or an existing statistics cache into rank statistics.
+    """Coerce a tree, session or statistics cache into rank statistics.
 
     Passing an existing :class:`~repro.andxor.rank_probabilities.RankStatistics`
-    avoids recomputing rank distributions when several consensus answers are
-    requested for the same database.
+    or :class:`~repro.session.QuerySession` avoids recomputing rank
+    distributions when several consensus answers are requested for the same
+    database.
     """
-    if isinstance(source, RankStatistics):
-        return source
-    if isinstance(source, AndXorTree):
-        return RankStatistics(source)
-    raise ConsensusError(
-        "expected an AndXorTree or RankStatistics, got "
-        f"{type(source).__name__}"
-    )
+    return as_session(source).statistics
 
 
-def validate_k(statistics: RankStatistics, k: int) -> int:
+def validate_k(source: TreeOrStatistics, k: int) -> int:
     """Validate the requested answer size against the database size."""
     if k <= 0:
         raise ConsensusError(f"k must be positive, got {k}")
-    n = statistics.number_of_tuples()
+    n = as_session(source).number_of_tuples()
     if k > n:
         raise ConsensusError(
             f"k = {k} exceeds the number of tuples in the database ({n})"
@@ -43,31 +57,36 @@ def validate_k(statistics: RankStatistics, k: int) -> int:
 
 
 def rank_matrix_view(
-    statistics: RankStatistics, k: int, cumulative: bool = False
+    source: TreeOrStatistics, k: int, cumulative: bool = False
 ) -> RankMatrix:
     """The validated ``n_tuples × k`` rank matrix of a database.
 
     The shared entry point the Top-k consensus algorithms use instead of
     assembling per-key ``List[float]`` dictionaries one lookup at a time;
-    ``cumulative=True`` returns the ``Pr(r(t) <= i)`` view.
+    ``cumulative=True`` returns the ``Pr(r(t) <= i)`` view.  Both views are
+    memoized on the session, so a warm session serves them without
+    recomputation.
     """
-    validate_k(statistics, k)
-    matrix = statistics.rank_matrix(k)
-    return matrix.cumulative() if cumulative else matrix
+    session = as_session(source)
+    validate_k(session, k)
+    if cumulative:
+        return session.cumulative_rank_matrix(k)
+    return session.rank_matrix(k)
 
 
 def order_by_score(
-    statistics: RankStatistics, keys: Sequence[Hashable]
+    source: TreeOrStatistics, keys: Sequence[Hashable]
 ) -> TopKAnswer:
     """Order keys by the maximum score of their alternatives (descending).
 
     This is the natural presentation order for order-insensitive answers such
     as the symmetric-difference consensus.
     """
+    session = as_session(source)
     best_score = {
         key: max(
-            statistics.score_of(alternative)
-            for alternative in statistics.tree.alternatives_of(key)
+            session.score_of(alternative)
+            for alternative in session.tree.alternatives_of(key)
         )
         for key in keys
     }

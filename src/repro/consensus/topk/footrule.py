@@ -33,7 +33,7 @@ from typing import Dict, Hashable, List, Sequence, Tuple
 from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
-    as_rank_statistics,
+    as_session,
     rank_matrix_view,
     validate_k,
 )
@@ -42,12 +42,17 @@ from repro.matching.hungarian import minimize_cost_assignment
 
 
 class FootruleStatistics:
-    """The Υ1 / Υ2 / Υ3 statistics of Section 5.4 for one database."""
+    """The Υ1 / Υ2 / Υ3 statistics of Section 5.4 for one database.
+
+    Instances are memoized per ``k`` on the query session
+    (:meth:`repro.session.QuerySession.footrule_statistics`), so evaluating
+    several candidate answers reuses the same Υ tables.
+    """
 
     def __init__(self, source: TreeOrStatistics, k: int) -> None:
-        self._statistics = as_rank_statistics(source)
-        self._k = validate_k(self._statistics, k)
-        self._matrix = rank_matrix_view(self._statistics, k)
+        self._session = as_session(source)
+        self._k = validate_k(self._session, k)
+        self._matrix = rank_matrix_view(self._session, k)
         self._positions: Dict[Hashable, List[float]] = self._matrix.to_dict()
         # Υ1 and Υ2 for all tuples in two weighted row sums.
         self._upsilon1 = self._matrix.membership()
@@ -62,7 +67,7 @@ class FootruleStatistics:
 
     def keys(self) -> List[Hashable]:
         """The tuple keys of the database."""
-        return self._statistics.keys()
+        return self._session.keys()
 
     def upsilon1(self, key: Hashable) -> float:
         """``Υ1(t) = Pr(r(t) <= k)``."""
@@ -115,7 +120,7 @@ def expected_topk_footrule_distance(
 
     Evaluates the Figure 2 decomposition ``C + Σ_i f(τ(i), i)`` exactly.
     """
-    footrule = FootruleStatistics(source, k)
+    footrule = as_session(source).footrule_statistics(k)
     answer = tuple(answer)
     if len(answer) != k:
         raise ConsensusError(
@@ -137,7 +142,8 @@ def mean_topk_footrule(
     Solved as a minimum-cost assignment of tuples to the ``k`` positions with
     cost ``f(t, i)``; returns the optimal answer and its expected distance.
     """
-    footrule = FootruleStatistics(source, k)
+    session = as_session(source)
+    footrule = session.footrule_statistics(k)
     keys = footrule.keys()
     cost = [
         [footrule.position_cost(key, position) for key in keys]
@@ -145,4 +151,4 @@ def mean_topk_footrule(
     ]
     assignment, _ = minimize_cost_assignment(cost)
     answer = tuple(keys[column] for column in assignment)
-    return answer, expected_topk_footrule_distance(source, answer, k)
+    return answer, expected_topk_footrule_distance(session, answer, k)

@@ -26,7 +26,7 @@ from typing import Hashable, Sequence, Tuple
 from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
-    as_rank_statistics,
+    as_session,
     rank_matrix_view,
     validate_k,
 )
@@ -39,13 +39,13 @@ def expected_topk_intersection_distance(
     source: TreeOrStatistics, answer: Sequence[Hashable], k: int
 ) -> float:
     """Expected intersection distance between ``answer`` and the random Top-k."""
-    statistics = as_rank_statistics(source)
+    session = as_session(source)
     answer = tuple(answer)
     if len(answer) != k:
         raise ConsensusError(
             f"the candidate answer must have exactly k = {k} items"
         )
-    cumulative = rank_matrix_view(statistics, k, cumulative=True)
+    cumulative = rank_matrix_view(session, k, cumulative=True)
     totals = cumulative.column_totals()
     table = cumulative.to_dict()
     total = 0.0
@@ -61,8 +61,8 @@ def intersection_objective(
     source: TreeOrStatistics, answer: Sequence[Hashable], k: int
 ) -> float:
     """The objective ``A(τ)`` maximised by the mean intersection answer."""
-    statistics = as_rank_statistics(source)
-    table = rank_matrix_view(statistics, k, cumulative=True).to_dict()
+    session = as_session(source)
+    table = rank_matrix_view(session, k, cumulative=True).to_dict()
     total = 0.0
     for i in range(1, k + 1):
         prefix = answer[:i]
@@ -79,8 +79,8 @@ def mean_topk_intersection(
     earns profit ``Σ_{i=j..k} Pr(r(t) <= i) / i``.  Returns the optimal
     answer and its expected intersection distance.
     """
-    statistics = as_rank_statistics(source)
-    cumulative = rank_matrix_view(statistics, k, cumulative=True)
+    session = as_session(source)
+    cumulative = rank_matrix_view(session, k, cumulative=True)
     keys = cumulative.keys()
     # profit[position j - 1][tuple index]: one weighted row sum per
     # position, with weights 1/i on the suffix i >= j.
@@ -92,7 +92,7 @@ def mean_topk_intersection(
         profit.append([row_sums[key] for key in keys])
     assignment, _ = maximize_profit_assignment(profit)
     answer = tuple(keys[column] for column in assignment)
-    return answer, expected_topk_intersection_distance(statistics, answer, k)
+    return answer, expected_topk_intersection_distance(session, answer, k)
 
 
 def approximate_topk_intersection(
@@ -103,9 +103,9 @@ def approximate_topk_intersection(
     Returns the ``k`` tuples with the largest ``Υ_H`` values, ordered by
     decreasing value, and the expected intersection distance of that answer.
     """
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    values = upsilon_h(statistics, k)
+    session = as_session(source)
+    validate_k(session, k)
+    values = upsilon_h(session, k)
     ordered = sorted(values, key=lambda key: (-values[key], repr(key)))[:k]
     answer = tuple(ordered)
-    return answer, expected_topk_intersection_distance(statistics, answer, k)
+    return answer, expected_topk_intersection_distance(session, answer, k)

@@ -33,8 +33,7 @@ from repro.andxor.sampling import sample_worlds
 from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
-    as_rank_statistics,
-    rank_matrix_view,
+    as_session,
     validate_k,
 )
 from repro.consensus.topk.footrule import mean_topk_footrule
@@ -58,17 +57,17 @@ def expected_topk_kendall_distance(
     (``"enumerate"``, exponential, for small databases) or Monte-Carlo
     estimation (``"sample"``).
     """
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
+    session = as_session(source)
+    validate_k(session, k)
     answer = tuple(answer)
     if method == "enumerate":
-        distribution = enumerate_worlds(statistics.tree, limit=enumeration_limit)
+        distribution = enumerate_worlds(session.tree, limit=enumeration_limit)
         return distribution.expectation(
             lambda world: topk_kendall_distance(answer, world.top_k(k))
         )
     if method == "sample":
         rng = rng or random.Random(0)
-        worlds = sample_worlds(statistics.tree, samples, rng)
+        worlds = sample_worlds(session.tree, samples, rng)
         return sum(
             topk_kendall_distance(answer, world.top_k(k)) for world in worlds
         ) / len(worlds)
@@ -93,20 +92,24 @@ def approximate_topk_kendall(
 
     The candidate pool (default: the ``2k`` tuples with the largest
     ``Pr(r(t) <= k)``, the whole database if smaller) is ordered by KwikSort
-    pivoting on the pairwise probabilities ``Pr(r(t_i) < r(t_j))``; the first
-    ``k`` items form the answer.
+    pivoting on the pairwise probabilities ``Pr(r(t_i) < r(t_j))``, served
+    from the session's batched
+    :class:`~repro.engine.PairwisePreferenceMatrix` over the pool instead of
+    per-pair joint-probability lookups; the first ``k`` items form the
+    answer.
     """
-    statistics = as_rank_statistics(source)
-    membership = rank_matrix_view(statistics, k).membership()
+    session = as_session(source)
+    membership = session.top_k_membership(k)
     if candidate_pool_size is None:
         candidate_pool_size = min(2 * k, len(membership))
     candidate_pool_size = max(candidate_pool_size, k)
     pool = sorted(
         membership, key=lambda key: (-membership[key], repr(key))
     )[:candidate_pool_size]
+    preferences = session.preference_matrix(pool)
 
     def prefers(first: Hashable, second: Hashable) -> float:
-        return statistics.pairwise_preference(first, second)
+        return preferences.value(first, second)
 
     ordered = pivot_aggregation(pool, prefers, rng=rng)
     return tuple(ordered[:k])
@@ -124,9 +127,9 @@ def brute_force_mean_topk_kendall(
     possible world; used by tests and benchmarks to measure the empirical
     approximation ratio of the polynomial-time routes.
     """
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
-    keys = statistics.keys()
+    session = as_session(source)
+    validate_k(session, k)
+    keys = session.keys()
     count = 1
     for i in range(k):
         count *= len(keys) - i
@@ -134,7 +137,7 @@ def brute_force_mean_topk_kendall(
         raise EnumerationLimitError(
             f"enumerating {count} candidate answers exceeds the limit"
         )
-    distribution = enumerate_worlds(statistics.tree, limit=enumeration_limit)
+    distribution = enumerate_worlds(session.tree, limit=enumeration_limit)
     world_topk = [
         (world.top_k(k), probability) for world, probability in distribution
     ]

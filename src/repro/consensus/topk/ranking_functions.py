@@ -16,7 +16,7 @@ from typing import Callable, Dict, Hashable
 
 from repro.consensus.topk.common import (
     TreeOrStatistics,
-    as_rank_statistics,
+    as_session,
     validate_k,
 )
 from repro.engine import RankMatrix
@@ -39,19 +39,19 @@ def parameterized_ranking_function(
     Evaluated for all tuples at once as a matrix-vector product of the
     batched :class:`~repro.engine.RankMatrix` with the weight vector.
     """
-    statistics = as_rank_statistics(source)
-    matrix: RankMatrix = statistics.rank_matrix(max_rank)
+    session = as_session(source)
+    matrix: RankMatrix = session.rank_matrix(max_rank)
     weights = [weight(position) for position in range(1, max_rank + 1)]
     return matrix.weighted_sums(weights)
 
 
 def upsilon_h(source: TreeOrStatistics, k: int) -> Dict[Hashable, float]:
     """The ``Υ_H`` ranking function: ``Σ_{i=1..k} Pr(r(t) <= i) / i``."""
-    statistics = as_rank_statistics(source)
-    validate_k(statistics, k)
+    session = as_session(source)
+    validate_k(session, k)
     h_k = harmonic_number(k)
     return parameterized_ranking_function(
-        statistics,
+        session,
         weight=lambda position: h_k - harmonic_number(position - 1),
         max_rank=k,
     )

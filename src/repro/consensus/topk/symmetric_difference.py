@@ -30,9 +30,8 @@ from repro.andxor.tree import AndXorTree
 from repro.consensus.topk.common import (
     TopKAnswer,
     TreeOrStatistics,
-    as_rank_statistics,
+    as_session,
     order_by_score,
-    rank_matrix_view,
 )
 from repro.core.tuples import TupleAlternative
 from repro.exceptions import ConsensusError, InfeasibleAnswerError, ModelError
@@ -54,10 +53,9 @@ def expected_topk_symmetric_difference(
     Uses the closed form of Theorem 3's proof; the normalised version divides
     by ``2k``.
     """
-    statistics = as_rank_statistics(source)
-    matrix = rank_matrix_view(statistics, k)
+    session = as_session(source)
     answer_set = set(answer)
-    membership = matrix.membership()
+    membership = session.top_k_membership(k)
     for key in answer_set:
         if key not in membership:
             raise ConsensusError(f"answer mentions unknown tuple {key!r}")
@@ -80,13 +78,13 @@ def mean_topk_symmetric_difference(
     decreasing score order; the metric ignores order) and the expected
     normalised distance.
     """
-    statistics = as_rank_statistics(source)
-    membership = rank_matrix_view(statistics, k).membership()
+    session = as_session(source)
+    membership = session.top_k_membership(k)
     chosen = sorted(
         membership, key=lambda key: (-membership[key], repr(key))
     )[:k]
-    answer = order_by_score(statistics, chosen)
-    return answer, expected_topk_symmetric_difference(statistics, answer, k)
+    answer = order_by_score(session, chosen)
+    return answer, expected_topk_symmetric_difference(session, answer, k)
 
 
 # ----------------------------------------------------------------------
@@ -229,10 +227,10 @@ def median_topk_symmetric_difference(
     Tuple-independent databases are detected automatically and solved with
     the ``O(n log k)`` sweep described in the module docstring.
     """
-    statistics = as_rank_statistics(source)
-    tree = statistics.tree
-    membership = rank_matrix_view(statistics, k).membership()
-    layout = statistics.independent_tuple_layout()
+    session = as_session(source)
+    tree = session.tree
+    membership = session.top_k_membership(k)
+    layout = session.independent_tuple_layout()
     if layout is not None:
         members = _median_topk_tuple_independent(layout, membership, k)
         if members is None:
@@ -245,11 +243,11 @@ def median_topk_symmetric_difference(
             sorted(members, key=lambda key: -score_of[key])
         )
         return ordered, expected_topk_symmetric_difference(
-            statistics, ordered, k
+            session, ordered, k
         )
     thresholds = sorted(
         {
-            statistics.score_of(alternative)
+            session.score_of(alternative)
             for alternative in tree.alternatives()
         },
         reverse=True,
@@ -258,7 +256,7 @@ def median_topk_symmetric_difference(
     best_world: Optional[Tuple[TupleAlternative, ...]] = None
     for threshold in thresholds:
         restricted = tree.restrict(
-            lambda leaf: leaf.alternative.effective_score() >= threshold
+            lambda leaf: session.score_of(leaf.alternative) >= threshold
         )
         if len(restricted.leaves) < k:
             continue
@@ -276,7 +274,7 @@ def median_topk_symmetric_difference(
         alternative.key
         for alternative in sorted(
             best_world,
-            key=lambda alternative: -alternative.effective_score(),
+            key=lambda alternative: -session.score_of(alternative),
         )
     )
-    return ordered, expected_topk_symmetric_difference(statistics, ordered, k)
+    return ordered, expected_topk_symmetric_difference(session, ordered, k)

@@ -37,12 +37,14 @@ from repro.engine.backends import (
     PurePythonBackend,
     numpy_available,
 )
+from repro.engine.pairwise import PairwisePreferenceMatrix
 from repro.engine.rank_matrix import RankMatrix
 
 __all__ = [
     "Backend",
     "PurePythonBackend",
     "NumpyBackend",
+    "PairwisePreferenceMatrix",
     "RankMatrix",
     "available_backends",
     "get_backend",

@@ -117,6 +117,41 @@ class Backend:
         """
         raise NotImplementedError
 
+    def pairwise_preference_matrix(
+        self, probabilities: Sequence[float], scores: Sequence[float]
+    ) -> Any:
+        """``Pr(r(t_i) < r(t_j))`` for independent tuples, any order.
+
+        ``probabilities`` and ``scores`` are aligned per tuple.  Tuple ``i``
+        beats tuple ``j`` exactly when ``i`` is present and either ``j`` is
+        absent or ``i`` scores higher, so the cell ``(i, j)`` of the native
+        ``n × n`` result is ``p_i`` when ``s_i > s_j``, ``p_i (1 - p_j)``
+        when ``s_i < s_j`` and 0 on the diagonal -- the whole grid is one
+        outer product instead of ``n²`` scalar joint lookups, and rows stay
+        aligned with the caller's key order.
+        """
+        raise NotImplementedError
+
+    def jaccard_prefix_values(
+        self, probabilities: Sequence[float]
+    ) -> List[float]:
+        """Expected Jaccard distance of every probability-ordered prefix.
+
+        ``probabilities`` lists the presence probabilities of independent
+        tuples in decreasing probability order.  Entry ``m`` of the result is
+        ``E[d_J(W_m, pw)]`` for the prefix ``W_m`` of the first ``m`` tuples
+        (Lemma 2 of the paper).  Writing ``j = |pw \\ W_m|`` and using that
+        the distance ``(m - i + j) / (m + j)`` is linear in ``i = |pw ∩ W_m|``
+        for fixed ``j``,
+
+        ``E[d_J] = Σ_j Pr(j) (m - μ_m + j) / (m + j)``
+
+        with ``μ_m = Σ_{t in W_m} p_t``; the distribution of ``j`` is the
+        Bernoulli product over the suffix, maintained incrementally from
+        ``m = n`` down to ``0`` so the whole scan is one ``O(n²)`` sweep.
+        """
+        raise NotImplementedError
+
     # -- native matrix helpers ----------------------------------------------
     def matrix_from_rows(self, rows: Sequence[Sequence[float]]) -> Any:
         """Pack per-key coefficient rows into the backend-native layout."""
@@ -132,6 +167,18 @@ class Backend:
 
     def matrix_column(self, matrix: Any, index: int) -> List[float]:
         """One column of a native matrix as a Python list."""
+        raise NotImplementedError
+
+    def matrix_cell(self, matrix: Any, row: int, column: int) -> float:
+        """One scalar cell of a native matrix."""
+        raise NotImplementedError
+
+    def dot(self, a: Sequence[float], b: Sequence[float]) -> float:
+        """Inner product of two equal-length vectors."""
+        raise NotImplementedError
+
+    def vector_sum(self, values: Sequence[float]) -> float:
+        """Sum of a vector's entries."""
         raise NotImplementedError
 
     def row_sums(self, matrix: Any) -> List[float]:
@@ -277,6 +324,48 @@ class PurePythonBackend(Backend):
                 previous = current
         return rows
 
+    def pairwise_preference_matrix(
+        self, probabilities: Sequence[float], scores: Sequence[float]
+    ) -> List[List[float]]:
+        rows: List[List[float]] = []
+        for i, (p_i, s_i) in enumerate(zip(probabilities, scores)):
+            row: List[float] = []
+            for j, (p_j, s_j) in enumerate(zip(probabilities, scores)):
+                if i == j:
+                    row.append(0.0)
+                elif s_j > s_i:  # strict: ties mean j cannot outrank i
+                    row.append(p_i * (1.0 - p_j))
+                else:
+                    row.append(p_i)
+            rows.append(row)
+        return rows
+
+    def jaccard_prefix_values(
+        self, probabilities: Sequence[float]
+    ) -> List[float]:
+        n = len(probabilities)
+        prefix_mass = [0.0] * (n + 1)
+        for m, probability in enumerate(probabilities):
+            prefix_mass[m + 1] = prefix_mass[m] + probability
+        values = [0.0] * (n + 1)
+        outside = [1.0]  # distribution of |pw \ W_m|, starting at m = n
+        for m in range(n, -1, -1):
+            mu = prefix_mass[m]
+            total = 0.0
+            for j, probability in enumerate(outside):
+                union = m + j
+                if union > 0:
+                    total += probability * (m - mu + j) / union
+            values[m] = total
+            if m > 0:
+                p = probabilities[m - 1]
+                grown = [0.0] * (len(outside) + 1)
+                for j, probability in enumerate(outside):
+                    grown[j] += probability * (1.0 - p)
+                    grown[j + 1] += probability * p
+                outside = grown
+        return values
+
     def matrix_from_rows(
         self, rows: Sequence[Sequence[float]]
     ) -> List[List[float]]:
@@ -302,6 +391,17 @@ class PurePythonBackend(Backend):
         self, matrix: List[List[float]], index: int
     ) -> List[float]:
         return [row[index] for row in matrix]
+
+    def matrix_cell(
+        self, matrix: List[List[float]], row: int, column: int
+    ) -> float:
+        return matrix[row][column]
+
+    def dot(self, a: Sequence[float], b: Sequence[float]) -> float:
+        return sum(x * y for x, y in zip(a, b))
+
+    def vector_sum(self, values: Sequence[float]) -> float:
+        return sum(values)
 
     def row_sums(self, matrix: List[List[float]]) -> List[float]:
         return [sum(row) for row in matrix]
@@ -523,6 +623,43 @@ class NumpyBackend(Backend):
             coefficients += shifted * probability
         return rows
 
+    def pairwise_preference_matrix(
+        self, probabilities: Sequence[float], scores: Sequence[float]
+    ) -> Any:
+        values = _np.asarray(probabilities, dtype=_np.float64)
+        ranks = _np.asarray(scores, dtype=_np.float64)
+        # cell (i, j) = p_i * (1 - p_j * [tuple j scores higher than i])
+        higher = (ranks[None, :] > ranks[:, None]).astype(_np.float64)
+        matrix = values[:, None] * (1.0 - values[None, :] * higher)
+        _np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    def jaccard_prefix_values(
+        self, probabilities: Sequence[float]
+    ) -> List[float]:
+        values = _np.asarray(probabilities, dtype=_np.float64)
+        count = values.shape[0]
+        prefix_mass = _np.concatenate(([0.0], _np.cumsum(values)))
+        results = _np.zeros(count + 1, dtype=_np.float64)
+        outside = _np.ones(1, dtype=_np.float64)
+        for m in range(count, -1, -1):
+            sizes = m + _np.arange(outside.shape[0], dtype=_np.float64)
+            weights = _np.divide(
+                sizes - prefix_mass[m],
+                sizes,
+                out=_np.zeros_like(sizes),
+                where=sizes > 0,
+            )
+            results[m] = outside @ weights
+            if m > 0:
+                p = values[m - 1]
+                grown = _np.empty(outside.shape[0] + 1, dtype=_np.float64)
+                grown[:-1] = outside * (1.0 - p)
+                grown[-1] = 0.0
+                grown[1:] += outside * p
+                outside = grown
+        return results.tolist()
+
     def matrix_from_rows(self, rows: Sequence[Sequence[float]]) -> Any:
         return _np.asarray(rows, dtype=_np.float64)
 
@@ -534,6 +671,18 @@ class NumpyBackend(Backend):
 
     def matrix_column(self, matrix: Any, index: int) -> List[float]:
         return matrix[:, index].tolist()
+
+    def matrix_cell(self, matrix: Any, row: int, column: int) -> float:
+        return float(matrix[row, column])
+
+    def dot(self, a: Sequence[float], b: Sequence[float]) -> float:
+        return float(
+            _np.asarray(a, dtype=_np.float64)
+            @ _np.asarray(b, dtype=_np.float64)
+        )
+
+    def vector_sum(self, values: Sequence[float]) -> float:
+        return float(_np.asarray(values, dtype=_np.float64).sum())
 
     def row_sums(self, matrix: Any) -> List[float]:
         return matrix.sum(axis=1).tolist()

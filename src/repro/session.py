@@ -1,0 +1,530 @@
+"""Query-session layer: shared statistics across consensus queries.
+
+The paper's workload is many consensus queries -- Top-k answers under the
+symmetric difference / intersection / footrule / Kendall metrics, Jaccard and
+set consensus worlds, parameterized ranking functions, baseline semantics --
+asked against the *same* probabilistic database.  Every one of those
+algorithms consumes a small set of expensive shared artifacts: the batched
+:class:`~repro.engine.RankMatrix`, its cumulative view, the Top-k membership
+vector, the :class:`~repro.engine.PairwisePreferenceMatrix`, the
+expected-rank table and the Jaccard prefix scan.
+
+:class:`QuerySession` computes each artifact lazily, memoizes it, and hands
+backend-native views to every consumer, so a warm session answers a second
+consensus query (a different distance over the same tree) without
+recomputing anything.  Cache behaviour is observable through
+:attr:`QuerySession.cache_hits` / :attr:`QuerySession.cache_misses` /
+:meth:`QuerySession.cache_info`, and :meth:`QuerySession.invalidate` (or
+:meth:`QuerySession.set_scoring`) drops every artifact when the scores
+change so stale statistics are never served.
+
+All module-level consensus functions accept a session wherever they accept a
+tree or :class:`~repro.andxor.rank_probabilities.RankStatistics`; passing a
+tree simply builds a throwaway session, so the public API stays
+source-compatible.  One session per database shard is the unit the future
+sharded / async serving layers will hold on to.
+
+>>> from repro import QuerySession, TupleIndependentDatabase
+>>> database = TupleIndependentDatabase(
+...     [("t1", 90, 0.6), ("t2", 80, 1.0), ("t3", 70, 0.5)]
+... )
+>>> session = QuerySession(database.tree)
+>>> session.mean_topk_symmetric_difference(2)[0]  # cold: computes
+('t1', 't2')
+>>> session.mean_topk_footrule(2)[0]              # warm: reuses rank matrix
+('t1', 't2')
+>>> session.cache_hits > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.andxor.rank_probabilities import RankStatistics, ScoringFunction
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.engine import PairwisePreferenceMatrix, RankMatrix, get_backend
+
+SessionSource = Union[AndXorTree, RankStatistics, "QuerySession"]
+
+#: Cache key of one memoized artifact: (artifact name, parameter tuple).
+ArtifactKey = Tuple[str, Tuple[Any, ...]]
+
+
+class QuerySession:
+    """Memoized statistics shared by every consensus query on one database.
+
+    Parameters
+    ----------
+    source:
+        The and/xor tree, or an existing
+        :class:`~repro.andxor.rank_probabilities.RankStatistics` to adopt.
+    scoring:
+        Optional scoring function overriding
+        :meth:`~repro.core.tuples.TupleAlternative.effective_score`.  Only
+        allowed when ``source`` is a tree (an adopted statistics object
+        already fixed its scores).
+    validate_scores:
+        Forwarded to :class:`RankStatistics`: require pairwise-distinct
+        scores across tuples (the paper's no-ties assumption).
+    """
+
+    def __init__(
+        self,
+        source: SessionSource,
+        scoring: Optional[ScoringFunction] = None,
+        validate_scores: bool = True,
+    ) -> None:
+        if isinstance(source, QuerySession):
+            raise TypeError(
+                "source is already a QuerySession; use it directly "
+                "(or repro.session.as_session)"
+            )
+        if isinstance(source, RankStatistics):
+            if scoring is not None:
+                raise ValueError(
+                    "cannot re-score an existing RankStatistics; pass the "
+                    "tree instead"
+                )
+            self._tree = source.tree
+            self._statistics: Optional[RankStatistics] = source
+            self._adopted = True
+            # Adopt the statistics object's construction settings so that
+            # invalidate() rebuilds an equivalent object (same scoring,
+            # same validation / fast-path flags) rather than the defaults.
+            scoring = source._scoring
+            validate_scores = source._validate_scores_flag
+            self._use_fast_path = source._use_fast_path_flag
+        elif isinstance(source, AndXorTree):
+            self._tree = source
+            self._statistics = None
+            self._adopted = False
+            self._use_fast_path = True
+        else:
+            raise TypeError(
+                "expected an AndXorTree or RankStatistics, got "
+                f"{type(source).__name__}"
+            )
+        self._scoring = scoring
+        self._validate_scores = validate_scores
+        self._cache: Dict[ArtifactKey, Any] = {}
+        self._hits = 0
+        self._misses = 0
+        self._artifact_hits: Dict[str, int] = {}
+        self._artifact_misses: Dict[str, int] = {}
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # Cache machinery
+    # ------------------------------------------------------------------
+    def _memoized(
+        self, artifact: str, params: Tuple[Any, ...], compute: Callable[[], Any]
+    ) -> Any:
+        key: ArtifactKey = (artifact, params)
+        if key in self._cache:
+            self._hits += 1
+            self._artifact_hits[artifact] = (
+                self._artifact_hits.get(artifact, 0) + 1
+            )
+            return self._cache[key]
+        self._misses += 1
+        self._artifact_misses[artifact] = (
+            self._artifact_misses.get(artifact, 0) + 1
+        )
+        value = compute()
+        self._cache[key] = value
+        return value
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of artifact requests served from the session cache."""
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Number of artifact requests that had to compute."""
+        return self._misses
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every :meth:`invalidate` / :meth:`set_scoring` call."""
+        return self._generation
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Aggregate and per-artifact hit/miss counters plus backend name."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "generation": self._generation,
+            "entries": len(self._cache),
+            "backend": get_backend().name,
+            "artifacts": {
+                name: {
+                    "hits": self._artifact_hits.get(name, 0),
+                    "misses": self._artifact_misses.get(name, 0),
+                }
+                for name in sorted(
+                    set(self._artifact_hits) | set(self._artifact_misses)
+                )
+            },
+        }
+
+    def invalidate(self) -> None:
+        """Drop every memoized artifact (and the statistics cache behind it).
+
+        Call after anything that changes the scores the session was built
+        with; the next artifact request recomputes from the tree instead of
+        serving stale results.  Hit/miss counters are cumulative across
+        invalidations; :attr:`generation` records how often the session was
+        reset.
+        """
+        self._cache.clear()
+        self._statistics = None
+        self._generation += 1
+
+    def set_scoring(self, scoring: Optional[ScoringFunction]) -> None:
+        """Replace the scoring function and invalidate every artifact.
+
+        Only allowed on sessions built from a tree: a session that adopted
+        an existing :class:`RankStatistics` must stay score-consistent with
+        it, because module-level calls against that statistics object route
+        through this session.
+        """
+        if self._adopted:
+            raise ValueError(
+                "cannot re-score a session adopting an existing "
+                "RankStatistics (module-level calls against that object "
+                "share this session); build a QuerySession from the tree "
+                "instead"
+            )
+        self._scoring = scoring
+        self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Database accessors
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> AndXorTree:
+        """The underlying and/xor tree."""
+        return self._tree
+
+    @property
+    def statistics(self) -> RankStatistics:
+        """The rank statistics the session is built on (lazily created)."""
+        if self._statistics is None:
+            self._statistics = RankStatistics(
+                self._tree,
+                validate_scores=self._validate_scores,
+                use_fast_path=self._use_fast_path,
+                scoring=self._scoring,
+            )
+        return self._statistics
+
+    def keys(self) -> List[Hashable]:
+        """The tuple keys of the database."""
+        return self.statistics.keys()
+
+    def number_of_tuples(self) -> int:
+        """Number of distinct tuple keys."""
+        return self.statistics.number_of_tuples()
+
+    def score_of(self, alternative: TupleAlternative) -> float:
+        """The ranking score of an alternative under the active scoring."""
+        return self.statistics.score_of(alternative)
+
+    def independent_tuple_layout(
+        self,
+    ) -> Optional[List[Tuple[Hashable, float, float]]]:
+        """``(key, probability, score)`` triples for tuple-independent
+        databases (sorted by decreasing score), else None."""
+        return self.statistics.independent_tuple_layout()
+
+    def _validate_k(self, k: int) -> int:
+        # Lazy import: common imports this module at load time, so the
+        # shared validator (one source of truth for the rule and its error
+        # messages) can only be pulled in here, at call time.
+        from repro.consensus.topk.common import validate_k
+
+        return validate_k(self, k)
+
+    # ------------------------------------------------------------------
+    # Shared statistics artifacts
+    # ------------------------------------------------------------------
+    def rank_matrix(self, max_rank: Optional[int] = None) -> RankMatrix:
+        """The memoized ``n_tuples × max_rank`` rank-probability matrix."""
+        if max_rank is None:
+            max_rank = self.number_of_tuples()
+        return self._memoized(
+            "rank_matrix",
+            (max_rank,),
+            lambda: self.statistics.rank_matrix(max_rank),
+        )
+
+    def cumulative_rank_matrix(
+        self, max_rank: Optional[int] = None
+    ) -> RankMatrix:
+        """The memoized cumulative (``Pr(r(t) <= i)``) view."""
+        if max_rank is None:
+            max_rank = self.number_of_tuples()
+        return self._memoized(
+            "cumulative_rank_matrix",
+            (max_rank,),
+            lambda: self.rank_matrix(max_rank).cumulative(),
+        )
+
+    def top_k_membership(self, k: int) -> Dict[Hashable, float]:
+        """``Pr(r(t) <= k)`` per key, memoized per ``k``."""
+        self._validate_k(k)
+        return dict(
+            self._memoized(
+                "top_k_membership",
+                (k,),
+                lambda: self.rank_matrix(k).membership(),
+            )
+        )
+
+    def preference_matrix(
+        self, keys: Optional[Sequence[Hashable]] = None
+    ) -> PairwisePreferenceMatrix:
+        """The memoized pairwise-preference grid over ``keys`` (default all)."""
+        params = (None,) if keys is None else (tuple(keys),)
+        return self._memoized(
+            "preference_matrix",
+            params,
+            lambda: self.statistics.preference_matrix(keys),
+        )
+
+    def expected_rank_table(self) -> Dict[Hashable, float]:
+        """The memoized Cormode-style expected rank of every tuple."""
+        return dict(
+            self._memoized(
+                "expected_rank_table",
+                (),
+                self.statistics.expected_rank_table,
+            )
+        )
+
+    def footrule_statistics(self, k: int) -> Any:
+        """The memoized Υ1/Υ2/Υ3 footrule tables of Section 5.4."""
+
+        def compute() -> Any:
+            from repro.consensus.topk.footrule import FootruleStatistics
+
+            return FootruleStatistics(self, k)
+
+        return self._memoized("footrule_statistics", (k,), compute)
+
+    # ------------------------------------------------------------------
+    # Consensus queries (memoized results)
+    # ------------------------------------------------------------------
+    def mean_topk_symmetric_difference(
+        self, k: int
+    ) -> Tuple[Tuple[Hashable, ...], float]:
+        """Theorem 3 mean Top-k answer under ``d_Δ``."""
+
+        def compute() -> Tuple[Tuple[Hashable, ...], float]:
+            from repro.consensus.topk.symmetric_difference import (
+                mean_topk_symmetric_difference,
+            )
+
+            return mean_topk_symmetric_difference(self, k)
+
+        return self._memoized("query:mean_topk_symmetric_difference", (k,), compute)
+
+    def median_topk_symmetric_difference(
+        self, k: int
+    ) -> Tuple[Tuple[Hashable, ...], float]:
+        """Theorem 4 median Top-k answer under ``d_Δ``."""
+
+        def compute() -> Tuple[Tuple[Hashable, ...], float]:
+            from repro.consensus.topk.symmetric_difference import (
+                median_topk_symmetric_difference,
+            )
+
+            return median_topk_symmetric_difference(self, k)
+
+        return self._memoized(
+            "query:median_topk_symmetric_difference", (k,), compute
+        )
+
+    def mean_topk_intersection(
+        self, k: int
+    ) -> Tuple[Tuple[Hashable, ...], float]:
+        """Exact mean Top-k answer under the intersection metric."""
+
+        def compute() -> Tuple[Tuple[Hashable, ...], float]:
+            from repro.consensus.topk.intersection import mean_topk_intersection
+
+            return mean_topk_intersection(self, k)
+
+        return self._memoized("query:mean_topk_intersection", (k,), compute)
+
+    def approximate_topk_intersection(
+        self, k: int
+    ) -> Tuple[Tuple[Hashable, ...], float]:
+        """``Υ_H``-based ``H_k``-approximation under the intersection metric."""
+
+        def compute() -> Tuple[Tuple[Hashable, ...], float]:
+            from repro.consensus.topk.intersection import (
+                approximate_topk_intersection,
+            )
+
+            return approximate_topk_intersection(self, k)
+
+        return self._memoized(
+            "query:approximate_topk_intersection", (k,), compute
+        )
+
+    def mean_topk_footrule(
+        self, k: int
+    ) -> Tuple[Tuple[Hashable, ...], float]:
+        """Exact mean Top-k answer under the Spearman footrule distance."""
+
+        def compute() -> Tuple[Tuple[Hashable, ...], float]:
+            from repro.consensus.topk.footrule import mean_topk_footrule
+
+            return mean_topk_footrule(self, k)
+
+        return self._memoized("query:mean_topk_footrule", (k,), compute)
+
+    def approximate_topk_kendall(
+        self,
+        k: int,
+        candidate_pool_size: Optional[int] = None,
+        rng: Any = None,
+    ) -> Tuple[Hashable, ...]:
+        """Pivot-based approximate mean answer under Kendall tau.
+
+        Deterministic calls (``rng is None``) are memoized; randomised calls
+        bypass the cache.
+        """
+        from repro.consensus.topk.kendall import approximate_topk_kendall
+
+        if rng is not None:
+            return approximate_topk_kendall(
+                self, k, candidate_pool_size=candidate_pool_size, rng=rng
+            )
+        return self._memoized(
+            "query:approximate_topk_kendall",
+            (k, candidate_pool_size),
+            lambda: approximate_topk_kendall(
+                self, k, candidate_pool_size=candidate_pool_size
+            ),
+        )
+
+    def mean_world_symmetric_difference(
+        self,
+    ) -> Tuple[FrozenSet[TupleAlternative], float]:
+        """Theorem 2 mean consensus world under symmetric difference."""
+
+        def compute() -> Tuple[FrozenSet[TupleAlternative], float]:
+            from repro.consensus.set_consensus import (
+                mean_world_symmetric_difference,
+            )
+
+            return mean_world_symmetric_difference(self._tree)
+
+        return self._memoized(
+            "query:mean_world_symmetric_difference", (), compute
+        )
+
+    def median_world_symmetric_difference(
+        self,
+    ) -> Tuple[FrozenSet[TupleAlternative], float]:
+        """Exact median consensus world under symmetric difference."""
+
+        def compute() -> Tuple[FrozenSet[TupleAlternative], float]:
+            from repro.consensus.set_consensus import (
+                median_world_symmetric_difference,
+            )
+
+            return median_world_symmetric_difference(self._tree)
+
+        return self._memoized(
+            "query:median_world_symmetric_difference", (), compute
+        )
+
+    def mean_world_jaccard(
+        self,
+    ) -> Tuple[FrozenSet[TupleAlternative], float]:
+        """Lemma 2 mean consensus world under the Jaccard distance."""
+
+        def compute() -> Tuple[FrozenSet[TupleAlternative], float]:
+            from repro.consensus.jaccard import (
+                mean_world_jaccard_tuple_independent,
+            )
+
+            return mean_world_jaccard_tuple_independent(self._tree)
+
+        return self._memoized("query:mean_world_jaccard", (), compute)
+
+    def median_world_jaccard(
+        self,
+    ) -> Tuple[FrozenSet[TupleAlternative], float]:
+        """Median consensus world under the Jaccard distance (BID)."""
+
+        def compute() -> Tuple[FrozenSet[TupleAlternative], float]:
+            from repro.consensus.jaccard import median_world_jaccard_bid
+
+            return median_world_jaccard_bid(self._tree)
+
+        return self._memoized("query:median_world_jaccard", (), compute)
+
+    def global_topk(self, k: int) -> Tuple[Hashable, ...]:
+        """The Global-Top-k baseline answer."""
+
+        def compute() -> Tuple[Hashable, ...]:
+            from repro.baselines.ranking import global_topk
+
+            return global_topk(self, k)
+
+        return self._memoized("query:global_topk", (k,), compute)
+
+    def expected_rank_topk(self, k: int) -> Tuple[Hashable, ...]:
+        """The expected-rank baseline answer."""
+
+        def compute() -> Tuple[Hashable, ...]:
+            from repro.baselines.ranking import expected_rank_topk
+
+            return expected_rank_topk(self, k)
+
+        return self._memoized("query:expected_rank_topk", (k,), compute)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuerySession({self._tree!r}, entries={len(self._cache)}, "
+            f"hits={self._hits}, misses={self._misses}, "
+            f"generation={self._generation})"
+        )
+
+
+def as_session(source: SessionSource) -> QuerySession:
+    """Coerce a tree / statistics / session into a :class:`QuerySession`.
+
+    An existing session is returned as-is.  A :class:`RankStatistics` gets a
+    session attached to it (and reused on later coercions), so repeated
+    module-level calls against the same statistics object share one warm
+    cache.  A bare tree gets a fresh throwaway session.
+    """
+    if isinstance(source, QuerySession):
+        return source
+    if isinstance(source, RankStatistics):
+        return source.session()
+    if isinstance(source, AndXorTree):
+        return QuerySession(source)
+    raise TypeError(
+        "expected an AndXorTree, RankStatistics or QuerySession, got "
+        f"{type(source).__name__}"
+    )
