@@ -79,6 +79,36 @@ a tree or ``RankStatistics``.
 >>> session.cache_info()["artifacts"]["rank_matrix"]  # doctest: +SKIP
 {'hits': 1, 'misses': 1}
 >>> session.set_scoring(lambda a: -a.effective_score())  # invalidates
+
+Monte-Carlo sampling
+--------------------
+When a query is hard exactly (the hardness results of Sections 4 and 6),
+fall back to the batched Monte-Carlo engine:
+:meth:`~repro.session.QuerySession.sampler` returns a memoized
+:class:`~repro.engine.MonteCarloSampler` whose flattened tree layout is
+compiled once per session; each batch is then one vectorized kernel call
+(one categorical draw per xor node across all samples) returning a
+:class:`~repro.engine.WorldBatch`, and the Top-k distance estimators
+(footrule / Kendall / intersection / symmetric difference) run fully
+inside the backend with streaming mean/variance and normal-approximation
+confidence intervals.
+
+>>> session = QuerySession(database.tree)
+>>> sampler = session.sampler()
+>>> batch = sampler.sample_batch(10_000, rng=7)
+>>> round(batch.marginals()["t2"], 2)
+1.0
+>>> estimate = sampler.estimate_topk_distance(
+...     answer, k=2, metric="footrule", samples=10_000, rng=7
+... )
+>>> low, high = estimate.confidence_interval(0.95)  # doctest: +SKIP
+
+Reproducibility: every sampling entry point (including the per-world
+:mod:`repro.andxor.sampling` walk) accepts ``rng=`` as a generator or an
+integer seed; with ``rng=None`` all draws flow through one process-wide
+generator that the ``REPRO_SEED`` environment variable seeds
+deterministically.  The backends only consume 64-bit seeds derived from
+that generator, so runs replay identically per backend.
 """
 
 from repro.core.tuples import TupleAlternative
@@ -95,8 +125,11 @@ from repro.andxor.builders import (
 from repro.andxor.enumeration import enumerate_worlds
 from repro.andxor.rank_probabilities import RankStatistics
 from repro.engine import (
+    Estimate,
+    MonteCarloSampler,
     PairwisePreferenceMatrix,
     RankMatrix,
+    WorldBatch,
     get_backend,
     set_backend,
     use_backend,
@@ -145,6 +178,9 @@ __all__ = [
     "RankStatistics",
     "RankMatrix",
     "PairwisePreferenceMatrix",
+    "MonteCarloSampler",
+    "WorldBatch",
+    "Estimate",
     "QuerySession",
     "as_session",
     "get_backend",

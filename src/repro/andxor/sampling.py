@@ -4,21 +4,39 @@ Sampling follows the independent generative process of Definition 1: every
 xor node independently picks one child (or nothing) according to its edge
 probabilities, every and node takes the union of its children's samples.
 
-Sampling is used by the benchmark harness to estimate expected distances on
-instances too large for exact enumeration, and by property tests as an
-independent consistency check of the generating-function computations.
+Two routes are provided:
+
+* :func:`sample_world` / :func:`sample_worlds` / :func:`estimate_expectation`
+  -- the per-world recursive reference walk.
+* :func:`sample_worlds_batched` -- the batched engine sampler
+  (:class:`repro.engine.MonteCarloSampler`): the tree is flattened once and
+  ``S`` worlds are drawn through one vectorized kernel call per batch.  For
+  repeated sampling against one database prefer
+  :meth:`repro.session.QuerySession.sampler`, which memoizes the flattened
+  layout.
+
+Reproducibility
+---------------
+Every function accepts ``rng`` as a ``random.Random``, an integer seed, or
+None.  ``None`` resolves to the process-wide generator of
+:func:`repro.engine.default_rng`, which the ``REPRO_SEED`` environment
+variable seeds deterministically -- so both the per-world walk and the
+batched kernels replay identically (per backend) across runs.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence, Set
+from typing import List, Set, Union
 
 from repro.andxor.nodes import AndNode, Leaf, Node, XorNode
 from repro.andxor.tree import AndXorTree
 from repro.core.tuples import TupleAlternative
 from repro.core.worlds import PossibleWorld
+from repro.engine.sampling import MonteCarloSampler, resolve_rng
 from repro.exceptions import ModelError
+
+RandomSource = Union[random.Random, int, None]
 
 
 def _sample_node(
@@ -43,32 +61,55 @@ def _sample_node(
     raise ModelError(f"unsupported node type {type(node).__name__}")
 
 
-def sample_world(
-    tree: AndXorTree, rng: random.Random | None = None
-) -> PossibleWorld:
+def sample_world(tree: AndXorTree, rng: RandomSource = None) -> PossibleWorld:
     """Draw one possible world from the tree's distribution."""
-    rng = rng or random.Random()
+    rng = resolve_rng(rng)
     alternatives: Set[TupleAlternative] = set()
     _sample_node(tree.root, rng, alternatives)
     return PossibleWorld(alternatives)
 
 
 def sample_worlds(
-    tree: AndXorTree, count: int, rng: random.Random | None = None
+    tree: AndXorTree, count: int, rng: RandomSource = None
 ) -> List[PossibleWorld]:
-    """Draw ``count`` independent possible worlds."""
-    rng = rng or random.Random()
+    """Draw ``count`` independent possible worlds, one recursive walk each.
+
+    This is the per-world reference path; :func:`sample_worlds_batched`
+    draws the same distribution through the vectorized engine kernels.
+    """
+    rng = resolve_rng(rng)
     return [sample_world(tree, rng) for _ in range(count)]
+
+
+def sample_worlds_batched(
+    tree: AndXorTree, count: int, rng: RandomSource = None
+) -> List[PossibleWorld]:
+    """Draw ``count`` independent possible worlds through the batched engine.
+
+    Flattens the tree, draws the whole batch in one backend kernel call and
+    materialises the worlds.  For repeated batches against one database use
+    :meth:`repro.session.QuerySession.sampler` (or hold a
+    :class:`repro.engine.MonteCarloSampler`) so the flattened layout is
+    reused.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return MonteCarloSampler(tree, rng=rng).sample_batch(count).worlds()
 
 
 def estimate_expectation(
     tree: AndXorTree,
     function,
     samples: int,
-    rng: random.Random | None = None,
+    rng: RandomSource = None,
 ) -> float:
-    """Monte-Carlo estimate of ``E[function(world)]``."""
-    rng = rng or random.Random()
+    """Monte-Carlo estimate of ``E[function(world)]`` (per-world walk).
+
+    :meth:`repro.engine.MonteCarloSampler.estimate_expectation` computes
+    the same estimate through the batched sampler and additionally reports
+    the sampling uncertainty.
+    """
+    rng = resolve_rng(rng)
     if samples <= 0:
         raise ValueError("samples must be positive")
     total = 0.0

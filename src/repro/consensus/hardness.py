@@ -17,7 +17,12 @@ reducing MAX-2-SAT to the median answer of a two-relation join query:
 This module constructs the reduction explicitly, provides an exhaustive
 MAX-2-SAT solver, and computes the median answer by enumerating the possible
 worlds of ``S``; tests verify that the two coincide, reproducing the
-reduction argument end to end.
+reduction argument end to end.  Because enumeration is exponential, the
+module also ships the fallback the hardness results prescribe:
+:func:`approximate_median_answer_by_sampling` estimates the median answer
+through the batched Monte-Carlo engine
+(:class:`repro.engine.MonteCarloSampler`) instead of enumerating the
+``2^n`` assignments.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.andxor.builders import bid_tree
 from repro.andxor.tree import AndXorTree
+from repro.engine.sampling import MonteCarloSampler, RandomSource
 from repro.exceptions import ConsensusError, EnumerationLimitError
 
 # A literal is (variable, required truth value); a clause is a pair of
@@ -209,6 +215,60 @@ def median_answer_by_enumeration(
     )
     best_answer = answers[best_index]
     return best_answer, assignments[best_index], expected_distance(best_answer)
+
+
+def approximate_median_answer_by_sampling(
+    reduction: Reduction,
+    samples: int = 2000,
+    rng: RandomSource = None,
+) -> Tuple[FrozenSet[int], Assignment, float]:
+    """Monte-Carlo approximation of the median query answer.
+
+    The hardness results of Section 4.1 rule out efficient exact median
+    computation, so this is the prescribed fallback: draw ``samples`` truth
+    assignments from the variable relation through the batched engine
+    sampler (one vectorized categorical draw per variable block across the
+    whole batch), estimate every clause's result-tuple probability from the
+    sampled answers, and return the sampled answer minimising the estimated
+    expected symmetric difference.
+
+    ``rng`` follows the usual convention (generator, integer seed, or None
+    for the ``REPRO_SEED``-seedable default).  Returns the winning answer,
+    a witnessing assignment, and its estimated expected distance.
+    """
+    if samples <= 0:
+        raise ConsensusError("samples must be positive")
+    sampler = MonteCarloSampler(reduction.variable_relation, rng=rng)
+    worlds = sampler.sample_batch(samples).worlds()
+    assignments = [
+        {alternative.key: alternative.value for alternative in world}
+        for world in worlds
+    ]
+    answers = [reduction.answer_of_assignment(a) for a in assignments]
+
+    clause_count = len(reduction.instance.clauses)
+    frequency = [0.0] * clause_count
+    for answer in answers:
+        for index in answer:
+            frequency[index] += 1.0
+    frequency = [count / samples for count in frequency]
+
+    def estimated_distance(candidate: FrozenSet[int]) -> float:
+        return sum(
+            1.0 - probability if index in candidate else probability
+            for index, probability in enumerate(frequency)
+        )
+
+    best_index = min(
+        range(samples),
+        key=lambda i: (estimated_distance(answers[i]), sorted(answers[i])),
+    )
+    best_answer = answers[best_index]
+    return (
+        best_answer,
+        assignments[best_index],
+        estimated_distance(best_answer),
+    )
 
 
 def verify_reduction(reduction: Reduction, limit: int = 1 << 22) -> bool:

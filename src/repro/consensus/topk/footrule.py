@@ -38,7 +38,7 @@ from repro.consensus.topk.common import (
     validate_k,
 )
 from repro.exceptions import ConsensusError
-from repro.matching.hungarian import minimize_cost_assignment
+from repro.matching import minimize_cost_assignment
 
 
 class FootruleStatistics:
@@ -46,19 +46,27 @@ class FootruleStatistics:
 
     Instances are memoized per ``k`` on the query session
     (:meth:`repro.session.QuerySession.footrule_statistics`), so evaluating
-    several candidate answers reuses the same Υ tables.
+    several candidate answers reuses the same Υ tables.  The whole
+    ``n × k`` cost table ``f(t, i)`` is produced by one backend kernel
+    (:meth:`~repro.engine.backends.Backend.footrule_cost_matrix`: a matrix
+    product of the truncated rank matrix against the ``k × k`` ``|i-j|``
+    grid plus two rank-one updates) instead of the per-entry Υ3 loop.
     """
 
     def __init__(self, source: TreeOrStatistics, k: int) -> None:
         self._session = as_session(source)
         self._k = validate_k(self._session, k)
         self._matrix = rank_matrix_view(self._session, k)
-        self._positions: Dict[Hashable, List[float]] = self._matrix.to_dict()
         # Υ1 and Υ2 for all tuples in two weighted row sums.
         self._upsilon1 = self._matrix.membership()
         self._upsilon2 = self._matrix.weighted_sums(
             [float(i) for i in range(1, k + 1)]
         )
+        backend = self._matrix.backend
+        self._cost = backend.footrule_cost_matrix(self._matrix.native, k)
+        self._row_index = {
+            key: row for row, key in enumerate(self._matrix.keys())
+        }
 
     @property
     def k(self) -> int:
@@ -66,8 +74,12 @@ class FootruleStatistics:
         return self._k
 
     def keys(self) -> List[Hashable]:
-        """The tuple keys of the database."""
-        return self._session.keys()
+        """The tuple keys of the database, aligned with :meth:`cost_rows`.
+
+        ``keys()[column]`` is the tuple of column ``column`` of the cost
+        table (the rank-matrix row order).
+        """
+        return self._matrix.keys()
 
     def upsilon1(self, key: Hashable) -> float:
         """``Υ1(t) = Pr(r(t) <= k)``."""
@@ -81,19 +93,13 @@ class FootruleStatistics:
         """``Υ3(t, i) = Σ_{j<=k} Pr(r(t)=j) |i-j| - i Pr(r(t) > k)``.
 
         See the module docstring for the sign of the second term.
+        Recovered from the precomputed cost table via
+        ``Υ3(t, i) = f(t, i) - Υ2(t) + 2 (k+1) Υ1(t)``.
         """
-        if not 1 <= position <= self._k:
-            raise ConsensusError(
-                f"position must lie in 1..{self._k}, got {position}"
-            )
-        positions = self._positions[key]
-        absent_or_low = 1.0 - sum(positions)
         return (
-            sum(
-                probability * abs(position - (j + 1))
-                for j, probability in enumerate(positions)
-            )
-            - position * absent_or_low
+            self.position_cost(key, position)
+            - self.upsilon2(key)
+            + 2.0 * (self._k + 1.0) * self.upsilon1(key)
         )
 
     def constant_term(self) -> float:
@@ -106,11 +112,24 @@ class FootruleStatistics:
 
     def position_cost(self, key: Hashable, position: int) -> float:
         """``f(t, i) = Υ3(t, i) + Υ2(t) - 2 (k+1) Υ1(t)``."""
-        return (
-            self.upsilon3(key, position)
-            + self.upsilon2(key)
-            - 2.0 * (self._k + 1.0) * self.upsilon1(key)
+        if not 1 <= position <= self._k:
+            raise ConsensusError(
+                f"position must lie in 1..{self._k}, got {position}"
+            )
+        return self._matrix.backend.matrix_cell(
+            self._cost, self._row_index[key], position - 1
         )
+
+    def cost_rows(self) -> List[List[float]]:
+        """The ``k × n`` assignment cost table (rows = positions).
+
+        ``cost_rows()[i - 1][column]`` is ``f(t, i)`` for the tuple at
+        ``keys()[column]`` -- the orientation
+        :func:`~repro.matching.minimize_cost_assignment` needs
+        (``rows <= cols``).
+        """
+        backend = self._matrix.backend
+        return backend.matrix_to_lists(backend.transpose(self._cost))
 
 
 def expected_topk_footrule_distance(
@@ -145,10 +164,6 @@ def mean_topk_footrule(
     session = as_session(source)
     footrule = session.footrule_statistics(k)
     keys = footrule.keys()
-    cost = [
-        [footrule.position_cost(key, position) for key in keys]
-        for position in range(1, k + 1)
-    ]
-    assignment, _ = minimize_cost_assignment(cost)
+    assignment, _ = minimize_cost_assignment(footrule.cost_rows())
     answer = tuple(keys[column] for column in assignment)
     return answer, expected_topk_footrule_distance(session, answer, k)

@@ -32,7 +32,7 @@ from repro.consensus.topk.common import (
 )
 from repro.consensus.topk.ranking_functions import upsilon_h
 from repro.exceptions import ConsensusError
-from repro.matching.hungarian import maximize_profit_assignment
+from repro.matching import maximize_profit_assignment
 
 
 def expected_topk_intersection_distance(

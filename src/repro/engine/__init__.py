@@ -39,6 +39,18 @@ from repro.engine.backends import (
 )
 from repro.engine.pairwise import PairwisePreferenceMatrix
 from repro.engine.rank_matrix import RankMatrix
+from repro.engine.sampling import (
+    Estimate,
+    FlattenedTree,
+    MonteCarloSampler,
+    StreamingMoments,
+    WorldBatch,
+    default_rng,
+    derive_seed,
+    flatten_tree,
+    reset_default_rng,
+    resolve_rng,
+)
 
 __all__ = [
     "Backend",
@@ -46,9 +58,19 @@ __all__ = [
     "NumpyBackend",
     "PairwisePreferenceMatrix",
     "RankMatrix",
+    "Estimate",
+    "FlattenedTree",
+    "MonteCarloSampler",
+    "StreamingMoments",
+    "WorldBatch",
     "available_backends",
+    "default_rng",
+    "derive_seed",
+    "flatten_tree",
     "get_backend",
     "numpy_available",
+    "reset_default_rng",
+    "resolve_rng",
     "set_backend",
     "use_backend",
 ]

@@ -25,6 +25,8 @@ depend on it without cycles.
 
 from __future__ import annotations
 
+import random as _random
+from bisect import bisect_right as _bisect_right
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 try:  # NumPy is an optional accelerator, never a hard dependency.
@@ -152,9 +154,66 @@ class Backend:
         """
         raise NotImplementedError
 
+    # -- batched Monte-Carlo sampling kernels -------------------------------
+    def sample_bernoulli_presence(
+        self, probabilities: Sequence[float], samples: int, seed: int
+    ) -> Any:
+        """``samples × n`` native boolean presence matrix of independent events.
+
+        Cell ``(s, i)`` is True when event ``i`` occurred in sample ``s``.
+        This is the fast path for flattened trees whose leaves are pairwise
+        independent (every xor node feeds exactly one leaf): one uniform
+        draw per cell, compared against the event's probability.  The draws
+        are fully determined by ``seed``, so a run is reproducible per
+        backend (the two backends consume different generators and need not
+        produce identical streams).
+        """
+        raise NotImplementedError
+
+    def sample_xor_presence(
+        self,
+        cumulatives: Sequence[Sequence[float]],
+        constraints: Sequence[Sequence[Tuple[int, int]]],
+        leaf_count: int,
+        samples: int,
+        seed: int,
+    ) -> Any:
+        """``samples × leaf_count`` presence matrix of a general and/xor tree.
+
+        ``cumulatives[x]`` holds the cumulative edge probabilities of xor
+        node ``x`` (a uniform draw ``u`` selects the child with the smallest
+        index whose cumulative value exceeds ``u``; ``u`` beyond the last
+        value selects nothing).  ``constraints[l]`` lists the
+        ``(xor index, child index)`` pairs leaf ``l`` requires on its root
+        path; a leaf with no constraints is always present.  One categorical
+        draw per xor node covers all leaves of a sample (Definition 1's
+        generative process), vectorized across the whole batch.
+        """
+        raise NotImplementedError
+
+    # -- consensus cost kernels --------------------------------------------
+    def footrule_cost_matrix(self, matrix: Any, k: int) -> Any:
+        """The footrule assignment cost table ``f(t, i)`` of Section 5.4.
+
+        ``matrix`` is the native ``n × k`` rank matrix (cell ``(t, j-1)`` is
+        ``Pr(r(t) = j)``).  Writing ``Υ1(t) = Σ_j Pr(r(t)=j)`` and
+        ``Υ2(t) = Σ_j j Pr(r(t)=j)``, the result's cell ``(t, i-1)`` is
+
+        ``f(t, i) = Σ_j Pr(r(t)=j) |i-j| - i (1 - Υ1(t))
+                    + Υ2(t) - 2 (k+1) Υ1(t)``
+
+        -- one matrix product against the ``k × k`` ``|i-j|`` grid plus two
+        rank-one updates instead of the per-entry Υ3 loop.
+        """
+        raise NotImplementedError
+
     # -- native matrix helpers ----------------------------------------------
     def matrix_from_rows(self, rows: Sequence[Sequence[float]]) -> Any:
         """Pack per-key coefficient rows into the backend-native layout."""
+        raise NotImplementedError
+
+    def transpose(self, matrix: Any) -> Any:
+        """The transposed view/copy of a native matrix."""
         raise NotImplementedError
 
     def cumulative_rows(self, matrix: Any) -> Any:
@@ -366,10 +425,68 @@ class PurePythonBackend(Backend):
                 outside = grown
         return values
 
+    def sample_bernoulli_presence(
+        self, probabilities: Sequence[float], samples: int, seed: int
+    ) -> List[List[bool]]:
+        rng = _random.Random(seed)
+        return [
+            [rng.random() < probability for probability in probabilities]
+            for _ in range(samples)
+        ]
+
+    def sample_xor_presence(
+        self,
+        cumulatives: Sequence[Sequence[float]],
+        constraints: Sequence[Sequence[Tuple[int, int]]],
+        leaf_count: int,
+        samples: int,
+        seed: int,
+    ) -> List[List[bool]]:
+        rng = _random.Random(seed)
+        rows: List[List[bool]] = []
+        for _ in range(samples):
+            choices = [
+                _bisect_right(cumulative, rng.random())
+                for cumulative in cumulatives
+            ]
+            rows.append(
+                [
+                    all(choices[x] == child for x, child in constraint)
+                    for constraint in constraints
+                ]
+            )
+        return rows
+
+    def footrule_cost_matrix(
+        self, matrix: List[List[float]], k: int
+    ) -> List[List[float]]:
+        rows: List[List[float]] = []
+        for row in matrix:
+            upsilon1 = sum(row)
+            upsilon2 = sum((j + 1) * p for j, p in enumerate(row))
+            absent_or_low = 1.0 - upsilon1
+            base = upsilon2 - 2.0 * (k + 1.0) * upsilon1
+            rows.append(
+                [
+                    sum(
+                        p * abs(i - (j + 1)) for j, p in enumerate(row)
+                    )
+                    - i * absent_or_low
+                    + base
+                    for i in range(1, k + 1)
+                ]
+            )
+        return rows
+
     def matrix_from_rows(
         self, rows: Sequence[Sequence[float]]
     ) -> List[List[float]]:
         return [list(row) for row in rows]
+
+    def transpose(
+        self, matrix: List[List[float]]
+    ) -> List[List[float]]:
+        return [list(column) for column in zip(*matrix)]
 
     def cumulative_rows(
         self, matrix: List[List[float]]
@@ -660,8 +777,65 @@ class NumpyBackend(Backend):
                 outside = grown
         return results.tolist()
 
+    def sample_bernoulli_presence(
+        self, probabilities: Sequence[float], samples: int, seed: int
+    ) -> Any:
+        rng = _np.random.default_rng(seed)
+        values = _np.asarray(probabilities, dtype=_np.float64)
+        count = values.shape[0]
+        presence = _np.empty((samples, count), dtype=bool)
+        # Chunk the uniform draws so the float64 scratch stays bounded even
+        # for very large S × n batches (the bool result is 8x smaller).
+        chunk = max(1, min(samples, 8_000_000 // max(1, count)))
+        for start in range(0, samples, chunk):
+            stop = min(samples, start + chunk)
+            presence[start:stop] = rng.random((stop - start, count)) < values
+        return presence
+
+    def sample_xor_presence(
+        self,
+        cumulatives: Sequence[Sequence[float]],
+        constraints: Sequence[Sequence[Tuple[int, int]]],
+        leaf_count: int,
+        samples: int,
+        seed: int,
+    ) -> Any:
+        rng = _np.random.default_rng(seed)
+        presence = _np.ones((samples, leaf_count), dtype=bool)
+        targets_by_xor: Dict[int, List[Tuple[int, int]]] = {}
+        for leaf, constraint in enumerate(constraints):
+            for x, child in constraint:
+                targets_by_xor.setdefault(x, []).append((leaf, child))
+        for x, cumulative in enumerate(cumulatives):
+            draws = rng.random(samples)
+            targets = targets_by_xor.get(x)
+            if not targets:
+                continue
+            choice = _np.searchsorted(
+                _np.asarray(cumulative, dtype=_np.float64),
+                draws,
+                side="right",
+            )
+            for leaf, child in targets:
+                presence[:, leaf] &= choice == child
+        return presence
+
+    def footrule_cost_matrix(self, matrix: Any, k: int) -> Any:
+        positions = _np.arange(1, k + 1, dtype=_np.float64)
+        # grid[j - 1, i - 1] = |i - j|
+        grid = _np.abs(positions[None, :] - positions[:, None])
+        upsilon1 = matrix.sum(axis=1)
+        upsilon2 = matrix @ positions
+        cost = matrix @ grid
+        cost += _np.outer(upsilon1 - 1.0, positions)
+        cost += (upsilon2 - 2.0 * (k + 1.0) * upsilon1)[:, None]
+        return cost
+
     def matrix_from_rows(self, rows: Sequence[Sequence[float]]) -> Any:
         return _np.asarray(rows, dtype=_np.float64)
+
+    def transpose(self, matrix: Any) -> Any:
+        return matrix.T
 
     def cumulative_rows(self, matrix: Any) -> Any:
         return _np.cumsum(matrix, axis=1)

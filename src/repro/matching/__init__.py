@@ -4,12 +4,17 @@ Section 5 of the paper reduces the exact mean Top-k answer under the
 intersection metric and under the Spearman footrule distance to a
 maximum-weight bipartite matching ("assignment") problem between tuples and
 Top-k positions.  This package implements the Hungarian algorithm from
-scratch (no external solver) together with small bipartite-graph helpers.
+scratch (the dependency-free reference) together with small bipartite-graph
+helpers; the package-level :func:`minimize_cost_assignment` /
+:func:`maximize_profit_assignment` entry points additionally route through
+SciPy's ``linear_sum_assignment`` when it is importable and the NumPy
+compute backend is active (see :mod:`repro.matching.assignment`).
 """
 
-from repro.matching.hungarian import (
+from repro.matching.assignment import (
     maximize_profit_assignment,
     minimize_cost_assignment,
+    scipy_solver_available,
 )
 from repro.matching.bipartite import (
     BipartiteGraph,
@@ -19,6 +24,7 @@ from repro.matching.bipartite import (
 __all__ = [
     "minimize_cost_assignment",
     "maximize_profit_assignment",
+    "scipy_solver_available",
     "BipartiteGraph",
     "maximum_cardinality_matching",
 ]

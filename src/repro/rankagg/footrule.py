@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 from repro.exceptions import ConsensusError
-from repro.matching.hungarian import minimize_cost_assignment
+from repro.matching import minimize_cost_assignment
 
 Ranking = Sequence[Hashable]
 WeightedRankings = Sequence[Tuple[Ranking, float]]

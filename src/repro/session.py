@@ -326,6 +326,26 @@ class QuerySession:
 
         return self._memoized("footrule_statistics", (k,), compute)
 
+    def sampler(self) -> Any:
+        """The memoized batched Monte-Carlo sampler for this database.
+
+        Returns a :class:`repro.engine.MonteCarloSampler` whose flattened
+        tree layout is computed once and reused by every warm batch; the
+        sampler inherits the session's active scoring and is dropped (like
+        every artifact) by :meth:`invalidate` / :meth:`set_scoring`.
+        Randomness is controlled per call (``rng=`` / integer seeds) or by
+        the ``REPRO_SEED`` environment variable, never memoized.
+        """
+
+        def compute() -> Any:
+            from repro.engine.sampling import MonteCarloSampler
+
+            return MonteCarloSampler(
+                self._tree, score_of=self.statistics.score_of
+            )
+
+        return self._memoized("sampler", (), compute)
+
     # ------------------------------------------------------------------
     # Consensus queries (memoized results)
     # ------------------------------------------------------------------

@@ -99,6 +99,75 @@ class TestHungarian:
         assert math.isclose(ours, reference, rel_tol=1e-8, abs_tol=1e-8)
 
 
+class TestBackendAwareDispatch:
+    """The package-level solver (repro.matching.minimize_cost_assignment)
+    dispatches to scipy's linear_sum_assignment when the NumPy engine
+    backend is active and to the Hungarian reference otherwise; both are
+    exact, so totals must agree on every instance."""
+
+    @pytest.mark.parametrize("rows,cols,seed", [
+        (1, 1, 0), (3, 3, 1), (4, 7, 2), (6, 6, 3), (5, 12, 4), (8, 8, 5),
+        (2, 30, 6), (10, 14, 7),
+    ])
+    def test_dispatch_parity_on_random_rectangular(self, rows, cols, seed):
+        from repro.engine import use_backend
+        from repro.matching import (
+            minimize_cost_assignment as dispatched_minimize,
+        )
+
+        rng = random.Random(seed)
+        cost = [
+            [rng.uniform(-10, 10) for _ in range(cols)] for _ in range(rows)
+        ]
+        reference_assignment, reference = minimize_cost_assignment(cost)
+        assert sorted(set(reference_assignment)) == sorted(
+            reference_assignment
+        )
+        with use_backend("python"):
+            pure_assignment, pure_total = dispatched_minimize(cost)
+        assert pure_assignment == reference_assignment
+        assert pure_total == reference
+        if numpy is not None:
+            with use_backend("numpy"):
+                fast_assignment, fast_total = dispatched_minimize(cost)
+            assert len(set(fast_assignment)) == rows
+            assert all(0 <= column < cols for column in fast_assignment)
+            assert math.isclose(
+                fast_total, reference, rel_tol=1e-9, abs_tol=1e-9
+            )
+
+    def test_dispatch_maximize_parity(self):
+        from repro.engine import get_backend
+        from repro.matching import (
+            maximize_profit_assignment as dispatched_maximize,
+        )
+
+        rng = random.Random(11)
+        profit = [[rng.uniform(0, 9) for _ in range(6)] for _ in range(4)]
+        _, reference = maximize_profit_assignment(profit)
+        assignment, total = dispatched_maximize(profit)
+        assert len(set(assignment)) == 4
+        assert math.isclose(total, reference, rel_tol=1e-9, abs_tol=1e-9)
+        assert get_backend().name in ("python", "numpy")
+
+    def test_dispatch_preserves_error_contract(self):
+        from repro.matching import (
+            minimize_cost_assignment as dispatched_minimize,
+        )
+
+        assert dispatched_minimize([]) == ([], 0.0)
+        with pytest.raises(MatchingError):
+            dispatched_minimize([[1], [2]])
+        with pytest.raises(MatchingError):
+            dispatched_minimize([[1, 2], [3]])
+
+    @requires_scipy_oracle
+    def test_scipy_solver_reported_available(self):
+        from repro.matching import scipy_solver_available
+
+        assert scipy_solver_available()
+
+
 class TestBipartite:
     def test_graph_construction(self):
         graph = BipartiteGraph(left=["a"], right=["x"])
