@@ -22,6 +22,11 @@ The package is organised bottom-up:
   runs on: pluggable array backends plus batched rank / pairwise matrices.
 * :mod:`repro.session` -- the query-session layer sharing memoized
   statistics artifacts across consensus queries on one database.
+* :mod:`repro.sharding` -- cross-shard statistics merging: per-shard
+  partial generating functions convolved into exact global answers.
+* :mod:`repro.serving` -- the asyncio serving front-end over a
+  :class:`~repro.models.sharded.ShardedDatabase` (request coalescing,
+  micro-batching, per-shard workers, invalidation fan-out).
 
 Quickstart
 ----------
@@ -108,7 +113,47 @@ Reproducibility: every sampling entry point (including the per-world
 integer seed; with ``rng=None`` all draws flow through one process-wide
 generator that the ``REPRO_SEED`` environment variable seeds
 deterministically.  The backends only consume 64-bit seeds derived from
-that generator, so runs replay identically per backend.
+that generator, so runs replay identically per backend.  The workload
+generators (:mod:`repro.workloads`) route their ``rng=None`` defaults
+through the same generator, so database generation and traffic replays are
+reproducible from the same single seed.
+
+Sharded serving
+---------------
+To serve heavy concurrent traffic, partition a database into shards
+(:class:`~repro.models.sharded.ShardedDatabase`; hash or score-range
+partitioning, BID blocks kept intact).  Each shard holds its own
+:class:`QuerySession`; the coordinator
+(:class:`~repro.sharding.ShardedQuerySession`) recovers *exact* global
+statistics by convolving the shards' truncated partial rank generating
+functions through the backend (the rank generating function factorizes
+across independent shards), so every consensus query runs unchanged on
+merged statistics -- no global session is ever built.  The asyncio
+front-end (:class:`~repro.serving.ServingExecutor`) adds request
+coalescing, micro-batching, per-shard worker pools and graceful cache
+invalidation fan-out on updates; traffic mixes come from
+:func:`repro.workloads.generate_traffic`.
+
+>>> import asyncio
+>>> from repro.models import ShardedDatabase
+>>> from repro.serving import ServingExecutor
+>>> sharded = ShardedDatabase(database, 4, partitioner="hash")
+>>> async def serve():
+...     async with ServingExecutor(sharded) as executor:
+...         answer, _ = await executor.query(
+...             "mean_topk_symmetric_difference", k=2
+...         )
+...         await executor.update("t3", probability=0.2)  # one shard rebuilt
+...         return answer
+>>> asyncio.run(serve())  # doctest: +SKIP
+
+Updates rebuild and invalidate only the owning shard (the other shards'
+memoized partials keep serving the merge), so aggregate throughput scales
+with the shard count under mixed read/update traffic (benchmark E13); the
+answers stay bit-for-bit semantics-identical to an unsharded session
+(1e-9 parity, ``tests/test_sharding.py``).  ``ShardedDatabase.cache_info()``
+rolls the per-shard and coordinator cache counters up into one
+:class:`~repro.session.CacheInfo`.
 """
 
 from repro.core.tuples import TupleAlternative
@@ -134,13 +179,16 @@ from repro.engine import (
     set_backend,
     use_backend,
 )
-from repro.session import QuerySession, as_session
+from repro.session import CacheInfo, QuerySession, as_session
 from repro.models import (
     BlockIndependentDatabase,
     ProbabilisticRelation,
+    ShardedDatabase,
     TupleIndependentDatabase,
     XTupleDatabase,
 )
+from repro.sharding import ShardedQuerySession
+from repro.serving import QueryRequest, ServingExecutor
 from repro.consensus import (
     GroupByCountConsensus,
     approximate_topk_intersection,
@@ -182,6 +230,7 @@ __all__ = [
     "WorldBatch",
     "Estimate",
     "QuerySession",
+    "CacheInfo",
     "as_session",
     "get_backend",
     "set_backend",
@@ -190,6 +239,10 @@ __all__ = [
     "TupleIndependentDatabase",
     "BlockIndependentDatabase",
     "XTupleDatabase",
+    "ShardedDatabase",
+    "ShardedQuerySession",
+    "ServingExecutor",
+    "QueryRequest",
     "mean_world_symmetric_difference",
     "median_world_symmetric_difference",
     "expected_symmetric_difference_to_world",

@@ -86,7 +86,7 @@ def order_by_score(
     best_score = {
         key: max(
             session.score_of(alternative)
-            for alternative in session.tree.alternatives_of(key)
+            for alternative in session.alternatives_of(key)
         )
         for key in keys
     }

@@ -191,6 +191,59 @@ class Backend:
         """
         raise NotImplementedError
 
+    # -- shard-merge kernels -------------------------------------------------
+    def prefix_count_polynomials(
+        self, probabilities: Sequence[float], out_len: int
+    ) -> Any:
+        """Truncated prefix products ``Π_{i<m} (1 - p_i + p_i x)``.
+
+        ``probabilities`` lists independent presence probabilities in
+        decreasing score order.  Row ``m`` of the ``(n + 1) × out_len``
+        native result holds the coefficients of the count distribution of
+        the first ``m`` events -- the *partial rank generating function* a
+        database shard exports so a coordinator can recover exact global
+        rank probabilities by convolving shard partials
+        (:meth:`convolve_rows`).  Row 0 is the unit polynomial.
+        """
+        raise NotImplementedError
+
+    def convolve_rows(self, a: Any, b: Any, out_len: int) -> Any:
+        """Row-aligned truncated convolution of two native matrices.
+
+        ``result[r][m] = Σ_i a[r][i] * b[r][m - i]`` for ``m < out_len`` --
+        one polynomial product per row, batched.  This is the coordinator's
+        merge kernel: convolving the per-tuple local rank polynomials of one
+        shard against the gathered count-above-threshold partials of another
+        shard merges the two shards' contributions for every tuple at once.
+        """
+        raise NotImplementedError
+
+    def take_rows(self, matrix: Any, indices: Sequence[int]) -> Any:
+        """Gather rows of a native matrix (callers must not mutate them)."""
+        raise NotImplementedError
+
+    def descending_prefix_lengths(
+        self,
+        scores_desc: Sequence[float],
+        thresholds_desc: Sequence[float],
+    ) -> List[int]:
+        """Per threshold, how many scores are strictly greater than it.
+
+        Both sequences are sorted in decreasing order; the result maps each
+        threshold to the length of the score prefix lying above it.  The
+        coordinator uses this to look one shard's score column up in
+        another shard's prefix polynomial table.
+        """
+        raise NotImplementedError
+
+    def scale_rows(self, matrix: Any, factors: Sequence[float]) -> Any:
+        """Multiply row ``r`` of a native matrix by ``factors[r]``."""
+        raise NotImplementedError
+
+    def stack_matrices(self, matrices: Sequence[Any]) -> Any:
+        """Concatenate native matrices with equal column counts row-wise."""
+        raise NotImplementedError
+
     # -- consensus cost kernels --------------------------------------------
     def footrule_cost_matrix(self, matrix: Any, k: int) -> Any:
         """The footrule assignment cost table ``f(t, i)`` of Section 5.4.
@@ -456,6 +509,75 @@ class PurePythonBackend(Backend):
                 ]
             )
         return rows
+
+    def prefix_count_polynomials(
+        self, probabilities: Sequence[float], out_len: int
+    ) -> List[List[float]]:
+        if out_len < 1:
+            return [[] for _ in range(len(probabilities) + 1)]
+        coefficients = [0.0] * out_len
+        coefficients[0] = 1.0
+        rows: List[List[float]] = [list(coefficients)]
+        for probability in probabilities:
+            previous = 0.0
+            for index in range(out_len):
+                current = coefficients[index]
+                coefficients[index] = (
+                    current * (1.0 - probability) + previous * probability
+                )
+                previous = current
+            rows.append(list(coefficients))
+        return rows
+
+    def convolve_rows(
+        self,
+        a: List[List[float]],
+        b: List[List[float]],
+        out_len: int,
+    ) -> List[List[float]]:
+        if len(a) != len(b):
+            raise ValueError(
+                f"row counts differ: {len(a)} vs {len(b)}"
+            )
+        return [
+            self.convolve(row_a, row_b, out_len)
+            for row_a, row_b in zip(a, b)
+        ]
+
+    def take_rows(
+        self, matrix: List[List[float]], indices: Sequence[int]
+    ) -> List[List[float]]:
+        return [matrix[index] for index in indices]
+
+    def descending_prefix_lengths(
+        self,
+        scores_desc: Sequence[float],
+        thresholds_desc: Sequence[float],
+    ) -> List[int]:
+        count = len(scores_desc)
+        out: List[int] = []
+        position = 0
+        for threshold in thresholds_desc:
+            while position < count and scores_desc[position] > threshold:
+                position += 1
+            out.append(position)
+        return out
+
+    def scale_rows(
+        self, matrix: List[List[float]], factors: Sequence[float]
+    ) -> List[List[float]]:
+        return [
+            [value * factor for value in row]
+            for row, factor in zip(matrix, factors)
+        ]
+
+    def stack_matrices(
+        self, matrices: Sequence[List[List[float]]]
+    ) -> List[List[float]]:
+        stacked: List[List[float]] = []
+        for matrix in matrices:
+            stacked.extend(matrix)
+        return stacked
 
     def footrule_cost_matrix(
         self, matrix: List[List[float]], k: int
@@ -819,6 +941,66 @@ class NumpyBackend(Backend):
             for leaf, child in targets:
                 presence[:, leaf] &= choice == child
         return presence
+
+    def prefix_count_polynomials(
+        self, probabilities: Sequence[float], out_len: int
+    ) -> Any:
+        values = _np.asarray(probabilities, dtype=_np.float64)
+        count = values.shape[0]
+        if out_len < 1:
+            return _np.zeros((count + 1, 0), dtype=_np.float64)
+        rows = _np.empty((count + 1, out_len), dtype=_np.float64)
+        coefficients = _np.zeros(out_len, dtype=_np.float64)
+        coefficients[0] = 1.0
+        rows[0] = coefficients
+        shifted = _np.empty_like(coefficients)
+        for index in range(count):
+            probability = values[index]
+            shifted[0] = 0.0
+            shifted[1:] = coefficients[:-1]
+            coefficients *= 1.0 - probability
+            coefficients += shifted * probability
+            rows[index + 1] = coefficients
+        return rows
+
+    def convolve_rows(self, a: Any, b: Any, out_len: int) -> Any:
+        a = _np.asarray(a, dtype=_np.float64)
+        b = _np.asarray(b, dtype=_np.float64)
+        if a.shape[0] != b.shape[0]:
+            raise ValueError(
+                f"row counts differ: {a.shape[0]} vs {b.shape[0]}"
+            )
+        out = _np.zeros((a.shape[0], out_len), dtype=_np.float64)
+        width = min(a.shape[1], out_len)
+        b_width = min(b.shape[1], out_len)
+        # One shifted rank-1 accumulation per degree of the left operand:
+        # out[:, i + j] += a[:, i] * b[:, j], truncated at out_len columns.
+        for i in range(width):
+            span = min(b_width, out_len - i)
+            if span <= 0:
+                break
+            out[:, i : i + span] += a[:, i : i + 1] * b[:, :span]
+        return out
+
+    def take_rows(self, matrix: Any, indices: Sequence[int]) -> Any:
+        return matrix[_np.asarray(indices, dtype=_np.intp)]
+
+    def descending_prefix_lengths(
+        self,
+        scores_desc: Sequence[float],
+        thresholds_desc: Sequence[float],
+    ) -> List[int]:
+        # "scores strictly greater than θ" on a descending list is a left
+        # bisect on the negated (ascending) list.
+        ascending = -_np.asarray(scores_desc, dtype=_np.float64)
+        queries = -_np.asarray(thresholds_desc, dtype=_np.float64)
+        return _np.searchsorted(ascending, queries, side="left").tolist()
+
+    def scale_rows(self, matrix: Any, factors: Sequence[float]) -> Any:
+        return matrix * _np.asarray(factors, dtype=_np.float64)[:, None]
+
+    def stack_matrices(self, matrices: Sequence[Any]) -> Any:
+        return _np.vstack([_np.asarray(m, dtype=_np.float64) for m in matrices])
 
     def footrule_cost_matrix(self, matrix: Any, k: int) -> Any:
         positions = _np.arange(1, k + 1, dtype=_np.float64)

@@ -15,10 +15,13 @@ from repro.models.relation import ProbabilisticRelation
 from repro.models.tuple_independent import TupleIndependentDatabase
 from repro.models.bid import BlockIndependentDatabase
 from repro.models.xtuples import XTupleDatabase
+from repro.models.sharded import DatabaseShard, ShardedDatabase
 
 __all__ = [
     "ProbabilisticRelation",
     "TupleIndependentDatabase",
     "BlockIndependentDatabase",
     "XTupleDatabase",
+    "DatabaseShard",
+    "ShardedDatabase",
 ]

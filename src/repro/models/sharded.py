@@ -1,0 +1,669 @@
+"""Partitioned probabilistic databases.
+
+:class:`ShardedDatabase` splits a tuple-independent or block-independent
+(BID) database into ``shard_count`` shards -- by stable key hash or by score
+range -- with BID blocks always kept intact inside one shard.  Because
+distinct keys are independent in both models, each shard is itself a valid
+database of the same model, materializing its own and/xor tree and
+:class:`~repro.session.QuerySession`; exact global answers are recovered by
+the :class:`~repro.sharding.ShardedQuerySession` coordinator, which
+convolves the shards' partial rank generating functions.
+
+Shards are the unit of cache invalidation: :meth:`ShardedDatabase.\
+update_tuple` / :meth:`ShardedDatabase.update_block` rebuild only the
+owning shard, bump its version and notify subscribers (the serving layer's
+invalidation fan-out); the other shards' memoized statistics stay warm.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import ModelError, ProbabilityError
+from repro.models.bid import BlockIndependentDatabase
+from repro.models.tuple_independent import TupleIndependentDatabase
+from repro.session import CacheInfo, QuerySession
+
+SourceDatabase = Union[TupleIndependentDatabase, BlockIndependentDatabase]
+#: A partition unit: one independent tuple or one intact BID block.
+#: ("independent", key, value, score, probability) or
+#: ("block", key, [(value, score, probability), ...]).
+_Unit = Tuple[Any, ...]
+Partitioner = Union[str, Callable[[Hashable], int]]
+
+
+def hash_shard_of(key: Hashable, shard_count: int) -> int:
+    """Stable (process-independent) hash partitioning of one tuple key."""
+    return zlib.crc32(repr(key).encode("utf-8")) % shard_count
+
+
+class DatabaseShard:
+    """One shard: a sub-database plus its version and lazy query session."""
+
+    __slots__ = ("index", "_units", "_database", "_session", "version", "_owner")
+
+    def __init__(self, owner: "ShardedDatabase", index: int) -> None:
+        self._owner = owner
+        self.index = index
+        self._units: List[_Unit] = []
+        self._database: Optional[SourceDatabase] = None
+        self._session: Optional[QuerySession] = None
+        self.version = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._units
+
+    def keys(self) -> List[Hashable]:
+        return [unit[1] for unit in self._units]
+
+    @property
+    def database(self) -> Optional[SourceDatabase]:
+        """The shard's own database (None for an empty shard)."""
+        if self._database is None and self._units:
+            self._database = self._owner._build_shard_database(
+                self.index, self._units
+            )
+        return self._database
+
+    def session(self) -> Optional[QuerySession]:
+        """The shard's lazily created, version-tracked query session."""
+        database = self.database
+        if database is None:
+            return None
+        if self._session is None:
+            self._session = QuerySession(database.tree)
+        return self._session
+
+    def _replace_units(
+        self,
+        units: List[_Unit],
+        database: Optional[SourceDatabase] = None,
+    ) -> None:
+        self._units = units
+        self._database = database
+        self._session = None
+        self.version += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatabaseShard(index={self.index}, tuples={len(self._units)}, "
+            f"version={self.version})"
+        )
+
+
+class StaleUpdateError(ModelError):
+    """Raised by :meth:`ShardedDatabase.apply_update` when the shard moved on.
+
+    The pending update was prepared against an older shard version; callers
+    should re-prepare against the current state and retry.
+    """
+
+
+class PendingUpdate:
+    """A prepared shard rebuild, not yet applied.
+
+    Preparation builds the replacement unit list *and* the replacement
+    shard database (tree construction, the expensive part -- safe to run on
+    a shard worker thread); :meth:`ShardedDatabase.apply_update` is then a
+    version-bumping pointer swap that the serving executor serializes
+    against queries.  This split is what makes the serving layer's
+    invalidation graceful.
+    """
+
+    __slots__ = (
+        "shard_index",
+        "key",
+        "units",
+        "base_version",
+        "database",
+        "removed_scores",
+        "added_scores",
+    )
+
+    def __init__(
+        self,
+        shard_index: int,
+        key: Hashable,
+        units: List[_Unit],
+        base_version: int,
+        database: Optional[SourceDatabase],
+        removed_scores: Tuple[float, ...] = (),
+        added_scores: Tuple[float, ...] = (),
+    ) -> None:
+        self.shard_index = shard_index
+        self.key = key
+        self.units = units
+        self.base_version = base_version
+        self.database = database
+        # Distinct-score registry delta, applied (and re-validated) only by
+        # apply_update: an abandoned prepared update must leave the
+        # registry untouched.
+        self.removed_scores = removed_scores
+        self.added_scores = added_scores
+
+
+class ShardedDatabase:
+    """A probabilistic database partitioned into independently-cached shards.
+
+    Parameters
+    ----------
+    source:
+        A :class:`TupleIndependentDatabase`, a
+        :class:`BlockIndependentDatabase` (blocks are kept intact), or an
+        iterable of tuple-independent ``(key, value, probability)`` /
+        ``(key, value, score, probability)`` specs.
+    shard_count:
+        Number of shards (>= 1; shards may end up empty).
+    partitioner:
+        ``"hash"`` (stable key hash), ``"range"`` (contiguous chunks of the
+        score-sorted units, i.e. score-range partitioning) or a callable
+        mapping a tuple key to a shard index.
+    validate_scores:
+        Require globally distinct scores across shards (checked lazily by
+        the coordinator, eagerly on score updates).
+    """
+
+    def __init__(
+        self,
+        source: Union[SourceDatabase, Iterable[Tuple]],
+        shard_count: int,
+        partitioner: Partitioner = "hash",
+        name: Optional[str] = None,
+        validate_scores: bool = True,
+    ) -> None:
+        if shard_count < 1:
+            raise ModelError(f"shard_count must be >= 1, got {shard_count}")
+        self._shard_count = shard_count
+        self._validate_scores = validate_scores
+        self._partitioner_name = (
+            partitioner if isinstance(partitioner, str) else "custom"
+        )
+        units = _extract_units(source)
+        self._name = name or getattr(source, "name", "sharded")
+        self._shard_of: Dict[Hashable, int] = {}
+        self._shards: List[DatabaseShard] = [
+            DatabaseShard(self, index) for index in range(shard_count)
+        ]
+        self._subscribers: List[Callable[[int, Hashable], None]] = []
+        self._coordinator: Optional[Any] = None
+        assignments = self._assign(units, partitioner)
+        per_shard: List[List[_Unit]] = [[] for _ in range(shard_count)]
+        for unit, shard_index in zip(units, assignments):
+            per_shard[shard_index].append(unit)
+            self._shard_of[unit[1]] = shard_index
+        for shard, shard_units in zip(self._shards, per_shard):
+            shard._units = shard_units
+        if validate_scores:
+            self._check_distinct_scores(units)
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def _assign(
+        self, units: Sequence[_Unit], partitioner: Partitioner
+    ) -> List[int]:
+        if callable(partitioner):
+            return [
+                self._checked_index(partitioner(unit[1])) for unit in units
+            ]
+        if partitioner == "hash":
+            return [
+                hash_shard_of(unit[1], self._shard_count) for unit in units
+            ]
+        if partitioner == "range":
+            order = sorted(
+                range(len(units)),
+                key=lambda position: -_unit_best_score(units[position]),
+            )
+            assignments = [0] * len(units)
+            chunk = -(-len(units) // self._shard_count) if units else 1
+            for rank, position in enumerate(order):
+                assignments[position] = min(
+                    rank // chunk, self._shard_count - 1
+                )
+            return assignments
+        raise ModelError(
+            f"unknown partitioner {partitioner!r}; expected 'hash', "
+            "'range' or a callable"
+        )
+
+    def _checked_index(self, index: int) -> int:
+        if not 0 <= index < self._shard_count:
+            raise ModelError(
+                f"partitioner returned shard {index} outside "
+                f"0..{self._shard_count - 1}"
+            )
+        return index
+
+    def _check_distinct_scores(self, units: Sequence[_Unit]) -> None:
+        self._score_owner: Dict[float, Hashable] = {}
+        for unit in units:
+            for score in _unit_scores(unit):
+                owner = self._score_owner.get(score)
+                if owner is not None and owner != unit[1]:
+                    raise ModelError(
+                        f"tuples {owner!r} and {unit[1]!r} share score "
+                        f"{score}; ranking assumes distinct scores"
+                    )
+                self._score_owner[score] = unit[1]
+
+    def _build_shard_database(
+        self, index: int, units: Sequence[_Unit]
+    ) -> SourceDatabase:
+        if all(unit[0] == "independent" for unit in units):
+            return TupleIndependentDatabase(
+                [
+                    (key, value, score, probability)
+                    if score is not None
+                    else (key, value, probability)
+                    for _, key, value, score, probability in units
+                ],
+                name=f"{self._name}/shard{index}",
+            )
+        blocks = []
+        for unit in units:
+            if unit[0] == "independent":
+                _, key, value, score, probability = unit
+                alternatives = [(value, score, probability)]
+            else:
+                _, key, alternatives = unit
+            blocks.append(
+                (
+                    key,
+                    [
+                        (value, score, probability)
+                        if score is not None
+                        else (value, probability)
+                        for value, score, probability in alternatives
+                    ],
+                )
+            )
+        return BlockIndependentDatabase(
+            blocks, name=f"{self._name}/shard{index}"
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_count
+
+    @property
+    def partitioner(self) -> str:
+        return self._partitioner_name
+
+    def shards(self) -> List[DatabaseShard]:
+        return list(self._shards)
+
+    def shard_of(self, key: Hashable) -> int:
+        """Index of the shard owning a tuple key."""
+        try:
+            return self._shard_of[key]
+        except KeyError:
+            raise ModelError(f"unknown tuple key {key!r}") from None
+
+    def keys(self) -> List[Hashable]:
+        return list(self._shard_of)
+
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def sessions(self) -> List[QuerySession]:
+        """The query sessions of every non-empty shard."""
+        out = []
+        for shard in self._shards:
+            session = shard.session()
+            if session is not None:
+                out.append(session)
+        return out
+
+    def versions(self) -> Tuple[int, ...]:
+        """Per-shard version counters (bumped by every update)."""
+        return tuple(shard.version for shard in self._shards)
+
+    def coordinator(self) -> Any:
+        """The cross-shard :class:`~repro.sharding.ShardedQuerySession`.
+
+        Created once and cached; the coordinator follows shard versions, so
+        it stays valid across updates (its merged artifacts are dropped and
+        rebuilt lazily).
+        """
+        if self._coordinator is None:
+            from repro.sharding.coordinator import ShardedQuerySession
+
+            self._coordinator = ShardedQuerySession(
+                self, validate_scores=self._validate_scores
+            )
+        return self._coordinator
+
+    def cache_info(self) -> CacheInfo:
+        """Cache counters rolled up across every shard session.
+
+        A read-only snapshot: shards whose session was never created are
+        reported as zero without materializing their database or tree.
+        The coordinator's own merged-artifact counters are included when a
+        coordinator exists; per-shard figures are available via
+        ``shard.session().cache_info()``.
+        """
+        info = CacheInfo()
+        for shard in self._shards:
+            if shard._session is not None:
+                info = info + shard._session.cache_info()
+        if self._coordinator is not None:
+            info = info + self._coordinator.cache_info()
+        return info
+
+    # ------------------------------------------------------------------
+    # Updates and invalidation fan-out
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[int, Hashable], None]) -> None:
+        """Register an invalidation listener ``callback(shard_index, key)``."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[int, Hashable], None]) -> None:
+        """Detach a listener registered with :meth:`subscribe` (idempotent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self, shard_index: int, key: Hashable) -> None:
+        for callback in self._subscribers:
+            callback(shard_index, key)
+
+    def prepare_update(
+        self,
+        key: Hashable,
+        probability: Optional[float] = None,
+        score: Optional[float] = None,
+    ) -> PendingUpdate:
+        """Build (but do not apply) a tuple update for ``key``'s shard.
+
+        Only tuple-independent units support in-place probability/score
+        updates; use :meth:`prepare_block_update` for BID blocks.
+        """
+        shard_index = self.shard_of(key)
+        shard = self._shards[shard_index]
+        # Optimistic lock: stamp the version BEFORE snapshotting the unit
+        # list.  _replace_units rebinds the list after bumping the version,
+        # so a concurrent apply between the two reads can only make the
+        # stamp stale (caught by apply_update), never silently drop the
+        # other update's units.
+        base_version = shard.version
+        source_units = shard._units
+        units: List[_Unit] = []
+        found = False
+        removed: Tuple[float, ...] = ()
+        added: Tuple[float, ...] = ()
+        for unit in source_units:
+            if unit[1] != key:
+                units.append(unit)
+                continue
+            if unit[0] != "independent":
+                raise ModelError(
+                    f"tuple {key!r} belongs to a BID block; use "
+                    "update_block() to replace its alternatives"
+                )
+            _, _, value, old_score, old_probability = unit
+            new_probability = (
+                old_probability if probability is None else float(probability)
+            )
+            if not 0.0 <= new_probability <= 1.0 + 1e-12:
+                raise ProbabilityError(
+                    f"tuple probability {new_probability} outside [0, 1]"
+                )
+            new_score = old_score if score is None else float(score)
+            if score is not None:
+                self._check_score_free(key, (new_score,))
+                removed = tuple(_unit_scores(unit))
+                added = (new_score,)
+                # A score update also moves the value when the value doubles
+                # as the score (the common generator layout).
+                if old_score is None or value == old_score:
+                    value = new_score
+            units.append(("independent", key, value, new_score, new_probability))
+            found = True
+        if not found:
+            raise ModelError(f"unknown tuple key {key!r}")
+        return PendingUpdate(
+            shard_index,
+            key,
+            units,
+            base_version,
+            self._build_shard_database(shard_index, units),
+            removed,
+            added,
+        )
+
+    def prepare_block_update(
+        self,
+        key: Hashable,
+        alternatives: Sequence[Tuple[Hashable, Optional[float], float]],
+    ) -> PendingUpdate:
+        """Build a BID block replacement: ``(value, score, probability)``s."""
+        shard_index = self.shard_of(key)
+        shard = self._shards[shard_index]
+        base_version = shard.version  # before the unit snapshot, as above
+        source_units = shard._units
+        replacement = [
+            (value, None if score is None else float(score), float(probability))
+            for value, score, probability in alternatives
+        ]
+        units: List[_Unit] = []
+        found = False
+        for unit in source_units:
+            if unit[1] != key:
+                units.append(unit)
+                continue
+            found = True
+            if unit[0] == "independent":
+                if len(replacement) != 1:
+                    raise ModelError(
+                        f"tuple {key!r} is tuple-independent; a replacement "
+                        "block must hold exactly one alternative"
+                    )
+                value, score, probability = replacement[0]
+                units.append(("independent", key, value, score, probability))
+            else:
+                units.append(("block", key, replacement))
+        if not found:
+            raise ModelError(f"unknown tuple key {key!r}")
+        removed: Tuple[float, ...] = ()
+        added: Tuple[float, ...] = ()
+        if self._validate_scores:
+            old_unit = next(
+                unit for unit in source_units if unit[1] == key
+            )
+            added = tuple(_unit_scores(("block", key, replacement)))
+            self._check_score_free(key, added)
+            removed = tuple(_unit_scores(old_unit))
+        return PendingUpdate(
+            shard_index,
+            key,
+            units,
+            base_version,
+            self._build_shard_database(shard_index, units),
+            removed,
+            added,
+        )
+
+    def _check_score_free(
+        self, key: Hashable, scores: Tuple[float, ...]
+    ) -> None:
+        """Read-only distinct-score validation (no registry mutation)."""
+        if not self._validate_scores:
+            return
+        for score in scores:
+            owner = self._score_owner.get(score)
+            if owner is not None and owner != key:
+                raise ModelError(
+                    f"score {score} is already used by tuple {owner!r}; "
+                    "ranking assumes distinct scores"
+                )
+
+    def apply_update(self, pending: PendingUpdate) -> None:
+        """Swap a prepared shard rebuild in and fan the invalidation out.
+
+        Raises :class:`StaleUpdateError` when the shard's version changed
+        after the update was prepared (a concurrent update won the race);
+        the caller should re-prepare and retry.
+        """
+        shard = self._shards[pending.shard_index]
+        if shard.version != pending.base_version:
+            raise StaleUpdateError(
+                f"shard {pending.shard_index} moved from version "
+                f"{pending.base_version} to {shard.version} since the "
+                "update was prepared; re-prepare and retry"
+            )
+        # Re-validate and apply the distinct-score delta only now, so an
+        # abandoned prepared update (race lost, caller cancelled) leaves
+        # the registry untouched, and a concurrent update of another shard
+        # that claimed the same score since preparation is caught.
+        if self._validate_scores and (
+            pending.added_scores or pending.removed_scores
+        ):
+            self._check_score_free(pending.key, pending.added_scores)
+            for score in pending.removed_scores:
+                if self._score_owner.get(score) == pending.key:
+                    del self._score_owner[score]
+            for score in pending.added_scores:
+                self._score_owner[score] = pending.key
+        shard._replace_units(pending.units, pending.database)
+        self._notify(pending.shard_index, pending.key)
+
+    def update_tuple(
+        self,
+        key: Hashable,
+        probability: Optional[float] = None,
+        score: Optional[float] = None,
+    ) -> None:
+        """Update one independent tuple's probability and/or score.
+
+        Rebuilds only the owning shard, bumps its version (invalidating the
+        coordinator's merged artifacts lazily) and notifies subscribers.
+        """
+        self.apply_update(self.prepare_update(key, probability, score))
+
+    def update_block(
+        self,
+        key: Hashable,
+        alternatives: Sequence[Tuple[Hashable, Optional[float], float]],
+    ) -> None:
+        """Replace one BID block's alternatives (``(value, score, prob)``)."""
+        self.apply_update(self.prepare_block_update(key, alternatives))
+
+    def invalidate_shard(self, index: int) -> None:
+        """Force-drop one shard's session and bump its version."""
+        shard = self._shards[index]
+        shard._replace_units(list(shard._units))
+        self._notify(index, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = [len(shard._units) for shard in self._shards]
+        return (
+            f"ShardedDatabase({self._name!r}, shards={sizes}, "
+            f"partitioner={self._partitioner_name!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Unit extraction
+# ----------------------------------------------------------------------
+def _extract_units(
+    source: Union[SourceDatabase, Iterable[Tuple]]
+) -> List[_Unit]:
+    if isinstance(source, TupleIndependentDatabase):
+        tree = source.tree
+        probabilities = source.tuple_probabilities()
+        units: List[_Unit] = []
+        for key in tree.keys():
+            alternative = tree.alternatives_of(key)[0]
+            units.append(
+                (
+                    "independent",
+                    key,
+                    alternative.value,
+                    alternative.score,
+                    probabilities[key],
+                )
+            )
+        return units
+    if isinstance(source, BlockIndependentDatabase):
+        tree = source.tree
+        units = []
+        for key in tree.keys():
+            alternatives = [
+                (
+                    alternative.value,
+                    alternative.score,
+                    tree.alternative_probability(alternative),
+                )
+                for alternative in tree.alternatives_of(key)
+            ]
+            units.append(("block", key, alternatives))
+        return units
+    if isinstance(source, Iterable):
+        units = []
+        seen: Dict[Hashable, bool] = {}
+        for item in source:
+            if len(item) == 3:
+                key, value, probability = item
+                score: Optional[float] = None
+            elif len(item) == 4:
+                key, value, score, probability = item
+            else:
+                raise ModelError(
+                    "expected (key, value, probability) or "
+                    f"(key, value, score, probability), got {item!r}"
+                )
+            if key in seen:
+                raise ModelError(f"duplicate tuple key {key!r}")
+            seen[key] = True
+            units.append(
+                ("independent", key, value, score, float(probability))
+            )
+        return units
+    raise ModelError(
+        "expected a TupleIndependentDatabase, BlockIndependentDatabase or "
+        f"an iterable of tuple specs, got {type(source).__name__}"
+    )
+
+
+def _unit_scores(unit: _Unit) -> List[float]:
+    if unit[0] == "independent":
+        _, _, value, score, _ = unit
+        effective = score if score is not None else value
+        return [effective] if isinstance(effective, (int, float)) else []
+    return [
+        (score if score is not None else value)
+        for value, score, _ in unit[2]
+        if isinstance(score if score is not None else value, (int, float))
+    ]
+
+
+def _unit_best_score(unit: _Unit) -> float:
+    scores = _unit_scores(unit)
+    if not scores:
+        raise ModelError(
+            f"unit {unit[1]!r} has no numeric score; range partitioning "
+            "requires scored tuples"
+        )
+    return max(scores)

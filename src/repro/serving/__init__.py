@@ -1,0 +1,38 @@
+"""Async sharded serving layer.
+
+The paper frames consensus answers as a query-time service over a
+probabilistic database; this package is the serving assembly of the
+reproduction's per-shard pieces:
+
+* :class:`~repro.serving.requests.QueryRequest` -- hashable typed queries
+  (consensus Top-k under any supported distance, memberships, baselines).
+* :class:`~repro.serving.executor.ServingExecutor` -- the asyncio
+  front-end: request coalescing, micro-batching, a per-shard worker pool
+  for summary refresh / shard rebuilds, and graceful cache-invalidation
+  fan-out on updates.
+* :mod:`repro.serving.metrics` -- latency and throughput instrumentation.
+
+Traffic to drive it comes from :mod:`repro.workloads.traffic`.
+"""
+
+from repro.serving.executor import ServingExecutor
+from repro.serving.metrics import (
+    LatencyRecorder,
+    ServingMetrics,
+    ServingMetricsSnapshot,
+)
+from repro.serving.requests import (
+    QUERY_DISPATCH,
+    QueryRequest,
+    execute_request,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "QUERY_DISPATCH",
+    "QueryRequest",
+    "ServingExecutor",
+    "ServingMetrics",
+    "ServingMetricsSnapshot",
+    "execute_request",
+]

@@ -1,0 +1,346 @@
+"""The asyncio front-end over a sharded database.
+
+:class:`ServingExecutor` accepts concurrent consensus queries against one
+:class:`~repro.models.sharded.ShardedDatabase` and answers them through the
+cross-shard coordinator session:
+
+* **Request coalescing** -- identical queries arriving while a previous one
+  is still in flight (same request, same shard generation) share one
+  computation and one result future.
+* **Micro-batching** -- queued requests are drained into batches; each batch
+  first pre-warms the per-shard partial summaries *concurrently* on the
+  per-shard worker pool, then answers every request on the coordinator
+  worker, so batch members share the freshly merged artifacts.
+* **Graceful invalidation fan-out** -- updates rebuild only the owning
+  shard on that shard's worker (tree construction off the event loop and
+  off the query path), then the version-bumping swap is serialized with
+  queries on the coordinator worker; the coordinator notices the version
+  change lazily and re-merges from the unchanged shards' warm summaries.
+* **Instrumentation** -- per-request latency quantiles, batch sizes,
+  coalescing and invalidation counters (:meth:`ServingExecutor.metrics`).
+
+>>> async def main():
+...     async with ServingExecutor(database) as executor:
+...         answer, distance = await executor.query(
+...             "mean_topk_symmetric_difference", k=5
+...         )
+...         await executor.update("t3", probability=0.2)
+...         answer2, _ = await executor.query("mean_topk_footrule", k=5)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.models.sharded import ShardedDatabase, StaleUpdateError
+from repro.serving.metrics import ServingMetrics, ServingMetricsSnapshot
+from repro.serving.requests import (
+    QueryRequest,
+    execute_request,
+    required_max_rank,
+)
+
+_SENTINEL = object()
+
+
+class ServingExecutor:
+    """Async batched query executor over a sharded database.
+
+    Parameters
+    ----------
+    database:
+        The sharded database to serve.
+    coalesce:
+        Share one in-flight computation between identical concurrent
+        queries hitting the same shard generation.
+    batch_window:
+        Seconds to linger collecting a micro-batch after the first queued
+        request (0.0 drains whatever is already queued, adding no latency).
+    max_batch_size:
+        Upper bound on one micro-batch.
+    warm_shards:
+        Pre-compute the per-shard partial summaries of a batch concurrently
+        on the per-shard workers before merging.
+    """
+
+    def __init__(
+        self,
+        database: ShardedDatabase,
+        coalesce: bool = True,
+        batch_window: float = 0.0,
+        max_batch_size: int = 64,
+        warm_shards: bool = True,
+    ) -> None:
+        self._database = database
+        self._coalesce = coalesce
+        self._batch_window = batch_window
+        self._max_batch_size = max(1, max_batch_size)
+        self._warm_shards = warm_shards
+        self._metrics = ServingMetrics()
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._shard_pools: List[ThreadPoolExecutor] = []
+        self._merge_pool: Optional[ThreadPoolExecutor] = None
+        self._pending: Dict[Tuple[QueryRequest, Tuple[int, ...]], asyncio.Future] = {}
+        self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._database.subscribe(self._on_invalidation)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> ShardedDatabase:
+        return self._database
+
+    def metrics(self) -> ServingMetricsSnapshot:
+        """A snapshot of the executor's counters and latency quantiles."""
+        return self._metrics.snapshot()
+
+    @property
+    def started(self) -> bool:
+        return self._dispatcher is not None
+
+    async def start(self) -> "ServingExecutor":
+        """Start the dispatcher task and the worker pools (idempotent)."""
+        if self._dispatcher is not None:
+            return self
+        if self._closed:
+            raise RuntimeError("executor already stopped")
+        self._queue = asyncio.Queue()
+        self._shard_pools = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+            )
+            for index in range(self._database.shard_count)
+        ]
+        self._merge_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-coordinator"
+        )
+        self._loop = asyncio.get_running_loop()
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the dispatcher and shut the pools down.
+
+        Also detaches from the database's invalidation fan-out, so a
+        stopped executor is fully released (the database may outlive many
+        executors).
+        """
+        self._database.unsubscribe(self._on_invalidation)
+        if self._dispatcher is None:
+            self._closed = True
+            return
+        self._closed = True
+        assert self._queue is not None
+        await self._queue.put(_SENTINEL)
+        await self._dispatcher
+        self._dispatcher = None
+        for pool in self._shard_pools:
+            pool.shutdown(wait=True)
+        if self._merge_pool is not None:
+            self._merge_pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "ServingExecutor":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    def _on_invalidation(self, shard_index: int, key: Hashable) -> None:
+        # Fires synchronously from whichever thread applied the update
+        # (usually the coordinator worker); all other counters mutate on
+        # the event-loop thread, so hop there instead of racing a
+        # non-atomic increment.
+        def bump() -> None:
+            self._metrics.invalidations += 1
+
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(bump)
+        else:
+            bump()
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    async def submit(self, request: QueryRequest) -> Any:
+        """Answer one request (coalescing with identical in-flight ones)."""
+        if self._dispatcher is None:
+            await self.start()
+        if self._closed:
+            raise RuntimeError("executor is stopped")
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        versions = self._database.versions()
+        pending_key = (request, versions)
+        if self._coalesce:
+            existing = self._pending.get(pending_key)
+            if existing is not None:
+                self._metrics.coalesced += 1
+                try:
+                    return await asyncio.shield(existing)
+                finally:
+                    self._metrics.latency.record(
+                        time.perf_counter() - started
+                    )
+        future: asyncio.Future = loop.create_future()
+        if self._coalesce:
+            self._pending[pending_key] = future
+            future.add_done_callback(
+                lambda _: self._pending.pop(pending_key, None)
+            )
+        self._metrics.count_query(request.kind)
+        await self._queue.put((request, future))
+        try:
+            return await asyncio.shield(future)
+        finally:
+            self._metrics.latency.record(time.perf_counter() - started)
+
+    async def query(
+        self, kind: str, k: Optional[int] = None, **params: Any
+    ) -> Any:
+        """Convenience wrapper: build a :class:`QueryRequest` and submit it."""
+        return await self.submit(QueryRequest.make(kind, k, **params))
+
+    async def update(
+        self,
+        key: Hashable,
+        probability: Optional[float] = None,
+        score: Optional[float] = None,
+    ) -> None:
+        """Update one tuple; only its shard is rebuilt and invalidated.
+
+        The rebuild (tree construction) runs on the owning shard's worker;
+        the version-bumping swap is serialized with queries on the
+        coordinator worker.  Retries transparently if a concurrent update
+        to the same shard wins the race.
+        """
+        if self._dispatcher is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        shard_index = self._database.shard_of(key)
+        while True:
+            pending = await loop.run_in_executor(
+                self._shard_pools[shard_index],
+                self._database.prepare_update,
+                key,
+                probability,
+                score,
+            )
+            try:
+                await loop.run_in_executor(
+                    self._merge_pool, self._database.apply_update, pending
+                )
+            except StaleUpdateError:
+                continue
+            break
+        self._metrics.updates += 1
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = await self._queue.get()
+            if item is _SENTINEL:
+                return
+            batch = [item]
+            stop_after_batch = False
+            if self._batch_window > 0.0:
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + self._batch_window
+                while len(batch) < self._max_batch_size:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0.0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                    if item is _SENTINEL:
+                        stop_after_batch = True
+                        break
+                    batch.append(item)
+            else:
+                while len(batch) < self._max_batch_size:
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if item is _SENTINEL:
+                        stop_after_batch = True
+                        break
+                    batch.append(item)
+            await self._execute_batch(batch)
+            if stop_after_batch:
+                return
+
+    async def _execute_batch(
+        self, batch: List[Tuple[QueryRequest, asyncio.Future]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self._metrics.count_batch(len(batch))
+        coordinator = self._database.coordinator()
+        if self._warm_shards and self._database.shard_count > 1:
+            await self._warm_batch(loop, batch)
+        for request, future in batch:
+            if future.done():
+                continue
+            try:
+                result = await loop.run_in_executor(
+                    self._merge_pool, execute_request, coordinator, request
+                )
+            except Exception as error:  # surfaced to the submitter
+                if not future.done():
+                    future.set_exception(error)
+            else:
+                if not future.done():
+                    future.set_result(result)
+
+    async def _warm_batch(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        batch: List[Tuple[QueryRequest, asyncio.Future]],
+    ) -> None:
+        """Concurrently refresh the shard summaries a batch will merge."""
+        truncations = sorted(
+            {
+                rank
+                for request, _ in batch
+                for rank in (required_max_rank(request),)
+                if rank is not None
+            }
+        )
+        if not truncations:
+            return
+        tasks = []
+        for shard in self._database.shards():
+            session = shard.session()
+            if session is None:
+                continue
+            pool = self._shard_pools[shard.index]
+            for rank in truncations:
+                tasks.append(
+                    loop.run_in_executor(
+                        pool, session.partial_rank_summary, rank
+                    )
+                )
+        if tasks:
+            # Summary failures are not fatal here: the merge recomputes
+            # them (and reports errors) on the query path.
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingExecutor({self._database!r}, "
+            f"coalesce={self._coalesce}, started={self.started})"
+        )

@@ -1,0 +1,112 @@
+"""Latency / throughput instrumentation for the serving executor."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Tuple
+
+
+class LatencyRecorder:
+    """Collects request latencies (seconds) and reports simple quantiles.
+
+    Memory is bounded: quantiles are computed over a sliding window of the
+    most recent ``window`` observations (a serving process records one
+    latency per request, indefinitely), while :attr:`count` and
+    :meth:`mean` stay exact over the whole lifetime.
+    """
+
+    __slots__ = ("_window", "_count", "_total")
+
+    def __init__(self, window: int = 4096) -> None:
+        self._window: Deque[float] = deque(maxlen=max(1, window))
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self._count += 1
+        self._total += seconds
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of recorded latencies."""
+        return self._count
+
+    def mean(self) -> float:
+        """Lifetime mean latency."""
+        if not self._count:
+            return 0.0
+        return self._total / self._count
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the recent window; ``fraction`` in
+        [0, 1]."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = min(
+            len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+        )
+        return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServingMetricsSnapshot:
+    """Immutable view of the executor's counters at one instant."""
+
+    queries: int
+    coalesced: int
+    batches: int
+    updates: int
+    invalidations: int
+    mean_batch_size: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    queries_by_kind: Tuple[Tuple[str, int], ...]
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of submissions served by piggybacking on an in-flight
+        identical query."""
+        total = self.queries + self.coalesced
+        return self.coalesced / total if total else 0.0
+
+
+@dataclass
+class ServingMetrics:
+    """Mutable counters owned by one executor."""
+
+    queries: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    updates: int = 0
+    invalidations: int = 0
+    batched_requests: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    queries_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def count_query(self, kind: str) -> None:
+        self.queries += 1
+        self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+
+    def count_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+
+    def snapshot(self) -> ServingMetricsSnapshot:
+        return ServingMetricsSnapshot(
+            queries=self.queries,
+            coalesced=self.coalesced,
+            batches=self.batches,
+            updates=self.updates,
+            invalidations=self.invalidations,
+            mean_batch_size=(
+                self.batched_requests / self.batches if self.batches else 0.0
+            ),
+            latency_mean=self.latency.mean(),
+            latency_p50=self.latency.percentile(0.50),
+            latency_p95=self.latency.percentile(0.95),
+            queries_by_kind=tuple(sorted(self.queries_by_kind.items())),
+        )

@@ -1,0 +1,103 @@
+"""Typed query requests and their dispatch table.
+
+A :class:`QueryRequest` names one consensus query against the serving
+layer's coordinator session.  Requests are frozen and hashable, so the
+executor can coalesce identical concurrent requests onto one in-flight
+computation, and the dispatch table maps each kind onto the (memoized)
+:class:`~repro.session.QuerySession` method answering it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.exceptions import ConsensusError
+from repro.session import QuerySession
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One consensus query: a kind, an answer size and extra parameters."""
+
+    kind: str
+    k: Optional[int] = None
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    @staticmethod
+    def make(kind: str, k: Optional[int] = None, **params: Any) -> "QueryRequest":
+        """Build a request with canonically ordered extra parameters."""
+        return QueryRequest(kind, k, tuple(sorted(params.items())))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+def _need_k(request: QueryRequest) -> int:
+    if request.k is None:
+        raise ConsensusError(
+            f"query kind {request.kind!r} requires an answer size k"
+        )
+    return request.k
+
+
+QUERY_DISPATCH: Dict[str, Callable[[QuerySession, QueryRequest], Any]] = {
+    "mean_topk_symmetric_difference": lambda session, request: (
+        session.mean_topk_symmetric_difference(_need_k(request))
+    ),
+    "median_topk_symmetric_difference": lambda session, request: (
+        session.median_topk_symmetric_difference(_need_k(request))
+    ),
+    "mean_topk_footrule": lambda session, request: (
+        session.mean_topk_footrule(_need_k(request))
+    ),
+    "mean_topk_intersection": lambda session, request: (
+        session.mean_topk_intersection(_need_k(request))
+    ),
+    "approximate_topk_intersection": lambda session, request: (
+        session.approximate_topk_intersection(_need_k(request))
+    ),
+    "approximate_topk_kendall": lambda session, request: (
+        session.approximate_topk_kendall(
+            _need_k(request),
+            candidate_pool_size=request.param("candidate_pool_size"),
+        )
+    ),
+    "top_k_membership": lambda session, request: (
+        session.top_k_membership(_need_k(request))
+    ),
+    "expected_rank_table": lambda session, request: (
+        session.expected_rank_table()
+    ),
+    "global_topk": lambda session, request: (
+        session.global_topk(_need_k(request))
+    ),
+    "expected_rank_topk": lambda session, request: (
+        session.expected_rank_topk(_need_k(request))
+    ),
+}
+
+
+def execute_request(session: QuerySession, request: QueryRequest) -> Any:
+    """Run one request against a (coordinator) session."""
+    try:
+        handler = QUERY_DISPATCH[request.kind]
+    except KeyError:
+        raise ConsensusError(
+            f"unknown query kind {request.kind!r}; expected one of "
+            f"{sorted(QUERY_DISPATCH)}"
+        ) from None
+    return handler(session, request)
+
+
+def required_max_rank(request: QueryRequest) -> Optional[int]:
+    """Rank-matrix truncation a request needs, for shard summary pre-warming.
+
+    ``None`` for kinds that never touch the merged rank matrix.
+    """
+    if request.kind in ("expected_rank_table", "expected_rank_topk"):
+        return None
+    return request.k

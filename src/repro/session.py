@@ -39,6 +39,7 @@ True
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -46,6 +47,7 @@ from typing import (
     FrozenSet,
     Hashable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -61,6 +63,83 @@ SessionSource = Union[AndXorTree, RankStatistics, "QuerySession"]
 
 #: Cache key of one memoized artifact: (artifact name, parameter tuple).
 ArtifactKey = Tuple[str, Tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class ArtifactCounters:
+    """Hit/miss counters of one memoized artifact family."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total artifact requests (hits + misses)."""
+        return self.hits + self.misses
+
+    def __getitem__(self, field_name: str) -> int:
+        # Mapping-style access keeps pre-dataclass consumers working.
+        if field_name in ("hits", "misses"):
+            return getattr(self, field_name)
+        raise KeyError(field_name)
+
+    def __add__(self, other: "ArtifactCounters") -> "ArtifactCounters":
+        return ArtifactCounters(
+            self.hits + other.hits, self.misses + other.misses
+        )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Stable snapshot of a session's cache counters.
+
+    Returned by :meth:`QuerySession.cache_info` (and, aggregated across
+    shards, by :meth:`repro.models.sharded.ShardedDatabase.cache_info`).
+    Field access is the API; ``info["hits"]``-style mapping access is kept
+    for source compatibility with the pre-dataclass dictionary form.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    generation: int = 0
+    backend: str = ""
+    artifacts: Mapping[str, ArtifactCounters] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        """Total artifact requests (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the cache (0.0 when idle)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def __getitem__(self, field_name: str) -> Any:
+        if field_name in (
+            "hits", "misses", "entries", "generation", "backend", "artifacts"
+        ):
+            return getattr(self, field_name)
+        raise KeyError(field_name)
+
+    def __add__(self, other: "CacheInfo") -> "CacheInfo":
+        """Roll two snapshots up into one (per-artifact counters merged)."""
+        merged: Dict[str, ArtifactCounters] = dict(self.artifacts)
+        for name, counters in other.artifacts.items():
+            merged[name] = merged.get(name, ArtifactCounters()) + counters
+        backend = self.backend if self.backend else other.backend
+        if other.backend and other.backend != backend:
+            backend = "mixed"
+        return CacheInfo(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            entries=self.entries + other.entries,
+            generation=self.generation + other.generation,
+            backend=backend,
+            artifacts=merged,
+        )
 
 
 class QuerySession:
@@ -119,6 +198,10 @@ class QuerySession:
             )
         self._scoring = scoring
         self._validate_scores = validate_scores
+        self._init_cache_state()
+
+    def _init_cache_state(self) -> None:
+        """Initialise the memoization machinery (shared with subclasses)."""
         self._cache: Dict[ArtifactKey, Any] = {}
         self._hits = 0
         self._misses = 0
@@ -162,24 +245,28 @@ class QuerySession:
         """Bumped by every :meth:`invalidate` / :meth:`set_scoring` call."""
         return self._generation
 
-    def cache_info(self) -> Dict[str, Any]:
-        """Aggregate and per-artifact hit/miss counters plus backend name."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "generation": self._generation,
-            "entries": len(self._cache),
-            "backend": get_backend().name,
-            "artifacts": {
-                name: {
-                    "hits": self._artifact_hits.get(name, 0),
-                    "misses": self._artifact_misses.get(name, 0),
-                }
+    def cache_info(self) -> CacheInfo:
+        """Aggregate and per-artifact hit/miss counters plus backend name.
+
+        Returns a stable :class:`CacheInfo` dataclass (mapping-style access
+        is kept for compatibility with the earlier dictionary form).
+        """
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._cache),
+            generation=self._generation,
+            backend=get_backend().name,
+            artifacts={
+                name: ArtifactCounters(
+                    hits=self._artifact_hits.get(name, 0),
+                    misses=self._artifact_misses.get(name, 0),
+                )
                 for name in sorted(
                     set(self._artifact_hits) | set(self._artifact_misses)
                 )
             },
-        }
+        )
 
     def invalidate(self) -> None:
         """Drop every memoized artifact (and the statistics cache behind it).
@@ -235,6 +322,14 @@ class QuerySession:
     def keys(self) -> List[Hashable]:
         """The tuple keys of the database."""
         return self.statistics.keys()
+
+    def alternatives_of(self, key: Hashable) -> List[TupleAlternative]:
+        """The alternatives of one tuple key.
+
+        Overridden by the sharded coordinator to serve the owning shard's
+        alternatives without materializing a merged tree.
+        """
+        return self._tree.alternatives_of(key)
 
     def number_of_tuples(self) -> int:
         """Number of distinct tuple keys."""
@@ -345,6 +440,28 @@ class QuerySession:
             )
 
         return self._memoized("sampler", (), compute)
+
+    def partial_rank_summary(self, max_rank: Optional[int] = None) -> Any:
+        """The memoized truncated rank-polynomial summary of this database.
+
+        Returns a :class:`repro.sharding.ShardRankSummary`: the partial
+        univariate generating functions (count-above-threshold
+        distributions, truncated at ``max_rank`` coefficients) that a
+        sharded coordinator convolves with other shards' summaries to
+        recover exact global rank probabilities without a global session.
+        Only defined for tuple-independent and block-independent (BID)
+        layouts -- the models whose rank generating function factorizes
+        across independent shards.
+        """
+        if max_rank is None:
+            max_rank = self.number_of_tuples()
+
+        def compute() -> Any:
+            from repro.sharding.summary import ShardRankSummary
+
+            return ShardRankSummary(self, max_rank)
+
+        return self._memoized("rank_partials", (max_rank,), compute)
 
     # ------------------------------------------------------------------
     # Consensus queries (memoized results)
@@ -544,6 +661,13 @@ def as_session(source: SessionSource) -> QuerySession:
         return source.session()
     if isinstance(source, AndXorTree):
         return QuerySession(source)
+    # Sharded databases coerce to their coordinator session, so every
+    # module-level consensus function accepts one directly.
+    coordinator = getattr(source, "coordinator", None)
+    if callable(coordinator):
+        session = coordinator()
+        if isinstance(session, QuerySession):
+            return session
     raise TypeError(
         "expected an AndXorTree, RankStatistics or QuerySession, got "
         f"{type(source).__name__}"

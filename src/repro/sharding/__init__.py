@@ -1,0 +1,26 @@
+"""Cross-shard statistics merging for partitioned probabilistic databases.
+
+The rank generating function of a tuple-independent (or block-independent
+disjoint) database *factorizes* across independent shards: the number of
+present tuples scoring above any threshold is a sum of independent per-shard
+counts, so its distribution is the convolution of per-shard count
+distributions.  This package exploits that factorization:
+
+* :class:`~repro.sharding.summary.ShardRankSummary` -- the partial
+  (truncated) univariate generating functions one shard exports: for every
+  score threshold, the distribution of the number of present tuples above
+  it, plus the per-alternative local layout.  Built and memoized per shard
+  via :meth:`repro.session.QuerySession.partial_rank_summary`.
+* :class:`~repro.sharding.coordinator.ShardedQuerySession` -- a
+  :class:`~repro.session.QuerySession` drop-in whose statistics artifacts
+  (rank matrix, Top-k membership, pairwise preference grid, expected ranks)
+  are recovered *exactly* by convolving shard partials through the engine
+  backend (:meth:`~repro.engine.backends.Backend.convolve_rows`), so every
+  consensus algorithm runs unchanged at the coordinator without ever
+  building a global session.
+"""
+
+from repro.sharding.summary import ShardRankSummary
+from repro.sharding.coordinator import ShardedQuerySession
+
+__all__ = ["ShardRankSummary", "ShardedQuerySession"]

@@ -1,0 +1,515 @@
+"""The cross-shard coordinator session.
+
+:class:`ShardedQuerySession` is a :class:`~repro.session.QuerySession`
+drop-in built over the per-shard sessions of a partitioned database.  It
+never materializes a global tree for statistics: the rank generating
+function of independent shards factorizes, so the coordinator recovers the
+exact global ``Pr(r(t) = i)`` matrix by convolving each tuple's *local*
+rank polynomial (its own shard, own block excluded) with the other shards'
+count-above-threshold partials (:class:`~repro.sharding.summary.\
+ShardRankSummary`).  For all-tuple-independent shardings the whole merge is
+a handful of batched backend kernels (row gathers + row-aligned truncated
+convolutions); block-independent shards take an equivalent scalar path.
+
+Every consensus algorithm of :mod:`repro.consensus` then runs unchanged at
+the coordinator -- the Top-k answers under the symmetric-difference,
+intersection, footrule and (via the merged pairwise grid) Kendall metrics
+are computed from merged statistics and are semantically identical to a
+single unsharded session over the same data.
+
+Shard caches stay independent: the coordinator snapshots the shard
+versions/generations it last merged against and transparently drops its
+merged artifacts when any shard changes, while unchanged shards keep their
+memoized partial summaries warm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.andxor.nodes import AndNode
+from repro.andxor.rank_probabilities import RankStatistics
+from repro.andxor.tree import AndXorTree
+from repro.core.tuples import TupleAlternative
+from repro.engine import PairwisePreferenceMatrix, RankMatrix, get_backend
+from repro.exceptions import ModelError
+from repro.session import QuerySession, as_session
+from repro.sharding.summary import ShardRankSummary
+
+
+class _MergedLayout:
+    """Light per-coordinator index of the merged key/alternative space."""
+
+    __slots__ = (
+        "keys_order",
+        "presence",
+        "alternatives",
+        "best_score",
+        "triples",
+        "independent",
+        "key_to_session",
+    )
+
+    def __init__(
+        self,
+        keys_order: List[Hashable],
+        presence: Dict[Hashable, float],
+        alternatives: Dict[Hashable, List[Tuple[float, float]]],
+        best_score: Dict[Hashable, float],
+        triples: List[Tuple[float, float, Hashable]],
+        independent: bool,
+        key_to_session: Dict[Hashable, QuerySession],
+    ) -> None:
+        self.keys_order = keys_order
+        self.presence = presence
+        self.alternatives = alternatives
+        self.best_score = best_score
+        self.triples = triples
+        self.independent = independent
+        self.key_to_session = key_to_session
+
+
+class ShardedQuerySession(QuerySession):
+    """Coordinator session merging statistics across database shards.
+
+    Parameters
+    ----------
+    shards:
+        Either a :class:`~repro.models.sharded.ShardedDatabase` (the
+        coordinator then follows its shard versions, dropping merged
+        artifacts whenever a shard is updated) or an iterable of per-shard
+        sources (trees, :class:`RankStatistics` or sessions) with disjoint
+        tuple keys.
+    validate_scores:
+        Require pairwise-distinct scores *across* shards (each shard only
+        validates its own); the merge semantics assume the paper's no-ties
+        ranking.
+    """
+
+    def __init__(self, shards: Any, validate_scores: bool = True) -> None:
+        if hasattr(shards, "sessions") and hasattr(shards, "versions"):
+            self._database: Optional[Any] = shards
+            self._static_sessions: Optional[List[QuerySession]] = None
+        else:
+            if isinstance(shards, (AndXorTree, RankStatistics, QuerySession)):
+                raise TypeError(
+                    "expected a ShardedDatabase or an iterable of shard "
+                    "sources; a single database has nothing to merge"
+                )
+            self._database = None
+            self._static_sessions = [
+                as_session(source) for source in shards
+            ]
+        self._validate_scores = validate_scores
+        self._scoring = None
+        self._adopted = False
+        self._use_fast_path = True
+        self._statistics: Optional[RankStatistics] = None
+        self._merged_tree: Optional[AndXorTree] = None
+        self._versions_seen: Optional[Tuple[Any, ...]] = None
+        self._init_cache_state()
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+    # ------------------------------------------------------------------
+    def _shard_sessions(self) -> List[QuerySession]:
+        if self._database is not None:
+            return list(self._database.sessions())
+        assert self._static_sessions is not None
+        return self._static_sessions
+
+    @property
+    def shard_count(self) -> int:
+        """Number of (non-empty) shards behind the coordinator."""
+        return len(self._shard_sessions())
+
+    def _current_versions(self) -> Tuple[Any, ...]:
+        if self._database is not None:
+            shard_versions: Tuple[Any, ...] = tuple(self._database.versions())
+        else:
+            shard_versions = ()
+        generations = tuple(
+            session.generation for session in self._shard_sessions()
+        )
+        return (shard_versions, generations)
+
+    def _sync(self) -> None:
+        """Drop merged artifacts when any shard changed since the last merge.
+
+        This is the graceful half of invalidation fan-out: shard updates
+        only touch their own shard (and bump its version); the coordinator
+        notices lazily, invalidates *its* merged artifacts, and re-merges
+        from the unchanged shards' still-warm partial summaries.
+        """
+        versions = self._current_versions()
+        if self._versions_seen is None:
+            self._versions_seen = versions
+        elif versions != self._versions_seen:
+            self.invalidate()
+            self._versions_seen = versions
+
+    def _memoized(self, artifact, params, compute):
+        self._sync()
+        return super()._memoized(artifact, params, compute)
+
+    def invalidate(self) -> None:
+        super().invalidate()
+        self._merged_tree = None
+
+    def set_scoring(self, scoring) -> None:
+        raise ValueError(
+            "a sharded coordinator fixes its scoring at the shards; "
+            "rebuild the shard databases (or their sessions) to re-score"
+        )
+
+    # ------------------------------------------------------------------
+    # Merged layout
+    # ------------------------------------------------------------------
+    def _summaries(self, max_rank: int) -> List[ShardRankSummary]:
+        return [
+            session.partial_rank_summary(max_rank)
+            for session in self._shard_sessions()
+        ]
+
+    def _layout(self) -> _MergedLayout:
+        return self._memoized("merged_layout", (), self._build_layout)
+
+    def _build_layout(self) -> _MergedLayout:
+        from repro.sharding.summary import shard_layout
+
+        presence: Dict[Hashable, float] = {}
+        alternatives: Dict[Hashable, List[Tuple[float, float]]] = {}
+        best_score: Dict[Hashable, float] = {}
+        key_to_session: Dict[Hashable, QuerySession] = {}
+        independent = True
+        per_shard_triples: List[List[Tuple[float, float, Hashable]]] = []
+        total = 0
+        for session in self._shard_sessions():
+            fragment = shard_layout(session)
+            independent = independent and fragment.independent
+            per_shard_triples.append(fragment.key_triples)
+            # Bulk dictionary merges: the per-shard fragments are memoized
+            # on their sessions, so after one shard's update only that
+            # shard re-extracts and this loop is C-speed dict work.
+            presence.update(fragment.presence)
+            alternatives.update(fragment.alternatives)
+            best_score.update(fragment.best_score)
+            key_to_session.update(
+                dict.fromkeys(fragment.keys, session)
+            )
+            total += len(fragment.keys)
+        if len(presence) != total:
+            counts: Dict[Hashable, int] = {}
+            for session in self._shard_sessions():
+                for key in shard_layout(session).keys:
+                    counts[key] = counts.get(key, 0) + 1
+            duplicates = sorted(
+                repr(key) for key, count in counts.items() if count > 1
+            )
+            raise ModelError(
+                f"tuple keys {duplicates} appear in more than one shard"
+            )
+        # One global decreasing-score stream of (score, probability, key):
+        # each shard's list is already sorted, so Timsort merges the
+        # concatenated runs in near-linear time (scores are distinct, so
+        # plain reverse tuple order never compares the trailing fields).
+        triples: List[Tuple[float, float, Hashable]] = []
+        for shard_triples in per_shard_triples:
+            triples.extend(shard_triples)
+        triples.sort(reverse=True)
+        if self._validate_scores:
+            for first, second in zip(triples, triples[1:]):
+                if first[0] == second[0] and first[2] != second[2]:
+                    raise ModelError(
+                        f"tuples {first[2]!r} and {second[2]!r} of different "
+                        f"shards share score {first[0]}; ranking assumes "
+                        "distinct scores"
+                    )
+        # Global key order = first appearance in the merged decreasing-score
+        # stream, i.e. decreasing best-alternative score (scores are
+        # distinct, so no tie-break is needed and no extra sort is paid).
+        keys_order: List[Hashable] = []
+        seen: Dict[Hashable, bool] = {}
+        for _, _, key in triples:
+            if key not in seen:
+                seen[key] = True
+                keys_order.append(key)
+        return _MergedLayout(
+            keys_order,
+            presence,
+            alternatives,
+            best_score,
+            triples,
+            independent,
+            key_to_session,
+        )
+
+    # ------------------------------------------------------------------
+    # Database accessors (merged, no global statistics object)
+    # ------------------------------------------------------------------
+    @property
+    def _tree(self) -> AndXorTree:
+        """Merged and/xor tree, built lazily from the shard trees.
+
+        Only the consensus routes that genuinely need a tree (set-level
+        consensus worlds, the BID median dynamic program, world sampling)
+        touch this; the rank/pairwise statistics never do.  The shard
+        root children are reused, so construction is index building only.
+        """
+        self._sync()  # a shard update must not serve a stale merged tree
+        if self._merged_tree is None:
+            children = []
+            for session in self._shard_sessions():
+                root = session.tree.root
+                if not isinstance(root, AndNode):
+                    raise ModelError(
+                        "sharded sessions require and-rooted shard trees"
+                    )
+                children.extend(root.children())
+            self._layout()  # validates key disjointness and score ties
+            self._merged_tree = AndXorTree(AndNode(children), validate=False)
+        return self._merged_tree
+
+    @property
+    def statistics(self) -> RankStatistics:
+        """Global fallback statistics over the merged tree (kept fresh).
+
+        Only the tree-level fallbacks (e.g. :meth:`sampler`) use this; the
+        sync guard mirrors :attr:`_tree` so a shard update can never serve
+        stale global statistics either.
+        """
+        self._sync()
+        return QuerySession.statistics.fget(self)  # type: ignore[attr-defined]
+
+    def keys(self) -> List[Hashable]:
+        return list(self._layout().keys_order)
+
+    def number_of_tuples(self) -> int:
+        return len(self._layout().keys_order)
+
+    def score_of(self, alternative: TupleAlternative) -> float:
+        session = self._layout().key_to_session.get(alternative.key)
+        if session is None:
+            raise ModelError(f"unknown tuple key {alternative.key!r}")
+        return session.score_of(alternative)
+
+    def alternatives_of(self, key: Hashable) -> List[TupleAlternative]:
+        session = self._layout().key_to_session.get(key)
+        if session is None:
+            raise ModelError(f"unknown tuple key {key!r}")
+        return session.tree.alternatives_of(key)
+
+    def independent_tuple_layout(
+        self,
+    ) -> Optional[List[Tuple[Hashable, float, float]]]:
+        layout = self._layout()
+        if not layout.independent:
+            return None
+        return [
+            (key, probability, score)
+            for score, probability, key in layout.triples
+        ]
+
+    # ------------------------------------------------------------------
+    # Merged statistics artifacts
+    # ------------------------------------------------------------------
+    def rank_matrix(self, max_rank: Optional[int] = None) -> RankMatrix:
+        """The exact global rank matrix, merged by convolving shard partials."""
+        if max_rank is None:
+            max_rank = self.number_of_tuples()
+        return self._memoized(
+            "rank_matrix",
+            (max_rank,),
+            lambda: self._merged_rank_matrix(max_rank),
+        )
+
+    def _merged_rank_matrix(self, max_rank: int) -> RankMatrix:
+        backend = get_backend()
+        # The layout carries the cross-shard validation (duplicate keys,
+        # tied scores); building it first means a direct rank_matrix()
+        # call fails as loudly as every other merged artifact.
+        self._layout()
+        summaries = [
+            summary
+            for summary in self._summaries(max_rank)
+            if summary.number_of_tuples() > 0
+        ]
+        if not summaries:
+            return RankMatrix([], backend.matrix_from_rows([]), backend, max_rank)
+        if len(summaries) == 1:
+            # A single shard needs no merging; serve its own (memoized)
+            # matrix so the coordinator adds zero overhead.
+            only = self._shard_sessions()
+            for session in only:
+                if session.number_of_tuples() > 0:
+                    return session.rank_matrix(max_rank)
+        if all(summary.is_independent for summary in summaries):
+            return self._merge_independent(summaries, max_rank, backend)
+        return self._merge_general(summaries, max_rank, backend)
+
+    def _merge_independent(
+        self,
+        summaries: List[ShardRankSummary],
+        max_rank: int,
+        backend: Any,
+    ) -> RankMatrix:
+        """Batched merge: per shard, one row-gather + convolution per peer.
+
+        For the ``m``-th tuple of shard ``s`` (decreasing score), the local
+        rank polynomial is row ``m`` of the shard's prefix table; convolving
+        it with every other shard's count-above partial at the tuple's score
+        and scaling by the tuple's presence probability yields the exact
+        global ``Pr(r(t) = ·)`` row.
+        """
+        parts: List[Any] = []
+        keys: List[Hashable] = []
+        row_scores: List[float] = []
+        for i, summary in enumerate(summaries):
+            count = summary.number_of_tuples()
+            scores = summary.scores()
+            acc = backend.take_rows(summary.prefix_table, list(range(count)))
+            for j, other in enumerate(summaries):
+                if j == i:
+                    continue
+                indices = other.prefix_indices(scores)
+                gathered = backend.take_rows(other.prefix_table, indices)
+                acc = backend.convolve_rows(acc, gathered, max_rank)
+            acc = backend.scale_rows(acc, summary.probabilities())
+            parts.append(acc)
+            keys.extend(summary.keys())
+            row_scores.extend(scores)
+        native = backend.stack_matrices(parts)
+        order = sorted(range(len(keys)), key=lambda row: -row_scores[row])
+        native = backend.take_rows(native, order)
+        keys = [keys[row] for row in order]
+        return RankMatrix(keys, native, backend, max_rank)
+
+    def _merge_general(
+        self,
+        summaries: List[ShardRankSummary],
+        max_rank: int,
+        backend: Any,
+    ) -> RankMatrix:
+        """Scalar merge for block-independent shards.
+
+        ``Pr(r(t) = i) = Σ_{a ∈ alts(t)} p_a · [own shard's count-above
+        score(a), t's block excluded] ⊛ [⊛ other shards' count-above
+        score(a)]`` -- the per-alternative threshold matters because a BID
+        tuple's realized score is itself uncertain.
+        """
+        rows: List[List[float]] = []
+        keys: List[Hashable] = []
+        row_scores: List[float] = []
+        for i, summary in enumerate(summaries):
+            others = [s for j, s in enumerate(summaries) if j != i]
+            for key in summary.keys():
+                row = [0.0] * max_rank
+                pairs = summary.alternatives_of(key)
+                for score, probability in pairs:
+                    if probability <= 0.0:
+                        continue
+                    factors = [summary.count_above_excluding(score, key)]
+                    factors.extend(
+                        other.count_above(score) for other in others
+                    )
+                    combined = backend.polynomial_product(factors, max_rank)
+                    for index in range(min(len(combined), max_rank)):
+                        row[index] += probability * combined[index]
+                rows.append(row)
+                keys.append(key)
+                row_scores.append(max(score for score, _ in pairs))
+        order = sorted(range(len(keys)), key=lambda row: -row_scores[row])
+        native = backend.matrix_from_rows([rows[row] for row in order])
+        keys = [keys[row] for row in order]
+        return RankMatrix(keys, native, backend, max_rank)
+
+    def preference_matrix(
+        self, keys: Optional[Sequence[Hashable]] = None
+    ) -> PairwisePreferenceMatrix:
+        """The merged ``Pr(r(t_i) < r(t_j))`` grid.
+
+        Distinct keys are independent both across shards and within a
+        tuple-independent / BID shard, so every cell has the closed form
+        ``Σ_{a ∈ alts(t_i)} p_a (1 - Pr(t_j present above score(a)))`` --
+        one backend kernel for all-independent shardings.
+        """
+        params = (None,) if keys is None else (tuple(keys),)
+
+        def compute() -> PairwisePreferenceMatrix:
+            layout = self._layout()
+            backend = get_backend()
+            matrix_keys = list(
+                layout.keys_order if keys is None else keys
+            )
+            missing = [
+                key for key in matrix_keys if key not in layout.presence
+            ]
+            if missing:
+                raise ModelError(
+                    f"unknown tuple keys {sorted(map(repr, missing))}"
+                )
+            if layout.independent:
+                native = backend.pairwise_preference_matrix(
+                    [layout.presence[key] for key in matrix_keys],
+                    [layout.best_score[key] for key in matrix_keys],
+                )
+            else:
+                rows = []
+                for first in matrix_keys:
+                    row = []
+                    for second in matrix_keys:
+                        if first == second:
+                            row.append(0.0)
+                            continue
+                        value = 0.0
+                        for score, probability in layout.alternatives[first]:
+                            above = sum(
+                                p
+                                for s, p in layout.alternatives[second]
+                                if s > score
+                            )
+                            value += probability * (1.0 - above)
+                        row.append(value)
+                    rows.append(row)
+                native = backend.matrix_from_rows(rows)
+            return PairwisePreferenceMatrix(matrix_keys, native, backend)
+
+        return self._memoized("preference_matrix", params, compute)
+
+    def expected_rank_table(self) -> Dict[Hashable, float]:
+        """Merged Cormode-style expected ranks (closed form, O(n log n))."""
+
+        def compute() -> Dict[Hashable, float]:
+            layout = self._layout()
+            triples = layout.triples
+            neg_scores = [-score for score, _, _ in triples]
+            prefix_mass = [0.0]
+            for _, probability, _ in triples:
+                prefix_mass.append(prefix_mass[-1] + probability)
+            total_presence = sum(layout.presence.values())
+            from bisect import bisect_left
+
+            table: Dict[Hashable, float] = {}
+            for key in layout.keys_order:
+                presence = layout.presence[key]
+                higher = 0.0
+                for score, probability in layout.alternatives[key]:
+                    above = prefix_mass[bisect_left(neg_scores, -score)]
+                    own_above = sum(
+                        p
+                        for s, p in layout.alternatives[key]
+                        if s > score
+                    )
+                    higher += probability * (above - own_above)
+                absent = (1.0 - presence) * (total_presence - presence)
+                table[key] = 1.0 + higher + absent
+            return table
+
+        return dict(self._memoized("expected_rank_table", (), compute))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedQuerySession({self.shard_count} shards, "
+            f"entries={len(self._cache)}, hits={self._hits}, "
+            f"misses={self._misses}, generation={self._generation})"
+        )

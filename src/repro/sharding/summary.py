@@ -1,0 +1,342 @@
+"""Per-shard partial generating-function summaries.
+
+A shard's contribution to any global rank statistic is fully captured by its
+*count-above-threshold* distributions: for a threshold ``θ``, the univariate
+generating function of the number of present tuples in the shard whose
+realized score exceeds ``θ``.  Because scores are distinct, only the
+``n_s + 1`` prefixes of the shard's score-sorted alternative list yield
+different distributions, so the whole summary is a truncated
+``(n_s + 1) × max_rank`` polynomial table -- one backend sweep for
+tuple-independent shards (:meth:`~repro.engine.backends.Backend.\
+prefix_count_polynomials`), one memoized Bernoulli product per requested
+prefix for block-independent shards.
+
+The ``max_rank``-independent part -- key/score/probability layout, block
+structure, the decreasing-score alternative stream -- is extracted once per
+shard session (:func:`shard_layout`, memoized as a session artifact and
+therefore dropped on invalidation), so summaries at several truncations and
+the coordinator's merged key space all share one extraction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.andxor.nodes import AndNode, Leaf, XorNode
+from repro.engine import get_backend
+from repro.exceptions import ModelError
+
+
+class ShardLayout:
+    """The truncation-independent layout of one shard.
+
+    One instance per shard session generation, shared by every
+    :class:`ShardRankSummary` over that shard and by the coordinator's
+    merged key space.
+    """
+
+    __slots__ = (
+        "independent",
+        "keys",
+        "probabilities",
+        "presence",
+        "alternatives",
+        "best_score",
+        "block_of",
+        "triples",
+        "key_triples",
+        "scores",
+    )
+
+    def __init__(self, session: Any) -> None:
+        layout = session.independent_tuple_layout()
+        if layout is not None:
+            self.independent = True
+            self.keys: List[Hashable] = [key for key, _, _ in layout]
+            self.probabilities: List[float] = [p for _, p, _ in layout]
+            self.scores: List[float] = [score for _, _, score in layout]
+            self.block_of: Dict[Hashable, int] = {
+                key: index for index, key in enumerate(self.keys)
+            }
+            self.alternatives: Dict[Hashable, List[Tuple[float, float]]] = {
+                key: [(score, probability)]
+                for key, probability, score in layout
+            }
+            self.triples: List[Tuple[float, float, int]] = [
+                (score, probability, index)
+                for index, (_, probability, score) in enumerate(layout)
+            ]
+            self.key_triples: List[Tuple[float, float, Hashable]] = [
+                (score, probability, key)
+                for key, probability, score in layout
+            ]
+            self.presence: Dict[Hashable, float] = dict(
+                zip(self.keys, self.probabilities)
+            )
+            self.best_score: Dict[Hashable, float] = dict(
+                zip(self.keys, self.scores)
+            )
+            return
+        self.independent = False
+        self._extract_block_layout(session)
+
+    def _extract_block_layout(self, session: Any) -> None:
+        """Read the block-independent (BID) layout off the shard's tree."""
+        tree = session.tree
+        root = tree.root
+        if not isinstance(root, AndNode):
+            raise ModelError(
+                "shard summaries require a tuple-independent or "
+                "block-independent database layout"
+            )
+        self.keys = []
+        self.block_of = {}
+        self.alternatives = {}
+        triples: List[Tuple[float, float, int]] = []
+        for child in root.children():
+            if not isinstance(child, XorNode):
+                raise ModelError(
+                    "shard summaries require xor blocks directly under the "
+                    "and root (tuple-independent or BID layout)"
+                )
+            block_key: Optional[Hashable] = None
+            alternatives: List[Tuple[float, float]] = []
+            for leaf, probability in child.edges():
+                if not isinstance(leaf, Leaf):
+                    raise ModelError(
+                        "shard summaries require leaf-only xor blocks "
+                        "(tuple-independent or BID layout)"
+                    )
+                if block_key is None:
+                    block_key = leaf.alternative.key
+                elif leaf.alternative.key != block_key:
+                    raise ModelError(
+                        "shard summaries require same-key alternatives "
+                        "within each block (BID layout)"
+                    )
+                alternatives.append(
+                    (session.score_of(leaf.alternative), float(probability))
+                )
+            if block_key is None:
+                continue  # empty block: never produces a tuple
+            if block_key in self.block_of:
+                raise ModelError(
+                    f"duplicate block key {block_key!r} in shard layout"
+                )
+            block_index = len(self.keys)
+            self.keys.append(block_key)
+            self.block_of[block_key] = block_index
+            self.alternatives[block_key] = alternatives
+            triples.extend(
+                (score, probability, block_index)
+                for score, probability in alternatives
+            )
+        triples.sort(key=lambda item: -item[0])
+        self.triples = triples
+        self.key_triples = [
+            (score, probability, self.keys[block])
+            for score, probability, block in triples
+        ]
+        self.scores = [score for score, _, _ in triples]
+        self.probabilities = [
+            sum(p for _, p in self.alternatives[key]) for key in self.keys
+        ]
+        self.presence = dict(zip(self.keys, self.probabilities))
+        self.best_score = {
+            key: max(score for score, _ in self.alternatives[key])
+            for key in self.keys
+        }
+
+
+def shard_layout(session: Any) -> ShardLayout:
+    """The session's memoized :class:`ShardLayout` (one per generation)."""
+    return session._memoized(
+        "shard_layout", (), lambda: ShardLayout(session)
+    )
+
+
+class ShardRankSummary:
+    """Truncated rank-polynomial summary of one database shard.
+
+    Parameters
+    ----------
+    session:
+        The shard's :class:`~repro.session.QuerySession` (tuple-independent
+        or block-independent layout; anything else raises
+        :class:`~repro.exceptions.ModelError`).
+    max_rank:
+        Number of coefficients kept per partial polynomial.  Convolving
+        truncated partials is exact for every coefficient below the
+        truncation point, so ``max_rank = k`` suffices for Top-k answers.
+    """
+
+    def __init__(self, session: Any, max_rank: int) -> None:
+        self._session = session
+        self._max_rank = max(int(max_rank), 1)
+        self._backend = get_backend()
+        self._layout = shard_layout(session)
+        self._prefix_table: Any = None
+        self._block_polynomials: Dict[int, List[float]] = {}
+        self._excluding_polynomials: Dict[Tuple[int, int], List[float]] = {}
+        # Ascending negated scores make "number of scores > θ" a bisect.
+        self._neg_scores: List[float] = [
+            -score for score in self._layout.scores
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> ShardLayout:
+        """The shared truncation-independent shard layout."""
+        return self._layout
+
+    @property
+    def is_independent(self) -> bool:
+        """True for tuple-independent shards (enables the batched merge)."""
+        return self._layout.independent
+
+    @property
+    def max_rank(self) -> int:
+        """Number of coefficients kept per partial polynomial."""
+        return self._max_rank
+
+    def keys(self) -> List[Hashable]:
+        """Tuple keys of the shard (decreasing score for independent shards)."""
+        return list(self._layout.keys)
+
+    def number_of_tuples(self) -> int:
+        return len(self._layout.keys)
+
+    def presence_probability(self, key: Hashable) -> float:
+        """``Pr(t present)`` for one tuple key of the shard."""
+        return self._layout.presence[key]
+
+    def probabilities(self) -> List[float]:
+        """Per-key presence probabilities aligned with :meth:`keys`."""
+        return list(self._layout.probabilities)
+
+    def scores(self) -> List[float]:
+        """Alternative scores in decreasing order."""
+        return list(self._layout.scores)
+
+    def alternatives_of(self, key: Hashable) -> List[Tuple[float, float]]:
+        """``(score, probability)`` pairs of one tuple's alternatives."""
+        return list(self._layout.alternatives[key])
+
+    def alternative_triples(self) -> List[Tuple[float, float, Hashable]]:
+        """All ``(score, probability, key)`` triples, decreasing score."""
+        return list(self._layout.key_triples)
+
+    # ------------------------------------------------------------------
+    # Partial generating functions
+    # ------------------------------------------------------------------
+    def prefix_index(self, threshold: float) -> int:
+        """Number of shard alternatives scoring strictly above ``threshold``."""
+        return bisect_left(self._neg_scores, -threshold)
+
+    def prefix_indices(self, thresholds_desc: List[float]) -> List[int]:
+        """:meth:`prefix_index` for a decreasing threshold sequence.
+
+        One backend sweep (two-pointer merge / vectorized bisect) instead
+        of a bisect per threshold -- the coordinator calls this with
+        another shard's score column.
+        """
+        return self._backend.descending_prefix_lengths(
+            self._layout.scores, thresholds_desc
+        )
+
+    @property
+    def prefix_table(self) -> Any:
+        """The native ``(n_s + 1) × max_rank`` prefix polynomial table.
+
+        Row ``m`` holds the count distribution of the first ``m``
+        (score-sorted) tuples; only defined for independent shards, where
+        it is produced by one backend sweep.
+        """
+        if not self._layout.independent:
+            raise ModelError(
+                "the dense prefix table exists only for tuple-independent "
+                "shards; use count_above() on block-independent shards"
+            )
+        if self._prefix_table is None:
+            self._prefix_table = self._backend.prefix_count_polynomials(
+                self._layout.probabilities, self._max_rank
+            )
+        return self._prefix_table
+
+    def _block_masses(self, prefix: int) -> Dict[int, float]:
+        """Per-block probability mass among the first ``prefix`` alternatives."""
+        masses: Dict[int, float] = {}
+        for score, probability, block in self._layout.triples[:prefix]:
+            masses[block] = masses.get(block, 0.0) + probability
+        return masses
+
+    def count_above(self, threshold: float) -> List[float]:
+        """Coefficients of the count-above-``threshold`` distribution.
+
+        This is the partial univariate generating function the coordinator
+        convolves across shards: coefficient ``j`` is the probability that
+        exactly ``j`` tuples of this shard are present with realized score
+        above ``threshold`` (truncated at ``max_rank`` coefficients).
+        """
+        prefix = self.prefix_index(threshold)
+        if self._layout.independent:
+            return self._backend.matrix_row(self.prefix_table, prefix)
+        cached = self._block_polynomials.get(prefix)
+        if cached is None:
+            masses = self._block_masses(prefix)
+            cached = _pad(
+                self._backend.bernoulli_product(
+                    [mass for mass in masses.values() if mass > 0.0],
+                    self._max_rank,
+                ),
+                self._max_rank,
+            )
+            self._block_polynomials[prefix] = cached
+        return cached
+
+    def count_above_excluding(
+        self, threshold: float, key: Hashable
+    ) -> List[float]:
+        """:meth:`count_above`, with ``key``'s own block left out.
+
+        Used for the shard that owns the query tuple: its other blocks are
+        independent of the tuple's realization, but alternatives of the
+        tuple's own block are mutually exclusive with it and must not be
+        counted.
+        """
+        prefix = self.prefix_index(threshold)
+        block = self._layout.block_of[key]
+        if self._layout.independent:
+            # With distinct scores a tuple never outscores its own
+            # threshold, so the prefix cannot contain the excluded key.
+            return self._backend.matrix_row(self.prefix_table, prefix)
+        cache_key = (prefix, block)
+        cached = self._excluding_polynomials.get(cache_key)
+        if cached is None:
+            masses = self._block_masses(prefix)
+            masses.pop(block, None)
+            cached = _pad(
+                self._backend.bernoulli_product(
+                    [mass for mass in masses.values() if mass > 0.0],
+                    self._max_rank,
+                ),
+                self._max_rank,
+            )
+            self._excluding_polynomials[cache_key] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "independent" if self._layout.independent else "block"
+        return (
+            f"ShardRankSummary({len(self._layout.keys)} tuples, "
+            f"kind={kind!r}, max_rank={self._max_rank})"
+        )
+
+
+def _pad(coefficients: List[float], length: int) -> List[float]:
+    if len(coefficients) >= length:
+        return coefficients[:length]
+    return coefficients + [0.0] * (length - len(coefficients))

@@ -9,10 +9,17 @@ generators for
   controllable size, correlation structure and probability distributions
   (:mod:`repro.workloads.generators`),
 * score distributions -- uniform, Zipf-like, Gaussian
-  (:mod:`repro.workloads.scores`), and
-* named "realistic" scenarios used by the examples: a noisy sensor network,
-  movie-rating style score uncertainty, and information-extraction style
-  group-by data (:mod:`repro.workloads.scenarios`).
+  (:mod:`repro.workloads.scores`),
+* named "realistic" scenarios used by the examples -- a noisy sensor
+  network, movie-rating style score uncertainty, and information-extraction
+  style group-by data -- each scalable to serving-benchmark sizes via the
+  ``scale`` argument (:mod:`repro.workloads.scenarios`), and
+* concurrent query/update traffic streams driving the serving layer
+  (:mod:`repro.workloads.traffic`).
+
+Seeds: every generator accepts ``rng`` as a generator or integer seed;
+``rng=None`` routes through the process-wide ``REPRO_SEED`` generator so
+whole runs replay from one seed.
 """
 
 from repro.workloads.generators import (
@@ -28,9 +35,18 @@ from repro.workloads.scores import (
     zipf_scores,
 )
 from repro.workloads.scenarios import (
+    SCENARIO_NAMES,
+    Scenario,
     extraction_groupby_scenario,
     movie_rating_scenario,
+    scenario,
     sensor_network_scenario,
+)
+from repro.workloads.traffic import (
+    DEFAULT_QUERY_MIX,
+    TrafficEvent,
+    generate_traffic,
+    replay_traffic,
 )
 
 __all__ = [
@@ -42,7 +58,14 @@ __all__ = [
     "uniform_scores",
     "zipf_scores",
     "gaussian_scores",
+    "Scenario",
+    "SCENARIO_NAMES",
+    "scenario",
     "sensor_network_scenario",
     "movie_rating_scenario",
     "extraction_groupby_scenario",
+    "DEFAULT_QUERY_MIX",
+    "TrafficEvent",
+    "generate_traffic",
+    "replay_traffic",
 ]

@@ -1,7 +1,12 @@
 """Seeded generators for synthetic probabilistic databases.
 
 All generators take an explicit ``random.Random`` (or a seed) so that tests,
-benchmarks and examples are reproducible.
+benchmarks and examples are reproducible.  Passing ``rng=None`` routes
+through the process-wide seedable generator of the sampling engine
+(:func:`repro.engine.default_rng`), so setting the ``REPRO_SEED``
+environment variable makes *every* default-generator workload -- database
+generation, traffic replay, Monte-Carlo estimation -- reproducible end to
+end from one seed.
 """
 
 from __future__ import annotations
@@ -25,6 +30,13 @@ RandomSource = Union[random.Random, int, None]
 def _as_rng(source: RandomSource) -> random.Random:
     if isinstance(source, random.Random):
         return source
+    if source is None:
+        # Route unseeded calls through the process-wide generator so that
+        # REPRO_SEED controls workload generation exactly like it controls
+        # the Monte-Carlo engine (one seed, one stream, reproducible runs).
+        from repro.engine.sampling import default_rng
+
+        return default_rng()
     return random.Random(source)
 
 

@@ -4,14 +4,21 @@ Each scenario returns a fully-built probabilistic database together with a
 short description, mirroring the application domains the paper's introduction
 cites (sensor networks, information retrieval / recommendation scores, and
 information extraction).
+
+Every builder takes a ``scale`` multiplier on top of its base count, so the
+serving benchmarks can grow the *same* named workload to ``n ≈ 10⁴`` tuples
+(``movie_rating_scenario(scale=1000)``); score rounding adapts to the tuple
+count so scores stay pairwise distinct at any size.  :func:`scenario`
+resolves a workload by name from :data:`SCENARIO_NAMES`.
 """
 
 from __future__ import annotations
 
-import random
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Set, Tuple, Union
 
+from repro.exceptions import WorkloadError
 from repro.models.bid import BlockIndependentDatabase
 from repro.models.tuple_independent import TupleIndependentDatabase
 from repro.workloads.generators import RandomSource, _as_rng
@@ -26,9 +33,35 @@ class Scenario:
     database: Union[TupleIndependentDatabase, BlockIndependentDatabase]
 
 
+def _scaled(base_count: int, scale: float) -> int:
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    return max(1, round(base_count * scale))
+
+
+def _score_precision(count: int) -> int:
+    """Rounding digits keeping the score grid much denser than ``count``.
+
+    The historical 3-digit rounding is kept for small scenarios (identical
+    outputs for the default sizes); large scaled scenarios get enough
+    digits that the de-duplication nudge loop stays O(1) per tuple.
+    """
+    if count <= 1000:
+        return 3
+    return int(math.ceil(math.log10(count))) + 2
+
+
+def _distinct(value: float, used: Set[float], step: float) -> float:
+    while value in used:
+        value += step
+    used.add(value)
+    return value
+
+
 def sensor_network_scenario(
     sensor_count: int = 12,
     rng: RandomSource = 7,
+    scale: float = 1.0,
 ) -> Scenario:
     """Noisy temperature sensors reporting uncertain readings.
 
@@ -38,8 +71,11 @@ def sensor_network_scenario(
     attribute-level uncertainty setting of Section 5.
     """
     rng = _as_rng(rng)
+    sensor_count = _scaled(sensor_count, scale)
+    precision = _score_precision(3 * sensor_count)
+    step = 10.0 ** -precision
     blocks: List[Tuple[str, List[Tuple[float, float, float]]]] = []
-    used_readings: set = set()
+    used_readings: Set[float] = set()
     for index in range(sensor_count):
         base = 15.0 + 20.0 * rng.random()
         alternative_count = rng.randint(2, 3)
@@ -47,10 +83,11 @@ def sensor_network_scenario(
         total = sum(raw)
         alternatives = []
         for j in range(alternative_count):
-            reading = round(base + rng.gauss(0.0, 2.0), 3)
-            while reading in used_readings:
-                reading += 0.001
-            used_readings.add(reading)
+            reading = _distinct(
+                round(base + rng.gauss(0.0, 2.0), precision),
+                used_readings,
+                step,
+            )
             alternatives.append((reading, reading, raw[j] / total))
         blocks.append((f"sensor{index + 1}", alternatives))
     database = BlockIndependentDatabase(blocks, name="sensor_network")
@@ -67,6 +104,7 @@ def sensor_network_scenario(
 def movie_rating_scenario(
     movie_count: int = 10,
     rng: RandomSource = 11,
+    scale: float = 1.0,
 ) -> Scenario:
     """Movies with uncertain relevance scores from a noisy recommender.
 
@@ -74,13 +112,15 @@ def movie_rating_scenario(
     recommender) and carries a relevance score; tuples are independent.
     """
     rng = _as_rng(rng)
+    movie_count = _scaled(movie_count, scale)
+    precision = _score_precision(movie_count)
+    step = 10.0 ** -precision
     tuples = []
-    used_scores: set = set()
+    used_scores: Set[float] = set()
     for index in range(movie_count):
-        score = round(rng.uniform(1.0, 10.0), 3)
-        while score in used_scores:
-            score += 0.001
-        used_scores.add(score)
+        score = _distinct(
+            round(rng.uniform(1.0, 10.0), precision), used_scores, step
+        )
         probability = round(rng.uniform(0.3, 1.0), 3)
         tuples.append((f"movie{index + 1}", score, score, probability))
     database = TupleIndependentDatabase(tuples, name="movie_ratings")
@@ -98,6 +138,7 @@ def extraction_groupby_scenario(
     mention_count: int = 20,
     company_count: int = 4,
     rng: RandomSource = 13,
+    scale: float = 1.0,
 ) -> Scenario:
     """Information-extraction mentions with uncertain company attribution.
 
@@ -106,6 +147,7 @@ def extraction_groupby_scenario(
     of interest is the per-company mention count (Section 6.1).
     """
     rng = _as_rng(rng)
+    mention_count = _scaled(mention_count, scale)
     companies = [f"company{index + 1}" for index in range(company_count)]
     blocks: List[Tuple[str, List[Tuple[str, float]]]] = []
     for index in range(mention_count):
@@ -126,3 +168,32 @@ def extraction_groupby_scenario(
         ),
         database=database,
     )
+
+
+#: Registry of the named scenario builders (first positional argument is
+#: the base count, every builder accepts ``rng`` and ``scale``).
+SCENARIO_NAMES: Dict[str, Callable[..., Scenario]] = {
+    "sensor_network": sensor_network_scenario,
+    "movie_ratings": movie_rating_scenario,
+    "extraction_mentions": extraction_groupby_scenario,
+}
+
+
+def scenario(
+    name: str, scale: float = 1.0, rng: RandomSource = None, **kwargs
+) -> Scenario:
+    """Build a named scenario at the requested scale.
+
+    ``rng=None`` keeps each builder's fixed default seed (scenarios stay
+    reproducible by default); pass a generator or seed to override.
+    """
+    try:
+        builder = SCENARIO_NAMES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; expected one of "
+            f"{sorted(SCENARIO_NAMES)}"
+        ) from None
+    if rng is not None:
+        kwargs["rng"] = rng
+    return builder(scale=scale, **kwargs)

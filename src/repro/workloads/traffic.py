@@ -1,0 +1,192 @@
+"""Concurrent query-mix traffic for the serving layer.
+
+:func:`generate_traffic` produces a reproducible stream of
+:class:`~repro.workloads.traffic.TrafficEvent` records -- consensus queries
+drawn from a weighted kind mix (with Top-k sizes and distance choices) plus
+probability/score updates at a configurable read/update ratio -- over the
+tuple keys of an existing database or scenario.  Seeds route through
+:func:`repro.workloads.generators._as_rng`, i.e. through the process-wide
+``REPRO_SEED`` generator when no explicit seed is given, so serving
+benchmarks and traffic replays are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.serving.requests import QUERY_DISPATCH, QueryRequest
+from repro.workloads.generators import RandomSource, _as_rng
+
+#: Default weighted query mix: the cheap membership-style reads dominate,
+#: with a steady trickle of the assignment-based and pivot-based answers.
+DEFAULT_QUERY_MIX: Dict[str, float] = {
+    "mean_topk_symmetric_difference": 4.0,
+    "top_k_membership": 3.0,
+    "mean_topk_footrule": 2.0,
+    "approximate_topk_intersection": 1.0,
+    "approximate_topk_kendall": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One serving-layer event: a query request or a tuple update."""
+
+    kind: str  # "query" | "update"
+    request: Optional[QueryRequest] = None
+    key: Optional[Hashable] = None
+    probability: Optional[float] = None
+    score: Optional[float] = None
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind == "update"
+
+
+def generate_traffic(
+    keys: Sequence[Hashable],
+    count: int,
+    rng: RandomSource = None,
+    query_mix: Optional[Dict[str, float]] = None,
+    k_choices: Sequence[int] = (5, 10),
+    update_ratio: float = 0.0,
+    probability_range: Tuple[float, float] = (0.05, 1.0),
+    popular_pool: Optional[int] = 8,
+) -> List[TrafficEvent]:
+    """Generate a reproducible mixed query/update event stream.
+
+    Parameters
+    ----------
+    keys:
+        Tuple keys of the target database (updates pick keys uniformly).
+    count:
+        Number of events.
+    rng:
+        Generator / seed; ``None`` uses the ``REPRO_SEED``-seeded
+        process-wide generator.
+    query_mix:
+        Weighted query kinds (default :data:`DEFAULT_QUERY_MIX`); every
+        kind must exist in :data:`repro.serving.requests.QUERY_DISPATCH`.
+    k_choices:
+        Candidate Top-k sizes (clamped to the database size).
+    update_ratio:
+        Fraction of events that are probability updates (in ``[0, 1)``).
+    probability_range:
+        Range updates draw new presence probabilities from.
+    popular_pool:
+        When set, queries are drawn from this many pre-materialized
+        "popular" requests instead of fresh independent draws -- the
+        realistic repeated-query regime that request coalescing and result
+        memoization exploit.  ``None`` draws every query independently.
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    if not 0.0 <= update_ratio < 1.0:
+        raise WorkloadError(
+            f"update_ratio must lie in [0, 1), got {update_ratio}"
+        )
+    if not keys:
+        raise WorkloadError("traffic needs at least one tuple key")
+    rng = _as_rng(rng)
+    mix = dict(DEFAULT_QUERY_MIX if query_mix is None else query_mix)
+    unknown = sorted(set(mix) - set(QUERY_DISPATCH))
+    if unknown:
+        raise WorkloadError(
+            f"unknown query kinds in mix: {unknown}; expected a subset of "
+            f"{sorted(QUERY_DISPATCH)}"
+        )
+    if not mix:
+        raise WorkloadError("the query mix must not be empty")
+    kinds = sorted(mix)
+    weights = [float(mix[kind]) for kind in kinds]
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise WorkloadError("query mix weights must sum to a positive value")
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total_weight
+        cumulative.append(running)
+    sizes = sorted({min(max(1, k), len(keys)) for k in k_choices})
+    key_list = list(keys)
+    low, high = probability_range
+    if not 0.0 <= low <= high <= 1.0:
+        raise WorkloadError(f"invalid probability range {probability_range}")
+
+    def draw_request() -> QueryRequest:
+        draw = rng.random()
+        index = 0
+        while index < len(cumulative) - 1 and draw > cumulative[index]:
+            index += 1
+        kind = kinds[index]
+        k = sizes[rng.randrange(len(sizes))]
+        return QueryRequest.make(kind, k)
+
+    pool: Optional[List[QueryRequest]] = None
+    if popular_pool is not None:
+        if popular_pool < 1:
+            raise WorkloadError(
+                f"popular_pool must be positive, got {popular_pool}"
+            )
+        pool = [draw_request() for _ in range(popular_pool)]
+    events: List[TrafficEvent] = []
+    for _ in range(count):
+        if update_ratio > 0.0 and rng.random() < update_ratio:
+            events.append(
+                TrafficEvent(
+                    kind="update",
+                    key=key_list[rng.randrange(len(key_list))],
+                    probability=rng.uniform(low, high),
+                )
+            )
+        else:
+            request = (
+                pool[rng.randrange(len(pool))] if pool else draw_request()
+            )
+            events.append(TrafficEvent(kind="query", request=request))
+    return events
+
+
+async def replay_traffic(
+    executor: "Any",
+    events: Sequence[TrafficEvent],
+    concurrency: int = 16,
+) -> List[object]:
+    """Replay an event stream against a serving executor.
+
+    Queries within a window of ``concurrency`` consecutive events run
+    concurrently (so coalescing and micro-batching engage); updates act as
+    barriers, preserving the read/update ordering of the stream.  Returns
+    the query results in stream order (updates contribute ``None``).
+    """
+    import asyncio
+
+    results: List[object] = [None] * len(events)
+    window: List[Tuple[int, TrafficEvent]] = []
+
+    async def flush() -> None:
+        if not window:
+            return
+        answers = await asyncio.gather(
+            *(executor.submit(event.request) for _, event in window)
+        )
+        for (position, _), answer in zip(window, answers):
+            results[position] = answer
+        window.clear()
+
+    for position, event in enumerate(events):
+        if event.is_update:
+            await flush()
+            await executor.update(
+                event.key,
+                probability=event.probability,
+                score=event.score,
+            )
+        else:
+            window.append((position, event))
+            if len(window) >= concurrency:
+                await flush()
+    await flush()
+    return results

@@ -425,8 +425,8 @@ class TestSessionSampler:
         session = QuerySession(small_tuple_independent(2, count=5).tree)
         first = session.sampler()
         assert session.sampler() is first
-        info = session.cache_info()["artifacts"]["sampler"]
-        assert info == {"hits": 1, "misses": 1}
+        info = session.cache_info().artifacts["sampler"]
+        assert (info.hits, info.misses) == (1, 1)
 
     def test_invalidate_drops_sampler(self):
         session = QuerySession(small_tuple_independent(2, count=5).tree)

@@ -124,3 +124,49 @@ class TestScenarios:
         assert len(scenario.database) == 10
         values = {a.value for a in scenario.database.alternatives()}
         assert values <= {f"company{i + 1}" for i in range(3)}
+
+
+class TestScenarioScaling:
+    def test_scale_multiplies_every_scenario(self):
+        from repro.workloads.scenarios import scenario
+
+        assert len(scenario("sensor_network", scale=2.0).database) == 24
+        assert len(scenario("movie_ratings", scale=3.0).database) == 30
+        assert len(scenario("extraction_mentions", scale=0.5).database) == 10
+
+    def test_large_scale_keeps_scores_distinct(self):
+        # n >> the 3-decimal score grid of the unscaled movie scenario:
+        # the adaptive rounding precision must keep scores pairwise distinct
+        # (and the database valid for ranking queries).
+        database = movie_rating_scenario(scale=300.0).database
+        assert len(database) == 3000
+        scores = [a.effective_score() for a in database.alternatives()]
+        assert len(set(scores)) == len(scores)
+        RankStatistics(database.tree)
+
+    def test_default_scale_outputs_unchanged(self):
+        # scale=1.0 must reproduce the historical databases exactly.
+        baseline = movie_rating_scenario(movie_count=10)
+        scaled = movie_rating_scenario(movie_count=10, scale=1.0)
+        assert (
+            baseline.database.tuple_probabilities()
+            == scaled.database.tuple_probabilities()
+        )
+        assert {a.effective_score() for a in baseline.database.alternatives()} == {
+            a.effective_score() for a in scaled.database.alternatives()
+        }
+
+    def test_registry_lookup_and_errors(self):
+        from repro.workloads.scenarios import SCENARIO_NAMES, scenario
+
+        assert set(SCENARIO_NAMES) == {
+            "sensor_network",
+            "movie_ratings",
+            "extraction_mentions",
+        }
+        built = scenario("movie_ratings", scale=1.0, rng=11)
+        assert built.name == "movie_ratings"
+        with pytest.raises(WorkloadError):
+            scenario("unknown_scenario")
+        with pytest.raises(WorkloadError):
+            scenario("movie_ratings", scale=0.0)
