@@ -1,0 +1,193 @@
+"""Experiment E14: declarative query API dispatch overhead.
+
+The unified API must be free: routing every query through
+``ConsensusQuery`` -> ``Planner`` -> ``ExecutionPlan`` instead of calling
+session methods directly may not tax the serving hot path.  Two cases:
+
+* **E14a -- planner overhead on a realistic query mix.**  The ten wire
+  kinds at several Top-k sizes run against one long-lived session under
+  cache-invalidation churn (the serving regime after updates), once
+  through direct session-method calls and once through the planner
+  (``DEFAULT_PLANNER.run``).  Both sides pay the same artifact
+  recomputation every round; plans are built once and reused across
+  invalidations, so the difference isolates dispatch.  The acceptance bar
+  is **< 5%** overhead.
+* **E14b -- warm micro-dispatch.**  Per-call latency of a fully memoized
+  query served directly vs through a cached plan, reporting the absolute
+  per-dispatch cost the declarative layer adds (bar: < 50 microseconds --
+  a hash lookup, a generation check and one closure call).
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink sizes for the CI smoke leg.  JSON
+results record the active backend and the database seed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _harness import report
+from repro.query import DEFAULT_PLANNER, query_for_kind
+from repro.query.compat import LEGACY_KINDS
+from repro.session import QuerySession
+from repro.workloads.generators import random_tuple_independent_database
+
+SEED = 20260731
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+N = 300 if SMOKE else 4000
+K_CHOICES = (3, 5, 8, 10) if SMOKE else (5, 10, 25, 40)
+ROUNDS = 7  # best-of-ROUNDS fresh-session sweeps (min damps scheduler noise)
+MICRO_CALLS = 2000 if SMOKE else 10_000
+OVERHEAD_BAR = 0.05
+MICRO_BAR_SECONDS = 50e-6
+
+#: The serving mix: every wire kind, at every k.
+QUERY_SET = [
+    (kind, k)
+    for kind in LEGACY_KINDS
+    for k in K_CHOICES
+]
+
+
+def _database():
+    return random_tuple_independent_database(N, rng=SEED)
+
+
+def _direct_call(session: QuerySession, kind: str, k: int):
+    method = {
+        "mean_topk_symmetric_difference":
+            session.mean_topk_symmetric_difference,
+        "median_topk_symmetric_difference":
+            session.median_topk_symmetric_difference,
+        "mean_topk_footrule": session.mean_topk_footrule,
+        "mean_topk_intersection": session.mean_topk_intersection,
+        "approximate_topk_intersection":
+            session.approximate_topk_intersection,
+        "approximate_topk_kendall": session.approximate_topk_kendall,
+        "top_k_membership": session.top_k_membership,
+        "global_topk": session.global_topk,
+        "expected_rank_topk": session.expected_rank_topk,
+    }.get(kind)
+    if method is None:  # expected_rank_table takes no k
+        return session.expected_rank_table()
+    return method(k)
+
+
+def _sweep_direct(session) -> float:
+    session.invalidate()
+    start = time.perf_counter()
+    for kind, k in QUERY_SET:
+        _direct_call(session, kind, k)
+    return time.perf_counter() - start
+
+
+def _sweep_planner(session, queries) -> float:
+    session.invalidate()
+    start = time.perf_counter()
+    for query in queries:
+        DEFAULT_PLANNER.run(query, session)
+    return time.perf_counter() - start
+
+
+def test_e14a_planner_overhead_on_query_mix(benchmark):
+    database = _database()
+    queries = [query_for_kind(kind, k) for kind, k in QUERY_SET]
+    # One long-lived session per side (the serving deployment model); each
+    # round invalidates the caches -- the churn updates cause -- so both
+    # sides recompute the same artifacts and the difference isolates
+    # planning + dispatch.  Rounds are interleaved so drift hits both
+    # sides equally; the minimum is the noise-robust statistic for
+    # same-work sweeps.
+    direct_session = QuerySession(database.tree)
+    planner_session = QuerySession(database.tree)
+    _sweep_direct(direct_session)  # warm process + plan/artifact caches
+    _sweep_planner(planner_session, queries)
+    direct_times = []
+    planner_times = []
+    for _ in range(ROUNDS):
+        direct_times.append(_sweep_direct(direct_session))
+        planner_times.append(_sweep_planner(planner_session, queries))
+    direct = min(direct_times)
+    planned = min(planner_times)
+    overhead = (planned - direct) / direct
+    report(
+        "E14a",
+        "Planner dispatch overhead vs direct session calls "
+        "(long-lived sessions under invalidation churn)",
+        ("queries", "tuples", "direct (s)", "planner (s)", "overhead"),
+        [
+            (
+                len(QUERY_SET),
+                N,
+                direct,
+                planned,
+                f"{overhead * 100.0:+.2f}%",
+            )
+        ],
+        notes=(
+            f"seed={SEED}; best of {ROUNDS} interleaved rounds, every "
+            f"round invalidating the session then answering all "
+            f"{len(LEGACY_KINDS)} wire kinds x k in {K_CHOICES}.  "
+            f"Acceptance bar: < {OVERHEAD_BAR:.0%}."
+        ),
+    )
+    assert overhead < OVERHEAD_BAR, (
+        f"planner dispatch overhead {overhead:.2%} exceeds "
+        f"{OVERHEAD_BAR:.0%}"
+    )
+    benchmark.pedantic(
+        lambda: _sweep_planner(planner_session, queries),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e14b_warm_micro_dispatch(benchmark):
+    database = _database()
+    session = QuerySession(database.tree)
+    k = K_CHOICES[0]
+    query = query_for_kind("mean_topk_symmetric_difference", k)
+    # Warm everything: artifacts, result memo, plan cache.
+    session.mean_topk_symmetric_difference(k)
+    DEFAULT_PLANNER.run(query, session)
+
+    def timed(callee) -> float:
+        start = time.perf_counter()
+        for _ in range(MICRO_CALLS):
+            callee()
+        return (time.perf_counter() - start) / MICRO_CALLS
+
+    direct = min(
+        timed(lambda: session.mean_topk_symmetric_difference(k))
+        for _ in range(3)
+    )
+    planned = min(
+        timed(lambda: DEFAULT_PLANNER.run(query, session)) for _ in range(3)
+    )
+    added = planned - direct
+    report(
+        "E14b",
+        "Warm micro-dispatch: memoized result via plan cache vs direct",
+        ("calls", "direct (us)", "planner (us)", "added (us)"),
+        [
+            (
+                MICRO_CALLS,
+                direct * 1e6,
+                planned * 1e6,
+                added * 1e6,
+            )
+        ],
+        notes=(
+            "Fully memoized query (hash lookup on both paths); the "
+            "declarative layer adds one plan-cache lookup, a generation "
+            f"check and a closure call.  Bar: < {MICRO_BAR_SECONDS * 1e6:.0f} "
+            "us absolute."
+        ),
+    )
+    assert added < MICRO_BAR_SECONDS, (
+        f"warm dispatch adds {added * 1e6:.1f}us per call"
+    )
+    benchmark.pedantic(
+        lambda: DEFAULT_PLANNER.run(query, session), rounds=1, iterations=100
+    )

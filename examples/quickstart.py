@@ -4,13 +4,17 @@
 This walk-through builds the running example of the paper -- a small
 block-independent disjoint (BID) relation with both tuple-level and
 attribute-level uncertainty -- and computes every flavour of consensus answer
-the paper defines:
+the paper defines through the declarative query API:
 
 * the mean / median consensus *world* under the symmetric difference and
   Jaccard distances (Section 4),
 * the mean / median *Top-k* answers under the symmetric difference,
   intersection and Spearman footrule metrics (Section 5), and
 * the consensus group-by count and clustering answers (Section 6).
+
+Every query goes through one ``repro.connect(...)`` facade; the planner
+matches it against the paper's hardness map and picks the execution path
+(see ``examples/query_api.py`` for ``explain()`` output).
 
 Run it with ``python examples/quickstart.py``.
 """
@@ -20,14 +24,9 @@ from __future__ import annotations
 from repro import (
     BlockIndependentDatabase,
     GroupByCountConsensus,
+    Query,
+    connect,
     consensus_clustering,
-    mean_topk_footrule,
-    mean_topk_intersection,
-    mean_topk_symmetric_difference,
-    mean_world_jaccard_tuple_independent,
-    mean_world_symmetric_difference,
-    median_topk_symmetric_difference,
-    median_world_symmetric_difference,
 )
 
 
@@ -55,7 +54,7 @@ def section(title: str) -> None:
 
 def main() -> None:
     database = build_database()
-    tree = database.tree
+    connection = connect(database)
 
     section("The probabilistic database")
     print(database)
@@ -64,27 +63,31 @@ def main() -> None:
     print(f"  expected number of tuples: {database.expected_size():.2f}")
 
     section("Consensus worlds (Section 4)")
-    mean_world, mean_value = mean_world_symmetric_difference(tree)
+    mean = connection.execute(Query.set_consensus())
     print(f"  mean world under symmetric difference "
-          f"({len(mean_world)} tuples, expected distance {mean_value:.3f}):")
-    for alternative in sorted(mean_world, key=lambda a: str(a.key)):
+          f"({len(mean.answer)} tuples, "
+          f"expected distance {mean.expected_distance:.3f}):")
+    for alternative in sorted(mean.answer, key=lambda a: str(a.key)):
         print(f"    {alternative}")
-    median_world, median_value = median_world_symmetric_difference(tree)
-    print(f"  median world expected distance: {median_value:.3f}")
-    jaccard_world, jaccard_value = mean_world_jaccard_tuple_independent(tree)
-    print(f"  mean world under Jaccard distance has {len(jaccard_world)} tuples "
-          f"(expected distance {jaccard_value:.3f})")
+    median = connection.execute(Query.set_consensus(statistic="median"))
+    print(f"  median world expected distance: "
+          f"{median.expected_distance:.3f}")
+    jaccard = connection.execute(Query.jaccard())
+    print(f"  mean world under Jaccard distance has "
+          f"{len(jaccard.answer)} tuples "
+          f"(expected distance {jaccard.expected_distance:.3f})")
 
     section("Consensus Top-k answers (Section 5), k = 3")
     k = 3
-    for name, (answer, value) in {
-        "symmetric difference (mean)": mean_topk_symmetric_difference(tree, k),
-        "symmetric difference (median)": median_topk_symmetric_difference(tree, k),
-        "intersection metric (mean)": mean_topk_intersection(tree, k),
-        "Spearman footrule (mean)": mean_topk_footrule(tree, k),
+    for name, query in {
+        "symmetric difference (mean)": Query.topk(k),
+        "symmetric difference (median)": Query.topk(k).median(),
+        "intersection metric (mean)": Query.topk(k).distance("intersection"),
+        "Spearman footrule (mean)": Query.topk(k).distance("footrule"),
     }.items():
-        print(f"  {name:34s}: {', '.join(map(str, answer))}"
-              f"   (expected distance {value:.3f})")
+        result = connection.execute(query)
+        print(f"  {name:34s}: {', '.join(map(str, result.answer))}"
+              f"   (expected distance {result.expected_distance:.3f})")
 
     section("Consensus group-by count answer (Section 6.1)")
     groups = BlockIndependentDatabase(

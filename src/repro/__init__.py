@@ -3,12 +3,81 @@
 A from-scratch reproduction of Li & Deshpande, "Consensus Answers for Queries
 over Probabilistic Databases" (PODS 2009, arXiv:0812.2049).
 
+Quickstart
+----------
+Connect to a database -- local, sharded, or served; the facade is the same
+-- and execute declarative :class:`~repro.query.ConsensusQuery` objects.
+The hardness-aware planner picks the execution path: exact PTIME kernels
+where the paper gives one, the paper's approximation algorithms, or the
+batched Monte-Carlo engine (with confidence-interval-driven sample sizing)
+where the paper proves NP-hardness.
+
+>>> import repro
+>>> from repro import Query
+>>> database = repro.BlockIndependentDatabase({
+...     "t1": [(90, 0.6), (40, 0.4)],
+...     "t2": [(80, 1.0)],
+...     "t3": [(70, 0.5)],
+... })
+>>> connection = repro.connect(database)
+>>> answer = connection.execute(Query.topk(k=2))
+>>> answer.answer
+('t1', 't2')
+>>> round(answer.expected_distance, 3)
+0.1
+>>> answer.provenance()["paper"]
+'Theorem 3'
+
+Queries are immutable builders -- every refinement returns a new hashable
+object (the serving layer coalesces identical in-flight queries by this
+hash):
+
+>>> query = Query.topk(k=2).distance("kendall").epsilon(0.05)
+>>> query.metric
+'kendall'
+
+``explain()`` renders the planner's choice without running the query --
+the route, the paper result behind it, a cost estimate, and which memoized
+session artifacts it will reuse:
+
+>>> print(connection.explain(          # doctest: +SKIP
+...     Query.topk(k=2).distance("footrule")))
+ConsensusQuery(kind='mean_topk_footrule', ...)
+  target:    local, n=3 tuples, layout=bid, backend=numpy
+  hardness:  PTIME -- Section 5.4: ... one min-cost assignment ...
+  route:     exact
+  ...
+
+Besides Top-k answers under the symmetric-difference / footrule /
+intersection / Kendall distances, the same facade covers consensus worlds
+(``Query.set_consensus()``, ``Query.jaccard()``), membership tables
+(``Query.membership(k)``), expected ranks (``Query.expected_ranks()``),
+baseline ranking semantics (``Query.ranking("global", k)``) and group-by
+count aggregates (``Query.aggregate()``).
+
+Scaling out is a parameter, not an API change: ``repro.connect(db,
+shards=4)`` partitions the database and answers every query from exact
+cross-shard merged statistics, and ``repro.connect(executor)`` wraps the
+asyncio serving front-end (use ``await connection.execute_async(query)``
+inside its event loop to get coalescing and micro-batching):
+
+>>> sharded = repro.connect(database, shards=2)
+>>> sharded.execute(Query.topk(k=2)).answer
+('t1', 't2')
+
+The pre-declarative module-level functions
+(``repro.mean_topk_symmetric_difference`` and friends) keep working but
+emit :class:`DeprecationWarning` and re-route through the planner.
+
+Architecture
+------------
 The package is organised bottom-up:
 
 * :mod:`repro.core` -- tuples, possible worlds, answer distances.
 * :mod:`repro.polynomials` -- generating-function arithmetic.
 * :mod:`repro.andxor` -- the probabilistic and/xor tree model (Section 3).
-* :mod:`repro.models` -- tuple-independent / BID / x-tuple convenience models.
+* :mod:`repro.models` -- tuple-independent / BID / x-tuple convenience
+  models, plus the partitioned :class:`~repro.models.sharded.ShardedDatabase`.
 * :mod:`repro.matching`, :mod:`repro.flows` -- assignment and min-cost-flow
   substrates.
 * :mod:`repro.rankagg` -- classical rank aggregation (Kemeny, footrule,
@@ -17,143 +86,80 @@ The package is organised bottom-up:
   (Sections 4-6).
 * :mod:`repro.baselines` -- prior Top-k ranking semantics.
 * :mod:`repro.algebra` -- a lineage-based probabilistic SPJ algebra.
-* :mod:`repro.workloads` -- synthetic workload generators and scenarios.
+* :mod:`repro.workloads` -- synthetic workload generators, scenarios and
+  serving traffic streams (now emitting declarative query objects).
 * :mod:`repro.engine` -- the vectorized compute engine every layer above
-  runs on: pluggable array backends plus batched rank / pairwise matrices.
+  runs on: pluggable array backends, batched rank / pairwise matrices and
+  the Monte-Carlo sampling subsystem.
 * :mod:`repro.session` -- the query-session layer sharing memoized
   statistics artifacts across consensus queries on one database.
 * :mod:`repro.sharding` -- cross-shard statistics merging: per-shard
   partial generating functions convolved into exact global answers.
-* :mod:`repro.serving` -- the asyncio serving front-end over a
-  :class:`~repro.models.sharded.ShardedDatabase` (request coalescing,
-  micro-batching, per-shard workers, invalidation fan-out).
-
-Quickstart
-----------
->>> from repro import BlockIndependentDatabase, mean_topk_symmetric_difference
->>> database = BlockIndependentDatabase({
-...     "t1": [(90, 0.6), (40, 0.4)],
-...     "t2": [(80, 1.0)],
-...     "t3": [(70, 0.5)],
-... })
->>> answer, distance = mean_topk_symmetric_difference(database.tree, k=2)
+* :mod:`repro.serving` -- the asyncio serving front-end (request
+  coalescing keyed by query hashes, micro-batching, per-shard workers,
+  invalidation fan-out).
+* :mod:`repro.query` -- the unified declarative layer on top: query
+  builders, the hardness-aware planner, execution plans with
+  ``explain()``, and the :func:`repro.connect` facade.
 
 Compute backends
 ----------------
-All polynomial convolutions and rank-probability sweeps run through
-:func:`repro.engine.get_backend`.  Two backends ship: ``numpy`` (vectorized;
-requires the optional ``numpy`` dependency, e.g. ``pip install repro[fast]``)
-and ``python`` (dependency-free reference).  By default the NumPy backend is
-picked when importable; override with the ``REPRO_BACKEND`` environment
-variable (``numpy`` | ``python`` | ``auto``) or programmatically:
+All polynomial convolutions, rank-probability sweeps and sampling kernels
+run through :func:`repro.engine.get_backend`.  Two backends ship:
+``numpy`` (vectorized; requires the optional ``numpy`` dependency, e.g.
+``pip install repro[fast]``) and ``python`` (dependency-free reference).
+By default the NumPy backend is picked when importable; override with the
+``REPRO_BACKEND`` environment variable (``numpy`` | ``python`` | ``auto``)
+or programmatically:
 
 >>> from repro.engine import set_backend, use_backend
 >>> set_backend("python")           # doctest: +SKIP
 >>> with use_backend("numpy"):      # doctest: +SKIP
 ...     ...
 
-Batched rank probabilities
---------------------------
-:meth:`RankStatistics.rank_matrix` returns a
-:class:`~repro.engine.RankMatrix` -- the dense ``n_tuples × max_rank``
-matrix of ``Pr(r(t) = i)`` with a key index, computed in one backend sweep.
-Its views power the Top-k consensus algorithms:
+Sessions, sampling, sharding
+----------------------------
+A :class:`~repro.session.QuerySession` memoizes the expensive shared
+artifacts (rank matrix, cumulative view, Top-k membership, pairwise
+preference grid, expected-rank tables, Jaccard prefix scans, the compiled
+Monte-Carlo sampler) with observable hit/miss counters
+(:meth:`~repro.session.QuerySession.cache_info`) and explicit invalidation;
+:func:`repro.connect` holds one warm session per connection, and
+``QueryAnswer.cache_hits`` reports the reuse each query achieved.
 
->>> from repro import RankStatistics
->>> statistics = RankStatistics(database.tree)
->>> matrix = statistics.rank_matrix(2)
->>> matrix.row("t2")                # [Pr(r=1), Pr(r=2)]  # doctest: +SKIP
->>> matrix.cumulative().to_dict()   # Pr(r(t) <= i) per key  # doctest: +SKIP
->>> matrix.membership()             # Pr(r(t) <= 2) per key  # doctest: +SKIP
-
-Query sessions
---------------
-When several consensus queries hit the same database, open a
-:class:`~repro.session.QuerySession`: it lazily computes and memoizes the
-shared artifacts (rank matrix, cumulative view, Top-k membership vector,
-the batched :class:`~repro.engine.PairwisePreferenceMatrix`, expected-rank
-tables, Jaccard prefix scans), so a warm session answers a second query --
-a different distance over the same tree -- without recomputation.  Every
-module-level consensus function also accepts a session wherever it accepts
-a tree or ``RankStatistics``.
-
->>> from repro import QuerySession
->>> session = QuerySession(database.tree)
->>> answer, _ = session.mean_topk_symmetric_difference(2)   # cold
->>> answer2, _ = session.mean_topk_footrule(2)              # warm
->>> session.cache_info()["artifacts"]["rank_matrix"]  # doctest: +SKIP
-{'hits': 1, 'misses': 1}
->>> session.set_scoring(lambda a: -a.effective_score())  # invalidates
-
-Monte-Carlo sampling
---------------------
-When a query is hard exactly (the hardness results of Sections 4 and 6),
-fall back to the batched Monte-Carlo engine:
-:meth:`~repro.session.QuerySession.sampler` returns a memoized
+When a query is hard exactly, the planner falls back to
+:meth:`~repro.session.QuerySession.sampler` -- a memoized
 :class:`~repro.engine.MonteCarloSampler` whose flattened tree layout is
-compiled once per session; each batch is then one vectorized kernel call
-(one categorical draw per xor node across all samples) returning a
-:class:`~repro.engine.WorldBatch`, and the Top-k distance estimators
-(footrule / Kendall / intersection / symmetric difference) run fully
-inside the backend with streaming mean/variance and normal-approximation
-confidence intervals.
+compiled once; every batch is one vectorized kernel call and the Top-k
+distance estimators stream through Welford moments with
+normal-approximation confidence intervals.  Reproducibility: every
+sampling entry point accepts ``rng=`` (generator or integer seed); with
+``rng=None`` all draws flow through one process-wide generator seeded by
+the ``REPRO_SEED`` environment variable.
 
->>> session = QuerySession(database.tree)
->>> sampler = session.sampler()
->>> batch = sampler.sample_batch(10_000, rng=7)
->>> round(batch.marginals()["t2"], 2)
-1.0
->>> estimate = sampler.estimate_topk_distance(
-...     answer, k=2, metric="footrule", samples=10_000, rng=7
-... )
->>> low, high = estimate.confidence_interval(0.95)  # doctest: +SKIP
-
-Reproducibility: every sampling entry point (including the per-world
-:mod:`repro.andxor.sampling` walk) accepts ``rng=`` as a generator or an
-integer seed; with ``rng=None`` all draws flow through one process-wide
-generator that the ``REPRO_SEED`` environment variable seeds
-deterministically.  The backends only consume 64-bit seeds derived from
-that generator, so runs replay identically per backend.  The workload
-generators (:mod:`repro.workloads`) route their ``rng=None`` defaults
-through the same generator, so database generation and traffic replays are
-reproducible from the same single seed.
-
-Sharded serving
----------------
 To serve heavy concurrent traffic, partition a database into shards
 (:class:`~repro.models.sharded.ShardedDatabase`; hash or score-range
-partitioning, BID blocks kept intact).  Each shard holds its own
-:class:`QuerySession`; the coordinator
-(:class:`~repro.sharding.ShardedQuerySession`) recovers *exact* global
-statistics by convolving the shards' truncated partial rank generating
-functions through the backend (the rank generating function factorizes
-across independent shards), so every consensus query runs unchanged on
-merged statistics -- no global session is ever built.  The asyncio
+partitioning, BID blocks kept intact).  Each shard holds its own session;
+the coordinator (:class:`~repro.sharding.ShardedQuerySession`) recovers
+*exact* global statistics by convolving the shards' truncated partial rank
+generating functions, so every consensus query runs unchanged on merged
+statistics (1e-9 parity with an unsharded session).  The asyncio
 front-end (:class:`~repro.serving.ServingExecutor`) adds request
 coalescing, micro-batching, per-shard worker pools and graceful cache
 invalidation fan-out on updates; traffic mixes come from
-:func:`repro.workloads.generate_traffic`.
+:func:`repro.workloads.generate_traffic`, which emits the same
+declarative query objects the executor consumes:
 
 >>> import asyncio
->>> from repro.models import ShardedDatabase
 >>> from repro.serving import ServingExecutor
->>> sharded = ShardedDatabase(database, 4, partitioner="hash")
->>> async def serve():
-...     async with ServingExecutor(sharded) as executor:
-...         answer, _ = await executor.query(
-...             "mean_topk_symmetric_difference", k=2
-...         )
-...         await executor.update("t3", probability=0.2)  # one shard rebuilt
-...         return answer
->>> asyncio.run(serve())  # doctest: +SKIP
-
-Updates rebuild and invalidate only the owning shard (the other shards'
-memoized partials keep serving the merge), so aggregate throughput scales
-with the shard count under mixed read/update traffic (benchmark E13); the
-answers stay bit-for-bit semantics-identical to an unsharded session
-(1e-9 parity, ``tests/test_sharding.py``).  ``ShardedDatabase.cache_info()``
-rolls the per-shard and coordinator cache counters up into one
-:class:`~repro.session.CacheInfo`.
+>>> async def serve(sharded_db):
+...     async with ServingExecutor(sharded_db) as executor:
+...         connection = repro.connect(executor)
+...         answer = await connection.execute_async(Query.topk(k=2))
+...         await executor.update("t3", probability=0.2)
+...         return answer.value
+>>> asyncio.run(serve(ShardedDatabase(database, 4)))  # doctest: +SKIP
+('t1', 't2')
 """
 
 from repro.core.tuples import TupleAlternative
@@ -180,6 +186,15 @@ from repro.engine import (
     use_backend,
 )
 from repro.session import CacheInfo, QuerySession, as_session
+from repro.query import (
+    Connection,
+    ConsensusQuery,
+    ExecutionPlan,
+    Planner,
+    Query,
+    QueryAnswer,
+    connect,
+)
 from repro.models import (
     BlockIndependentDatabase,
     ProbabilisticRelation,
@@ -191,11 +206,15 @@ from repro.sharding import ShardedQuerySession
 from repro.serving import QueryRequest, ServingExecutor
 from repro.consensus import (
     GroupByCountConsensus,
-    approximate_topk_intersection,
-    approximate_topk_kendall,
     consensus_clustering,
     expected_jaccard_distance_to_world,
     expected_symmetric_difference_to_world,
+)
+# The pre-declarative consensus entry points: deprecation shims that
+# re-route through the planner (identical answers, DeprecationWarning).
+from repro.query.shims import (
+    approximate_topk_intersection,
+    approximate_topk_kendall,
     mean_topk_footrule,
     mean_topk_intersection,
     mean_topk_symmetric_difference,
@@ -206,7 +225,7 @@ from repro.consensus import (
     median_world_symmetric_difference,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -235,6 +254,13 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "Query",
+    "ConsensusQuery",
+    "QueryAnswer",
+    "Connection",
+    "connect",
+    "Planner",
+    "ExecutionPlan",
     "ProbabilisticRelation",
     "TupleIndependentDatabase",
     "BlockIndependentDatabase",

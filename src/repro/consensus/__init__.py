@@ -1,5 +1,13 @@
 """Consensus answers: the paper's core algorithms (Sections 4-6).
 
+These are the algorithm implementations the query planner
+(:mod:`repro.query.planner`) routes to; call them through
+``repro.connect(...)`` and declarative :class:`~repro.query.ConsensusQuery`
+objects, which pick exact / approximate / Monte-Carlo execution from the
+paper's hardness map.  The functions here stay importable directly (the
+sessions and the planner use them), while the *top-level* re-exports in
+:mod:`repro` are deprecation shims.
+
 Sub-modules
 -----------
 ``set_consensus``

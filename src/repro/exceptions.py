@@ -48,6 +48,15 @@ class InfeasibleAnswerError(ConsensusError):
     """
 
 
+class PlanningError(ConsensusError):
+    """Raised when the query planner cannot build an execution plan.
+
+    Covers malformed :class:`~repro.query.ConsensusQuery` objects,
+    unsupported query/model combinations, and targets :func:`repro.connect`
+    does not recognise.
+    """
+
+
 class EnumerationLimitError(ReproError):
     """Raised when an exact enumeration would exceed the configured limit."""
 

@@ -1,0 +1,104 @@
+"""Query answers with provenance and timing.
+
+Every planner execution returns a :class:`QueryAnswer`: the raw answer
+value (shaped exactly like the legacy call path, so the serving wire format
+is unchanged), plus the provenance the declarative API adds on top -- which
+route answered it, the paper result behind that choice, the backend and
+deployment it ran on, wall-clock time, the session-cache traffic it caused
+and, for Monte-Carlo routes, the streaming estimate with its confidence
+interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One executed consensus query: value + provenance + timing.
+
+    Attributes
+    ----------
+    value:
+        The raw result, shaped exactly like the legacy entry point for the
+        same query (e.g. ``(answer, expected_distance)`` for mean Top-k
+        kinds, a bare tuple for the Kendall pivot route, a dict for
+        membership tables).
+    query:
+        The :class:`~repro.query.ConsensusQuery` that was executed.
+    plan:
+        The :class:`~repro.query.ExecutionPlan` that produced the value.
+    elapsed:
+        Wall-clock execution time in seconds.
+    backend / deployment:
+        Compute backend (``numpy`` / ``python``) and deployment
+        (``local`` / ``sharded`` / ``served``) the query ran on.
+    cache_hits / cache_misses:
+        Session-cache traffic this execution caused (deltas, not totals).
+    estimate:
+        The :class:`~repro.engine.Estimate` behind a Monte-Carlo route
+        (None on exact/approximate routes).
+    """
+
+    value: Any
+    query: Any
+    plan: Any
+    elapsed: float
+    backend: str
+    deployment: str
+    cache_hits: int = 0
+    cache_misses: int = 0
+    estimate: Optional[Any] = None
+
+    @property
+    def answer(self) -> Any:
+        """The answer object itself (Top-k tuple, world set, table...)."""
+        if self.plan is not None and self.plan.paired:
+            return self.value[0]
+        return self.value
+
+    @property
+    def expected_distance(self) -> Optional[float]:
+        """The answer's expected distance, when the route computes one."""
+        if self.plan is not None and self.plan.paired:
+            return self.value[1]
+        if self.estimate is not None:
+            return self.estimate.mean
+        return None
+
+    @property
+    def kind(self) -> str:
+        """The query's canonical kind string."""
+        return self.query.kind
+
+    def confidence_interval(
+        self, level: float = 0.95
+    ) -> Optional[Tuple[float, float]]:
+        """The Monte-Carlo confidence interval (None on exact routes)."""
+        if self.estimate is None:
+            return None
+        return self.estimate.confidence_interval(level)
+
+    def provenance(self) -> Dict[str, Any]:
+        """A flat dictionary of how this answer was produced."""
+        return {
+            "kind": self.kind,
+            "route": self.plan.route,
+            "algorithm": self.plan.algorithm,
+            "complexity": self.plan.hardness.complexity,
+            "paper": self.plan.hardness.paper,
+            "deployment": self.deployment,
+            "backend": self.backend,
+            "elapsed": self.elapsed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "samples": None if self.estimate is None else self.estimate.samples,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryAnswer(kind={self.kind!r}, route={self.plan.route!r}, "
+            f"elapsed={self.elapsed:.6f}s)"
+        )

@@ -1,0 +1,101 @@
+"""Legacy wire-kind compatibility for declarative queries.
+
+Before the declarative API, the serving layer dispatched queries through a
+hand-rolled table keyed by ten kind strings, and the traffic generator
+emitted those strings.  This module is the single translation point: every
+legacy kind maps onto exactly one :class:`~repro.query.ConsensusQuery`
+shape (and back via :attr:`ConsensusQuery.kind`), so wire formats, metrics
+labels, traffic mixes and coalescing keys stay stable across the
+migration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.exceptions import ConsensusError
+from repro.query.builder import ConsensusQuery
+
+#: The query kinds of the pre-declarative dispatch table, in the order the
+#: serving layer documented them.
+LEGACY_KINDS: Tuple[str, ...] = (
+    "mean_topk_symmetric_difference",
+    "median_topk_symmetric_difference",
+    "mean_topk_footrule",
+    "mean_topk_intersection",
+    "approximate_topk_intersection",
+    "approximate_topk_kendall",
+    "top_k_membership",
+    "expected_rank_table",
+    "global_topk",
+    "expected_rank_topk",
+)
+
+#: Kinds whose legacy dispatch required an answer size.
+_K_REQUIRED = frozenset(
+    kind for kind in LEGACY_KINDS if kind != "expected_rank_table"
+)
+
+
+def query_for_kind(
+    kind: str,
+    k: Optional[int] = None,
+    params: Iterable[Tuple[str, Any]] = (),
+) -> ConsensusQuery:
+    """Build the :class:`ConsensusQuery` equivalent of one legacy kind.
+
+    Raises :class:`~repro.exceptions.ConsensusError` for unknown kinds and
+    for kinds that require ``k`` when none is given, mirroring the legacy
+    dispatch table's error behaviour.
+    """
+    if kind not in LEGACY_KINDS:
+        raise ConsensusError(
+            f"unknown query kind {kind!r}; expected one of "
+            f"{sorted(LEGACY_KINDS)}"
+        )
+    if k is None and kind in _K_REQUIRED:
+        raise ConsensusError(
+            f"query kind {kind!r} requires an answer size k"
+        )
+    params = tuple(sorted(params))
+    if kind == "mean_topk_symmetric_difference":
+        query = ConsensusQuery.topk(k, "symmetric_difference")
+    elif kind == "median_topk_symmetric_difference":
+        query = ConsensusQuery.topk(k, "symmetric_difference").median()
+    elif kind == "mean_topk_footrule":
+        query = ConsensusQuery.topk(k, "footrule")
+    elif kind == "mean_topk_intersection":
+        query = ConsensusQuery.topk(k, "intersection")
+    elif kind == "approximate_topk_intersection":
+        query = ConsensusQuery.topk(k, "intersection").approximate()
+    elif kind == "approximate_topk_kendall":
+        query = ConsensusQuery.topk(k, "kendall").approximate()
+    elif kind == "top_k_membership":
+        query = ConsensusQuery.membership(k)
+    elif kind == "expected_rank_table":
+        # Execution ignores k, but the wire form carries it so seeded
+        # traffic streams and coalescing keys stay identical to the
+        # string-kind era (which kept whatever k the generator drew).
+        query = ConsensusQuery(family="expected_ranks", k=k)
+    elif kind == "global_topk":
+        query = ConsensusQuery.ranking("global", k)
+    else:  # expected_rank_topk
+        query = ConsensusQuery.ranking("expected_rank", k)
+    if params:
+        query = query.with_params(**dict(params))
+    return query
+
+
+def required_max_rank(query: ConsensusQuery) -> Optional[int]:
+    """Rank-matrix truncation a query needs, for shard summary pre-warming.
+
+    ``None`` for queries that never touch the merged rank matrix (the
+    expected-rank family and world/aggregate queries).
+    """
+    if query.family == "expected_ranks":
+        return None
+    if query.family == "ranking" and query.semantics == "expected_rank":
+        return None
+    if query.family in ("world", "aggregate"):
+        return None
+    return query.k

@@ -1,0 +1,215 @@
+"""The ``connect()`` facade: one connection type over every deployment.
+
+``repro.connect(...)`` accepts anything that holds a probabilistic
+database -- a convenience model, a bare and/xor tree, rank statistics, a
+(sharded) query session, a :class:`~repro.models.sharded.ShardedDatabase`
+or an async :class:`~repro.serving.ServingExecutor` -- and returns one
+:class:`Connection` through which every declarative
+:class:`~repro.query.ConsensusQuery` runs.  The connection resolves the
+deployment once (``local`` / ``sharded`` / ``served``), holds the warm
+session behind it, and delegates route selection to the hardness-aware
+:class:`~repro.query.Planner`.
+
+>>> import repro
+>>> from repro import Query
+>>> connection = repro.connect(database)          # doctest: +SKIP
+>>> answer = connection.execute(Query.topk(k=10)) # doctest: +SKIP
+>>> print(connection.explain(Query.topk(k=10).distance("kendall")))
+...                                               # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.exceptions import PlanningError
+from repro.query.answers import QueryAnswer
+from repro.query.builder import ConsensusQuery
+from repro.query.plan import ExecutionPlan
+from repro.query.planner import DEFAULT_PLANNER, Planner, resolve_session
+from repro.session import CacheInfo, QuerySession
+
+
+class Connection:
+    """One handle over a local, sharded or served consensus database.
+
+    Obtain instances through :func:`connect`.  All three deployments
+    expose the same synchronous :meth:`execute` (served connections answer
+    directly from the executor's coordinator session, sharing its warm
+    caches); served connections additionally support :meth:`execute_async`,
+    which routes through the executor's coalescing/batching machinery and
+    must be awaited inside its event loop.
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        deployment: str,
+        executor: Optional[Any] = None,
+        planner: Optional[Planner] = None,
+    ) -> None:
+        self._session = session
+        self._deployment = deployment
+        self._executor = executor
+        self._planner = planner if planner is not None else DEFAULT_PLANNER
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def session(self) -> QuerySession:
+        """The (coordinator) session answering this connection's queries."""
+        return self._session
+
+    @property
+    def deployment(self) -> str:
+        """``local``, ``sharded`` or ``served``."""
+        return self._deployment
+
+    @property
+    def executor(self) -> Optional[Any]:
+        """The serving executor behind a ``served`` connection (else None)."""
+        return self._executor
+
+    @property
+    def planner(self) -> Planner:
+        """The planner choosing this connection's execution paths."""
+        return self._planner
+
+    def keys(self) -> list:
+        """The tuple keys of the connected database."""
+        return self._session.keys()
+
+    def __len__(self) -> int:
+        return self._session.number_of_tuples()
+
+    def cache_info(self) -> CacheInfo:
+        """The session's cache counters."""
+        return self._session.cache_info()
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def plan(self, query: ConsensusQuery) -> ExecutionPlan:
+        """The (memoized) execution plan for a query on this connection."""
+        return self._planner.plan_for(query, self._session, self._deployment)
+
+    def explain(self, query: ConsensusQuery) -> str:
+        """Render the chosen execution path without running the query."""
+        return self.plan(query).explain()
+
+    def execute(self, query: ConsensusQuery, rng: Any = None) -> QueryAnswer:
+        """Execute a query synchronously, returning a :class:`QueryAnswer`.
+
+        On a served connection whose executor is running, the query is
+        handed to the executor's event loop (thread-safe) so it serializes
+        with all other serving work on the coordinator worker -- the
+        coordinator session is not otherwise thread-safe.  ``rng`` is only
+        meaningful on that path when the randomized route would bypass
+        memoization anyway, so it is rejected there; pass seeds through
+        local/sharded connections or the query's own ``sampled`` settings.
+        """
+        if self._executor is not None:
+            loop = getattr(self._executor, "_loop", None)
+            if loop is not None and loop.is_running():
+                import asyncio
+
+                try:
+                    running = asyncio.get_running_loop()
+                except RuntimeError:
+                    running = None
+                if running is loop:
+                    raise PlanningError(
+                        "Connection.execute() would deadlock inside the "
+                        "executor's event loop; await execute_async() "
+                        "instead"
+                    )
+                if rng is not None:
+                    raise PlanningError(
+                        "rng overrides are not supported through a running "
+                        "serving executor; use a local/sharded connection"
+                    )
+                return asyncio.run_coroutine_threadsafe(
+                    self._executor.execute(query), loop
+                ).result()
+        return self.plan(query).execute(rng=rng)
+
+    async def execute_async(self, query: ConsensusQuery) -> QueryAnswer:
+        """Execute through the serving executor (awaitable).
+
+        Falls back to the synchronous path on local/sharded connections so
+        async application code can treat every deployment uniformly.
+        """
+        if self._executor is None:
+            return self.execute(query)
+        return await self._executor.execute(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Connection(deployment={self._deployment!r}, "
+            f"n={self._session.number_of_tuples()})"
+        )
+
+
+def connect(
+    target: Any,
+    shards: Optional[int] = None,
+    partitioner: str = "hash",
+    planner: Optional[Planner] = None,
+) -> Connection:
+    """Open a :class:`Connection` over any supported target.
+
+    Parameters
+    ----------
+    target:
+        A convenience database (``TupleIndependentDatabase`` /
+        ``BlockIndependentDatabase`` / ``XTupleDatabase``), an
+        :class:`~repro.andxor.tree.AndXorTree`, a ``RankStatistics``, a
+        :class:`~repro.session.QuerySession`, a
+        :class:`~repro.models.sharded.ShardedDatabase`, a sharded
+        coordinator session, a :class:`~repro.serving.ServingExecutor`, or
+        an existing :class:`Connection` (returned unchanged).
+    shards:
+        When given (and the target is an unsharded database), partition it
+        into this many shards first and connect to the coordinator.
+        Incompatible with targets that are already connected or sharded --
+        re-shard the underlying database instead.
+    partitioner:
+        Partitioning strategy for ``shards`` (``"hash"`` or ``"range"``).
+    planner:
+        Optional :class:`Planner` override (defaults to the process-wide
+        hardness-aware planner).
+    """
+    if isinstance(target, Connection):
+        if shards is not None:
+            raise PlanningError(
+                "cannot re-shard through a Connection; call "
+                "connect(database, shards=...) on the underlying database"
+            )
+        if planner is not None and planner is not target.planner:
+            # Rebind to the requested planner, sharing the warm session.
+            return Connection(
+                target.session,
+                target.deployment,
+                executor=target.executor,
+                planner=planner,
+            )
+        return target
+    if shards is not None:
+        if shards < 1:
+            raise PlanningError(
+                f"shard count must be positive, got {shards}"
+            )
+        from repro.models.sharded import ShardedDatabase
+
+        if isinstance(target, ShardedDatabase):
+            raise PlanningError(
+                "target is already sharded; connect to it directly or "
+                "re-shard the underlying database"
+            )
+        target = ShardedDatabase(target, shards, partitioner=partitioner)
+    session, deployment = resolve_session(target)
+    executor = None
+    if deployment == "served":
+        executor = target
+    return Connection(session, deployment, executor=executor, planner=planner)

@@ -1,0 +1,142 @@
+"""Deprecation shims for the pre-declarative module-level entry points.
+
+The historical top-level API exposed one function per consensus
+algorithm.  Those names keep working -- re-exported from
+:mod:`repro` -- but each now emits a :class:`DeprecationWarning` and
+re-routes through :func:`repro.connect` and the hardness-aware planner,
+returning answers identical (bit-for-bit) to the direct algorithm call.
+New code should build :class:`~repro.query.ConsensusQuery` objects
+instead:
+
+>>> import repro
+>>> answer = repro.connect(database).execute(
+...     repro.Query.topk(k=10).distance("footrule")
+... )                                             # doctest: +SKIP
+
+The underlying algorithm implementations in :mod:`repro.consensus` are
+*not* deprecated -- sessions and the planner call them directly; only the
+top-level convenience wrappers funnel through here.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from typing import Any, FrozenSet, Hashable, Optional, Tuple
+
+from repro.core.tuples import TupleAlternative
+from repro.query.builder import ConsensusQuery
+from repro.query.connection import connect
+
+World = FrozenSet[TupleAlternative]
+TopKAnswer = Tuple[Hashable, ...]
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.{name}() is deprecated; use "
+        f"repro.connect(...).execute({replacement}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _run(source: Any, query: ConsensusQuery, rng: Any = None) -> Any:
+    return connect(source).execute(query, rng=rng).value
+
+
+def mean_topk_symmetric_difference(
+    source: Any, k: int
+) -> Tuple[TopKAnswer, float]:
+    """Deprecated shim for the Theorem 3 mean Top-k answer under ``d_Δ``."""
+    _deprecated("mean_topk_symmetric_difference", "Query.topk(k)")
+    return _run(source, ConsensusQuery.topk(k, "symmetric_difference"))
+
+
+def median_topk_symmetric_difference(
+    source: Any, k: int
+) -> Tuple[TopKAnswer, float]:
+    """Deprecated shim for the Theorem 4 median Top-k answer under ``d_Δ``."""
+    _deprecated("median_topk_symmetric_difference", "Query.topk(k).median()")
+    return _run(
+        source, ConsensusQuery.topk(k, "symmetric_difference").median()
+    )
+
+
+def mean_topk_footrule(source: Any, k: int) -> Tuple[TopKAnswer, float]:
+    """Deprecated shim for the exact footrule mean Top-k answer."""
+    _deprecated(
+        "mean_topk_footrule", 'Query.topk(k).distance("footrule")'
+    )
+    return _run(source, ConsensusQuery.topk(k, "footrule"))
+
+
+def mean_topk_intersection(source: Any, k: int) -> Tuple[TopKAnswer, float]:
+    """Deprecated shim for the exact intersection-metric mean answer."""
+    _deprecated(
+        "mean_topk_intersection", 'Query.topk(k).distance("intersection")'
+    )
+    return _run(source, ConsensusQuery.topk(k, "intersection"))
+
+
+def approximate_topk_intersection(
+    source: Any, k: int
+) -> Tuple[TopKAnswer, float]:
+    """Deprecated shim for the ``H_k``-approximation under intersection."""
+    _deprecated(
+        "approximate_topk_intersection",
+        'Query.topk(k).distance("intersection").approximate()',
+    )
+    return _run(
+        source, ConsensusQuery.topk(k, "intersection").approximate()
+    )
+
+
+def approximate_topk_kendall(
+    source: Any,
+    k: int,
+    candidate_pool_size: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> TopKAnswer:
+    """Deprecated shim for the pivot-based approximate Kendall answer."""
+    _deprecated(
+        "approximate_topk_kendall",
+        'Query.topk(k).distance("kendall").approximate()',
+    )
+    query = ConsensusQuery.topk(k, "kendall").approximate()
+    if candidate_pool_size is not None:
+        query = query.with_params(candidate_pool_size=candidate_pool_size)
+    return _run(source, query, rng=rng)
+
+
+def mean_world_symmetric_difference(source: Any) -> Tuple[World, float]:
+    """Deprecated shim for the Theorem 2 mean consensus world."""
+    _deprecated(
+        "mean_world_symmetric_difference", "Query.set_consensus()"
+    )
+    return _run(source, ConsensusQuery.set_consensus())
+
+
+def median_world_symmetric_difference(source: Any) -> Tuple[World, float]:
+    """Deprecated shim for the exact median consensus world."""
+    _deprecated(
+        "median_world_symmetric_difference",
+        'Query.set_consensus(statistic="median")',
+    )
+    return _run(source, ConsensusQuery.set_consensus("median"))
+
+
+def mean_world_jaccard_tuple_independent(source: Any) -> Tuple[World, float]:
+    """Deprecated shim for the Lemma 2 mean Jaccard consensus world."""
+    _deprecated(
+        "mean_world_jaccard_tuple_independent", "Query.jaccard()"
+    )
+    return _run(source, ConsensusQuery.jaccard())
+
+
+def median_world_jaccard_bid(source: Any) -> Tuple[World, float]:
+    """Deprecated shim for the Section 4.2 median Jaccard world (BID)."""
+    _deprecated(
+        "median_world_jaccard_bid", 'Query.jaccard(statistic="median")'
+    )
+    return _run(source, ConsensusQuery.jaccard("median"))

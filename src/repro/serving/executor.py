@@ -33,17 +33,23 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.models.sharded import ShardedDatabase, StaleUpdateError
+from repro.query.answers import QueryAnswer
+from repro.query.builder import ConsensusQuery
+from repro.query.planner import DEFAULT_PLANNER
 from repro.serving.metrics import ServingMetrics, ServingMetricsSnapshot
 from repro.serving.requests import (
     QueryRequest,
-    execute_request,
+    as_query,
     required_max_rank,
 )
 
 _SENTINEL = object()
+
+#: Anything the executor accepts as one query submission.
+Submittable = Union[QueryRequest, ConsensusQuery]
 
 
 class ServingExecutor:
@@ -168,8 +174,16 @@ class ServingExecutor:
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
-    async def submit(self, request: QueryRequest) -> Any:
-        """Answer one request (coalescing with identical in-flight ones)."""
+    async def execute(self, request: Submittable) -> QueryAnswer:
+        """Answer one query, returning the full :class:`QueryAnswer`.
+
+        Accepts a declarative :class:`~repro.query.ConsensusQuery` or a
+        wire :class:`QueryRequest` (normalized to a query at ingress, so
+        both forms coalesce onto the same in-flight computation -- the
+        coalescing key is the query object's stable hash plus the shard
+        versions it would read).
+        """
+        query = as_query(request)
         if self._dispatcher is None:
             await self.start()
         if self._closed:
@@ -178,7 +192,7 @@ class ServingExecutor:
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
         versions = self._database.versions()
-        pending_key = (request, versions)
+        pending_key = (query, versions)
         if self._coalesce:
             existing = self._pending.get(pending_key)
             if existing is not None:
@@ -195,12 +209,17 @@ class ServingExecutor:
             future.add_done_callback(
                 lambda _: self._pending.pop(pending_key, None)
             )
-        self._metrics.count_query(request.kind)
-        await self._queue.put((request, future))
+        self._metrics.count_query(query.kind)
+        await self._queue.put((query, future))
         try:
             return await asyncio.shield(future)
         finally:
             self._metrics.latency.record(time.perf_counter() - started)
+
+    async def submit(self, request: Submittable) -> Any:
+        """Answer one query, returning the raw (legacy-shaped) value."""
+        answer = await self.execute(request)
+        return answer.value
 
     async def query(
         self, kind: str, k: Optional[int] = None, **params: Any
@@ -285,19 +304,22 @@ class ServingExecutor:
                 return
 
     async def _execute_batch(
-        self, batch: List[Tuple[QueryRequest, asyncio.Future]]
+        self, batch: List[Tuple[ConsensusQuery, asyncio.Future]]
     ) -> None:
         loop = asyncio.get_running_loop()
         self._metrics.count_batch(len(batch))
         coordinator = self._database.coordinator()
         if self._warm_shards and self._database.shard_count > 1:
             await self._warm_batch(loop, batch)
-        for request, future in batch:
+        for query, future in batch:
             if future.done():
                 continue
             try:
+                # Plan (memoized per session generation) + execute on the
+                # coordinator worker; the future carries the QueryAnswer.
+                plan = DEFAULT_PLANNER.plan_for(query, coordinator, "served")
                 result = await loop.run_in_executor(
-                    self._merge_pool, execute_request, coordinator, request
+                    self._merge_pool, plan.execute
                 )
             except Exception as error:  # surfaced to the submitter
                 if not future.done():
@@ -309,14 +331,14 @@ class ServingExecutor:
     async def _warm_batch(
         self,
         loop: asyncio.AbstractEventLoop,
-        batch: List[Tuple[QueryRequest, asyncio.Future]],
+        batch: List[Tuple[ConsensusQuery, asyncio.Future]],
     ) -> None:
         """Concurrently refresh the shard summaries a batch will merge."""
         truncations = sorted(
             {
                 rank
-                for request, _ in batch
-                for rank in (required_max_rank(request),)
+                for query, _ in batch
+                for rank in (required_max_rank(query),)
                 if rank is not None
             }
         )

@@ -1,24 +1,37 @@
-"""Typed query requests and their dispatch table.
+"""Wire-format query requests for the serving layer.
 
-A :class:`QueryRequest` names one consensus query against the serving
-layer's coordinator session.  Requests are frozen and hashable, so the
-executor can coalesce identical concurrent requests onto one in-flight
-computation, and the dispatch table maps each kind onto the (memoized)
-:class:`~repro.session.QuerySession` method answering it.
+A :class:`QueryRequest` is the string-keyed wire form of one consensus
+query.  Since the declarative API landed, it is a thin veneer: every
+request converts to exactly one :class:`~repro.query.ConsensusQuery`
+(:meth:`QueryRequest.to_query`), and all execution -- including the
+executor's request coalescing, which keys on the query objects' stable
+hash -- goes through the hardness-aware planner.  The hand-rolled
+ten-entry dispatch table this module used to carry is gone;
+``QUERY_KINDS`` lists the supported wire kinds (one per legacy dispatch
+entry), and accessing the old ``QUERY_DISPATCH`` name lazily rebuilds an
+equivalent mapping with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 from repro.exceptions import ConsensusError
+from repro.query.builder import ConsensusQuery
+from repro.query.compat import LEGACY_KINDS, query_for_kind
+from repro.query.compat import required_max_rank as _query_required_max_rank
+from repro.query.planner import DEFAULT_PLANNER
 from repro.session import QuerySession
+
+#: The supported wire kinds (the former dispatch-table keys).
+QUERY_KINDS: Tuple[str, ...] = LEGACY_KINDS
 
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One consensus query: a kind, an answer size and extra parameters."""
+    """One consensus query on the wire: a kind, an answer size, parameters."""
 
     kind: str
     k: Optional[int] = None
@@ -29,75 +42,100 @@ class QueryRequest:
         """Build a request with canonically ordered extra parameters."""
         return QueryRequest(kind, k, tuple(sorted(params.items())))
 
+    @staticmethod
+    def from_query(query: ConsensusQuery) -> "QueryRequest":
+        """The wire form of a declarative query (kind string + k + params).
+
+        Only queries that round-trip losslessly have a wire form: the kind
+        must be one of :data:`QUERY_KINDS` and the Monte-Carlo sizing
+        fields must be at their defaults (the legacy wire format cannot
+        carry them).  Anything else raises
+        :class:`~repro.exceptions.ConsensusError` instead of silently
+        truncating the query.
+        """
+        kind = query.kind
+        if kind not in QUERY_KINDS:
+            raise ConsensusError(
+                f"query {kind!r} has no legacy wire form; submit the "
+                "ConsensusQuery object itself"
+            )
+        if query.target_epsilon is not None or query.sample_cap is not None:
+            raise ConsensusError(
+                "the legacy wire format cannot carry Monte-Carlo sizing "
+                "(epsilon / sample cap); submit the ConsensusQuery object "
+                "itself"
+            )
+        return QueryRequest(kind, query.k, query.params)
+
     def param(self, name: str, default: Any = None) -> Any:
         for key, value in self.params:
             if key == name:
                 return value
         return default
 
+    def to_query(self) -> ConsensusQuery:
+        """The :class:`ConsensusQuery` this request denotes.
 
-def _need_k(request: QueryRequest) -> int:
-    if request.k is None:
-        raise ConsensusError(
-            f"query kind {request.kind!r} requires an answer size k"
-        )
-    return request.k
-
-
-QUERY_DISPATCH: Dict[str, Callable[[QuerySession, QueryRequest], Any]] = {
-    "mean_topk_symmetric_difference": lambda session, request: (
-        session.mean_topk_symmetric_difference(_need_k(request))
-    ),
-    "median_topk_symmetric_difference": lambda session, request: (
-        session.median_topk_symmetric_difference(_need_k(request))
-    ),
-    "mean_topk_footrule": lambda session, request: (
-        session.mean_topk_footrule(_need_k(request))
-    ),
-    "mean_topk_intersection": lambda session, request: (
-        session.mean_topk_intersection(_need_k(request))
-    ),
-    "approximate_topk_intersection": lambda session, request: (
-        session.approximate_topk_intersection(_need_k(request))
-    ),
-    "approximate_topk_kendall": lambda session, request: (
-        session.approximate_topk_kendall(
-            _need_k(request),
-            candidate_pool_size=request.param("candidate_pool_size"),
-        )
-    ),
-    "top_k_membership": lambda session, request: (
-        session.top_k_membership(_need_k(request))
-    ),
-    "expected_rank_table": lambda session, request: (
-        session.expected_rank_table()
-    ),
-    "global_topk": lambda session, request: (
-        session.global_topk(_need_k(request))
-    ),
-    "expected_rank_topk": lambda session, request: (
-        session.expected_rank_topk(_need_k(request))
-    ),
-}
+        Raises :class:`~repro.exceptions.ConsensusError` on unknown kinds
+        or a missing required ``k`` (the legacy dispatch errors).
+        """
+        return query_for_kind(self.kind, self.k, self.params)
 
 
-def execute_request(session: QuerySession, request: QueryRequest) -> Any:
-    """Run one request against a (coordinator) session."""
-    try:
-        handler = QUERY_DISPATCH[request.kind]
-    except KeyError:
-        raise ConsensusError(
-            f"unknown query kind {request.kind!r}; expected one of "
-            f"{sorted(QUERY_DISPATCH)}"
-        ) from None
-    return handler(session, request)
+def as_query(
+    request: Union[QueryRequest, ConsensusQuery]
+) -> ConsensusQuery:
+    """Normalize a wire request or declarative query to a query object."""
+    if isinstance(request, ConsensusQuery):
+        return request
+    return request.to_query()
 
 
-def required_max_rank(request: QueryRequest) -> Optional[int]:
+def execute_request(
+    session: QuerySession, request: Union[QueryRequest, ConsensusQuery]
+) -> Any:
+    """Deprecated: run one request against a (coordinator) session.
+
+    Kept for source compatibility with the dispatch-table era; equivalent
+    to ``request.to_query().execute(session).value`` (but skips the answer
+    wrapping).  Prefer :meth:`ConsensusQuery.execute`.
+    """
+    warnings.warn(
+        "repro.serving.execute_request() is deprecated; use "
+        "ConsensusQuery.execute(session) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DEFAULT_PLANNER.run(as_query(request), session)
+
+
+def required_max_rank(
+    request: Union[QueryRequest, ConsensusQuery]
+) -> Optional[int]:
     """Rank-matrix truncation a request needs, for shard summary pre-warming.
 
     ``None`` for kinds that never touch the merged rank matrix.
     """
-    if request.kind in ("expected_rank_table", "expected_rank_topk"):
-        return None
-    return request.k
+    return _query_required_max_rank(as_query(request))
+
+
+def __getattr__(name: str) -> Any:
+    # The dispatch table is gone; legacy importers get a synthesized
+    # equivalent (every kind routed through the planner) plus a warning.
+    if name == "QUERY_DISPATCH":
+        warnings.warn(
+            "repro.serving.requests.QUERY_DISPATCH is deprecated; the "
+            "dispatch table was replaced by ConsensusQuery.execute() -- "
+            "iterate QUERY_KINDS instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            kind: (
+                lambda session, request: DEFAULT_PLANNER.run(
+                    as_query(request), session
+                )
+            )
+            for kind in QUERY_KINDS
+        }
+    raise AttributeError(name)

@@ -308,6 +308,45 @@ class QuerySession:
         return self._tree
 
     @property
+    def deployment(self) -> str:
+        """Deployment kind for the query planner (``local`` here;
+        overridden by the sharded coordinator)."""
+        return "local"
+
+    def layout_kind(self) -> str:
+        """``tuple-independent`` / ``bid`` / ``general`` model layout.
+
+        The query planner uses this to match queries against the paper's
+        model-specific results (e.g. Lemma 2's tuple-independent prefix
+        structure for the mean Jaccard world).  Detection is structural
+        first (score-free, so set-level queries work on unscored trees);
+        trees the builders did not shape may still expose a
+        tuple-independent layout through the rank statistics.
+        """
+        from repro.query.planner import layout_of_tree
+
+        kind = layout_of_tree(self._tree)
+        if kind == "general":
+            try:
+                if self.statistics.independent_tuple_layout() is not None:
+                    return "tuple-independent"
+            except TypeError:
+                pass  # unscored tree: set-level queries only
+        return kind
+
+    def execute(self, query: Any, rng: Any = None) -> Any:
+        """Execute a :class:`~repro.query.ConsensusQuery` on this session.
+
+        Returns a :class:`~repro.query.QueryAnswer`; the planner picks the
+        execution path (see :meth:`explain`).
+        """
+        return query.execute(self, rng=rng)
+
+    def explain(self, query: Any) -> str:
+        """Render the planner's execution path for a query on this session."""
+        return query.explain(self)
+
+    @property
     def statistics(self) -> RankStatistics:
         """The rank statistics the session is built on (lazily created)."""
         if self._statistics is None:

@@ -123,6 +123,23 @@ class ShardedQuerySession(QuerySession):
         """Number of (non-empty) shards behind the coordinator."""
         return len(self._shard_sessions())
 
+    @property
+    def deployment(self) -> str:
+        """Deployment kind for the query planner."""
+        return "sharded"
+
+    def layout_kind(self) -> str:
+        """Model layout, read off a shard (never off the merged tree).
+
+        All shards of one database share a layout by construction, so the
+        first shard session answers for the whole coordinator without
+        materializing the merged tree.
+        """
+        sessions = self._shard_sessions()
+        if not sessions:
+            return "general"
+        return sessions[0].layout_kind()
+
     def _current_versions(self) -> Tuple[Any, ...]:
         if self._database is not None:
             shard_versions: Tuple[Any, ...] = tuple(self._database.versions())

@@ -1,22 +1,27 @@
 """Concurrent query-mix traffic for the serving layer.
 
 :func:`generate_traffic` produces a reproducible stream of
-:class:`~repro.workloads.traffic.TrafficEvent` records -- consensus queries
-drawn from a weighted kind mix (with Top-k sizes and distance choices) plus
-probability/score updates at a configurable read/update ratio -- over the
-tuple keys of an existing database or scenario.  Seeds route through
-:func:`repro.workloads.generators._as_rng`, i.e. through the process-wide
-``REPRO_SEED`` generator when no explicit seed is given, so serving
-benchmarks and traffic replays are reproducible end to end.
+:class:`~repro.workloads.traffic.TrafficEvent` records -- declarative
+:class:`~repro.query.ConsensusQuery` objects drawn from a weighted kind
+mix (with Top-k sizes and distance choices) plus probability/score updates
+at a configurable read/update ratio -- over the tuple keys of an existing
+database or scenario.  Mixes are specified by the wire kind strings
+(:data:`repro.serving.requests.QUERY_KINDS`), and the random-draw sequence
+is unchanged from the string-kind era, so a seeded replay produces a
+byte-identical query stream to the pre-declarative generator.  Seeds route
+through :func:`repro.workloads.generators._as_rng`, i.e. through the
+process-wide ``REPRO_SEED`` generator when no explicit seed is given, so
+serving benchmarks and traffic replays are reproducible end to end.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import WorkloadError
-from repro.serving.requests import QUERY_DISPATCH, QueryRequest
+from repro.query.builder import ConsensusQuery
+from repro.query.compat import LEGACY_KINDS, query_for_kind
 from repro.workloads.generators import RandomSource, _as_rng
 
 #: Default weighted query mix: the cheap membership-style reads dominate,
@@ -32,17 +37,51 @@ DEFAULT_QUERY_MIX: Dict[str, float] = {
 
 @dataclass(frozen=True)
 class TrafficEvent:
-    """One serving-layer event: a query request or a tuple update."""
+    """One serving-layer event: a consensus query or a tuple update.
+
+    Events carry declarative :class:`~repro.query.ConsensusQuery` objects;
+    string-kind-era constructors keep working -- ``request=`` accepts a
+    wire :class:`~repro.serving.QueryRequest` and converts it -- and the
+    ``request`` attribute reads back the wire-format view.
+    """
 
     kind: str  # "query" | "update"
-    request: Optional[QueryRequest] = None
+    query: Optional[ConsensusQuery] = None
     key: Optional[Hashable] = None
     probability: Optional[float] = None
     score: Optional[float] = None
+    request: InitVar[Optional[Any]] = None
+
+    def __post_init__(self, request: Optional[Any]) -> None:
+        if request is not None:
+            if self.query is not None:
+                raise WorkloadError(
+                    "pass either query= or the legacy request=, not both"
+                )
+            object.__setattr__(self, "query", request.to_query())
 
     @property
     def is_update(self) -> bool:
         return self.kind == "update"
+
+
+def _request_view(self: TrafficEvent) -> Optional[Any]:
+    """The wire-format :class:`~repro.serving.QueryRequest` view.
+
+    Kept so stream consumers from the string-kind era keep reading the
+    same ``(kind, k)`` pairs off a seeded stream.
+    """
+    if self.query is None:
+        return None
+    from repro.serving.requests import QueryRequest
+
+    return QueryRequest.from_query(self.query)
+
+
+# Installed after class creation: the name `request` doubles as the
+# compatibility constructor argument (an InitVar above) and the read-only
+# wire-format view; a property in the class body would shadow the InitVar.
+TrafficEvent.request = property(_request_view)  # type: ignore[assignment]
 
 
 def generate_traffic(
@@ -68,7 +107,8 @@ def generate_traffic(
         process-wide generator.
     query_mix:
         Weighted query kinds (default :data:`DEFAULT_QUERY_MIX`); every
-        kind must exist in :data:`repro.serving.requests.QUERY_DISPATCH`.
+        kind must be a supported wire kind
+        (:data:`repro.serving.requests.QUERY_KINDS`).
     k_choices:
         Candidate Top-k sizes (clamped to the database size).
     update_ratio:
@@ -77,7 +117,7 @@ def generate_traffic(
         Range updates draw new presence probabilities from.
     popular_pool:
         When set, queries are drawn from this many pre-materialized
-        "popular" requests instead of fresh independent draws -- the
+        "popular" queries instead of fresh independent draws -- the
         realistic repeated-query regime that request coalescing and result
         memoization exploit.  ``None`` draws every query independently.
     """
@@ -91,11 +131,11 @@ def generate_traffic(
         raise WorkloadError("traffic needs at least one tuple key")
     rng = _as_rng(rng)
     mix = dict(DEFAULT_QUERY_MIX if query_mix is None else query_mix)
-    unknown = sorted(set(mix) - set(QUERY_DISPATCH))
+    unknown = sorted(set(mix) - set(LEGACY_KINDS))
     if unknown:
         raise WorkloadError(
             f"unknown query kinds in mix: {unknown}; expected a subset of "
-            f"{sorted(QUERY_DISPATCH)}"
+            f"{sorted(LEGACY_KINDS)}"
         )
     if not mix:
         raise WorkloadError("the query mix must not be empty")
@@ -115,22 +155,25 @@ def generate_traffic(
     if not 0.0 <= low <= high <= 1.0:
         raise WorkloadError(f"invalid probability range {probability_range}")
 
-    def draw_request() -> QueryRequest:
+    def draw_query() -> ConsensusQuery:
+        # One rng.random() + one rng.randrange() per draw, exactly as the
+        # string-kind generator consumed them: seeded streams stay
+        # byte-identical across the declarative migration.
         draw = rng.random()
         index = 0
         while index < len(cumulative) - 1 and draw > cumulative[index]:
             index += 1
         kind = kinds[index]
         k = sizes[rng.randrange(len(sizes))]
-        return QueryRequest.make(kind, k)
+        return query_for_kind(kind, k)
 
-    pool: Optional[List[QueryRequest]] = None
+    pool: Optional[List[ConsensusQuery]] = None
     if popular_pool is not None:
         if popular_pool < 1:
             raise WorkloadError(
                 f"popular_pool must be positive, got {popular_pool}"
             )
-        pool = [draw_request() for _ in range(popular_pool)]
+        pool = [draw_query() for _ in range(popular_pool)]
     events: List[TrafficEvent] = []
     for _ in range(count):
         if update_ratio > 0.0 and rng.random() < update_ratio:
@@ -142,10 +185,10 @@ def generate_traffic(
                 )
             )
         else:
-            request = (
-                pool[rng.randrange(len(pool))] if pool else draw_request()
+            query = (
+                pool[rng.randrange(len(pool))] if pool else draw_query()
             )
-            events.append(TrafficEvent(kind="query", request=request))
+            events.append(TrafficEvent(kind="query", query=query))
     return events
 
 
@@ -159,7 +202,7 @@ async def replay_traffic(
     Queries within a window of ``concurrency`` consecutive events run
     concurrently (so coalescing and micro-batching engage); updates act as
     barriers, preserving the read/update ordering of the stream.  Returns
-    the query results in stream order (updates contribute ``None``).
+    the raw query results in stream order (updates contribute ``None``).
     """
     import asyncio
 
@@ -170,7 +213,7 @@ async def replay_traffic(
         if not window:
             return
         answers = await asyncio.gather(
-            *(executor.submit(event.request) for _, event in window)
+            *(executor.submit(event.query) for _, event in window)
         )
         for (position, _), answer in zip(window, answers):
             results[position] = answer

@@ -344,9 +344,22 @@ class TestTrafficGenerator:
             generate_traffic(keys, -1)
 
     def test_default_mix_kinds_are_dispatchable(self):
-        from repro.serving.requests import QUERY_DISPATCH
+        from repro.serving.requests import QUERY_KINDS
 
-        assert set(DEFAULT_QUERY_MIX) <= set(QUERY_DISPATCH)
+        assert set(DEFAULT_QUERY_MIX) <= set(QUERY_KINDS)
+
+    def test_query_dispatch_shim_warns_and_dispatches(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.serving import requests
+
+            dispatch = requests.QUERY_DISPATCH
+        assert set(dispatch) == set(requests.QUERY_KINDS)
+        database, _ = make_sharded(count=8)
+        session = QuerySession(database.tree)
+        handler = dispatch["top_k_membership"]
+        assert handler(session, QueryRequest.make("top_k_membership", 2)) == (
+            session.top_k_membership(2)
+        )
 
     def test_replay_orders_updates_as_barriers(self):
         _, sharded = make_sharded(count=12, shard_count=3)
@@ -368,9 +381,23 @@ class TestTrafficGenerator:
         assert metrics.updates == sum(1 for e in events if e.is_update)
 
     def test_traffic_event_fields(self):
+        from repro.query import Query
+
         event = TrafficEvent(kind="update", key="t1", probability=0.5)
         assert event.is_update
-        query = TrafficEvent(
+        assert event.request is None
+        query = TrafficEvent(kind="query", query=Query.membership(2))
+        assert not query.is_update
+        # The wire-format view keeps reading the legacy (kind, k) pairs.
+        assert query.request == QueryRequest.make("top_k_membership", 2)
+        # String-kind-era constructors keep working: request= converts.
+        legacy = TrafficEvent(
             kind="query", request=QueryRequest.make("top_k_membership", 2)
         )
-        assert not query.is_update
+        assert legacy == query
+        with pytest.raises(WorkloadError):
+            TrafficEvent(
+                kind="query",
+                query=Query.membership(2),
+                request=QueryRequest.make("top_k_membership", 2),
+            )
