@@ -115,6 +115,34 @@ async def main() -> None:
         f"p95 {snapshot.latency_p95 * 1000:.2f} ms"
     )
 
+    # -- process-backed shards: the same API, no GIL -------------------
+    # executor="processes" moves every shard (database + warm session)
+    # into its own worker process; the coordinator only exchanges compact
+    # summaries (shared memory for large numpy prefix tables).  Prefer it
+    # for large shards (n >= 10^4) on the numpy backend, where per-shard
+    # kernels dominate and threads serialize on the GIL; answers are
+    # identical either way.  The `with` block releases the workers.
+    with ShardedDatabase(database, SHARDS, executor="processes") as pooled:
+        pool = pooled.process_pool()  # spawn the workers up front
+        events = generate_traffic(
+            pooled.keys(), 40, rng=17, update_ratio=0.2, k_choices=(3, K)
+        )
+        async with ServingExecutor(pooled) as executor:
+            await replay_traffic(executor, events, concurrency=8)
+            snapshot = executor.metrics()
+        print(
+            f"\nSame replay on {pool.worker_count()} worker processes "
+            f"(start method {pool.start_method!r}): "
+            f"{snapshot.queries} executed, {snapshot.updates} updates"
+        )
+        if snapshot.ipc is not None:
+            print(
+                f"IPC: {snapshot.ipc.summaries} summaries exchanged, "
+                f"{snapshot.ipc.total_bytes} bytes shipped "
+                f"({snapshot.ipc.shm_messages} via shared memory, "
+                f"{snapshot.ipc.pipe_messages} via pipe)"
+            )
+
 
 if __name__ == "__main__":
     asyncio.run(main())

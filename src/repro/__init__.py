@@ -160,6 +160,19 @@ declarative query objects the executor consumes:
 ...         return answer.value
 >>> asyncio.run(serve(ShardedDatabase(database, 4)))  # doctest: +SKIP
 ('t1', 't2')
+
+Shards default to thread-backed execution.  Passing
+``ShardedDatabase(database, 4, executor="processes")`` moves every shard
+-- database and warm session -- into its own worker process
+(:class:`~repro.sharding.ShardProcessPool`): per-shard kernels run
+outside the GIL and only compact rank summaries cross the process
+boundary, over pipes or a ``multiprocessing.shared_memory`` fast path
+for large numpy prefix tables.  Coordinator, serving executor and the
+update protocol work unchanged (same 1e-9 parity; stale updates raise
+the same :class:`~repro.exceptions.StaleUpdateError`).  Prefer process
+execution for large shards (n >= 10^4) on the numpy backend, where
+shard-local compute dominates the summary-exchange cost; use the
+database as a context manager (or call ``close()``) to release workers.
 """
 
 from repro.core.tuples import TupleAlternative

@@ -83,13 +83,7 @@ def order_by_score(
     as the symmetric-difference consensus.
     """
     session = as_session(source)
-    best_score = {
-        key: max(
-            session.score_of(alternative)
-            for alternative in session.alternatives_of(key)
-        )
-        for key in keys
-    }
+    best_score = session.best_scores(keys)
     return tuple(
         sorted(keys, key=lambda key: (-best_score[key], repr(key)))
     )

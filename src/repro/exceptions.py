@@ -75,3 +75,21 @@ class LineageError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a synthetic workload specification is invalid."""
+
+
+class ProcessPoolError(ReproError):
+    """Raised when process-backed shard execution fails.
+
+    Covers protocol errors (unknown staged tickets, commands against a
+    closed pool) and request timeouts; the worker-death case is the more
+    specific :class:`WorkerCrashError`.
+    """
+
+
+class WorkerCrashError(ProcessPoolError):
+    """Raised when a shard worker process died mid-request.
+
+    Surfaced instead of hanging on the dead worker's pipe; the pool is
+    left closed for the affected shard and should be rebuilt (closing and
+    re-requesting the database's process pool starts fresh workers).
+    """

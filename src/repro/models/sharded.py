@@ -49,6 +49,47 @@ def hash_shard_of(key: Hashable, shard_count: int) -> int:
     return zlib.crc32(repr(key).encode("utf-8")) % shard_count
 
 
+def build_shard_database(
+    name: str, index: int, units: Sequence[_Unit]
+) -> SourceDatabase:
+    """Materialize one shard's database from its partition units.
+
+    Module-level (not a method) so shard worker processes can rebuild
+    their shard from pickled units without shipping the whole
+    :class:`ShardedDatabase`; the tuple-independent fast path is kept when
+    every unit is independent, otherwise blocks go through the BID model.
+    """
+    if all(unit[0] == "independent" for unit in units):
+        return TupleIndependentDatabase(
+            [
+                (key, value, score, probability)
+                if score is not None
+                else (key, value, probability)
+                for _, key, value, score, probability in units
+            ],
+            name=f"{name}/shard{index}",
+        )
+    blocks = []
+    for unit in units:
+        if unit[0] == "independent":
+            _, key, value, score, probability = unit
+            alternatives = [(value, score, probability)]
+        else:
+            _, key, alternatives = unit
+        blocks.append(
+            (
+                key,
+                [
+                    (value, score, probability)
+                    if score is not None
+                    else (value, probability)
+                    for value, score, probability in alternatives
+                ],
+            )
+        )
+    return BlockIndependentDatabase(blocks, name=f"{name}/shard{index}")
+
+
 class DatabaseShard:
     """One shard: a sub-database plus its version and lazy query session."""
 
@@ -65,6 +106,11 @@ class DatabaseShard:
     @property
     def is_empty(self) -> bool:
         return not self._units
+
+    @property
+    def units(self) -> List[_Unit]:
+        """The shard's (picklable) partition units, as assigned."""
+        return list(self._units)
 
     def keys(self) -> List[Hashable]:
         return [unit[1] for unit in self._units]
@@ -131,6 +177,7 @@ class PendingUpdate:
         "database",
         "removed_scores",
         "added_scores",
+        "remote_ticket",
     )
 
     def __init__(
@@ -142,6 +189,7 @@ class PendingUpdate:
         database: Optional[SourceDatabase],
         removed_scores: Tuple[float, ...] = (),
         added_scores: Tuple[float, ...] = (),
+        remote_ticket: Optional[int] = None,
     ) -> None:
         self.shard_index = shard_index
         self.key = key
@@ -153,6 +201,10 @@ class PendingUpdate:
         # registry untouched.
         self.removed_scores = removed_scores
         self.added_scores = added_scores
+        # Ticket of the matching staged rebuild on the owning worker
+        # process (executor="processes" only): committed or aborted by
+        # apply_update in lockstep with the parent-side version check.
+        self.remote_ticket = remote_ticket
 
 
 class ShardedDatabase:
@@ -174,6 +226,17 @@ class ShardedDatabase:
     validate_scores:
         Require globally distinct scores across shards (checked lazily by
         the coordinator, eagerly on score updates).
+    executor:
+        ``"threads"`` (default) keeps every shard session in-process;
+        ``"processes"`` moves each non-empty shard into its own worker
+        process (:class:`~repro.sharding.procpool.ShardProcessPool`),
+        escaping the GIL for the per-shard kernels.  Answers are identical
+        either way; prefer processes for large shards (n >= 10^4) on the
+        numpy backend.
+    executor_options:
+        Keyword arguments forwarded to the process pool constructor
+        (``start_method``, ``shm``, ``shm_min_bytes``,
+        ``request_timeout``); ignored under ``executor="threads"``.
     """
 
     def __init__(
@@ -183,11 +246,20 @@ class ShardedDatabase:
         partitioner: Partitioner = "hash",
         name: Optional[str] = None,
         validate_scores: bool = True,
+        executor: str = "threads",
+        executor_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if shard_count < 1:
             raise ModelError(f"shard_count must be >= 1, got {shard_count}")
+        if executor not in ("threads", "processes"):
+            raise ModelError(
+                f"executor must be 'threads' or 'processes', got {executor!r}"
+            )
         self._shard_count = shard_count
         self._validate_scores = validate_scores
+        self._executor = executor
+        self._executor_options = dict(executor_options or {})
+        self._pool: Optional[Any] = None
         self._partitioner_name = (
             partitioner if isinstance(partitioner, str) else "custom"
         )
@@ -263,37 +335,7 @@ class ShardedDatabase:
     def _build_shard_database(
         self, index: int, units: Sequence[_Unit]
     ) -> SourceDatabase:
-        if all(unit[0] == "independent" for unit in units):
-            return TupleIndependentDatabase(
-                [
-                    (key, value, score, probability)
-                    if score is not None
-                    else (key, value, probability)
-                    for _, key, value, score, probability in units
-                ],
-                name=f"{self._name}/shard{index}",
-            )
-        blocks = []
-        for unit in units:
-            if unit[0] == "independent":
-                _, key, value, score, probability = unit
-                alternatives = [(value, score, probability)]
-            else:
-                _, key, alternatives = unit
-            blocks.append(
-                (
-                    key,
-                    [
-                        (value, score, probability)
-                        if score is not None
-                        else (value, probability)
-                        for value, score, probability in alternatives
-                    ],
-                )
-            )
-        return BlockIndependentDatabase(
-            blocks, name=f"{self._name}/shard{index}"
-        )
+        return build_shard_database(self._name, index, units)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -309,6 +351,41 @@ class ShardedDatabase:
     @property
     def partitioner(self) -> str:
         return self._partitioner_name
+
+    @property
+    def executor(self) -> str:
+        """``"threads"`` or ``"processes"`` -- the shard execution mode."""
+        return self._executor
+
+    def process_pool(self) -> Any:
+        """The started :class:`~repro.sharding.procpool.ShardProcessPool`.
+
+        Created (and started) lazily on first use; a pool that was closed
+        -- e.g. after a worker crash -- is replaced by a fresh one with
+        newly spawned workers.  Only valid under ``executor="processes"``.
+        """
+        if self._executor != "processes":
+            raise ModelError(
+                "process_pool() requires executor='processes' "
+                f"(this database uses {self._executor!r})"
+            )
+        if self._pool is None or self._pool.closed:
+            from repro.sharding.procpool import ShardProcessPool
+
+            self._pool = ShardProcessPool(self, **self._executor_options)
+            self._pool.start()
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker processes, if any (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def shards(self) -> List[DatabaseShard]:
         return list(self._shards)
@@ -367,6 +444,10 @@ class ShardedDatabase:
         for shard in self._shards:
             if shard._session is not None:
                 info = info + shard._session.cache_info()
+        if self._pool is not None and not self._pool.closed:
+            # Remote roll-up: worker sessions' counters travel back as
+            # picklable CacheInfo and add into the same total.
+            info = info + self._pool.cache_info()
         if self._coordinator is not None:
             info = info + self._coordinator.cache_info()
         return info
@@ -443,14 +524,8 @@ class ShardedDatabase:
             found = True
         if not found:
             raise ModelError(f"unknown tuple key {key!r}")
-        return PendingUpdate(
-            shard_index,
-            key,
-            units,
-            base_version,
-            self._build_shard_database(shard_index, units),
-            removed,
-            added,
+        return self._stage_pending(
+            shard_index, key, units, base_version, removed, added
         )
 
     def prepare_block_update(
@@ -495,6 +570,39 @@ class ShardedDatabase:
             added = tuple(_unit_scores(("block", key, replacement)))
             self._check_score_free(key, added)
             removed = tuple(_unit_scores(old_unit))
+        return self._stage_pending(
+            shard_index, key, units, base_version, removed, added
+        )
+
+    def _stage_pending(
+        self,
+        shard_index: int,
+        key: Hashable,
+        units: List[_Unit],
+        base_version: int,
+        removed: Tuple[float, ...],
+        added: Tuple[float, ...],
+    ) -> PendingUpdate:
+        """Run the expensive rebuild half of a prepared update.
+
+        Under ``executor="threads"`` the replacement shard database is
+        built here in-process; under ``executor="processes"`` the rebuild
+        is staged on the owning worker instead (ticketed), and the parent
+        keeps only the replacement units -- the worker's copy is swapped
+        in by :meth:`apply_update` under the same version check.
+        """
+        if self._executor == "processes":
+            ticket = self.process_pool().prepare_replace(shard_index, units)
+            return PendingUpdate(
+                shard_index,
+                key,
+                units,
+                base_version,
+                None,
+                removed,
+                added,
+                remote_ticket=ticket,
+            )
         return PendingUpdate(
             shard_index,
             key,
@@ -528,6 +636,13 @@ class ShardedDatabase:
         """
         shard = self._shards[pending.shard_index]
         if shard.version != pending.base_version:
+            if pending.remote_ticket is not None and self._pool is not None:
+                # Losing the race must also drop the worker-side staged
+                # rebuild, or worker and parent units would diverge on the
+                # next prepared update that does win.
+                self._pool.abort_replace(
+                    pending.shard_index, pending.remote_ticket
+                )
             raise StaleUpdateError(
                 f"shard {pending.shard_index} moved from version "
                 f"{pending.base_version} to {shard.version} since the "
@@ -546,6 +661,13 @@ class ShardedDatabase:
                     del self._score_owner[score]
             for score in pending.added_scores:
                 self._score_owner[score] = pending.key
+        if pending.remote_ticket is not None:
+            # Commit on the worker BEFORE the parent swap: a worker crash
+            # here raises and leaves the parent at the old version, so
+            # parent and (rebuilt) workers never disagree about state.
+            self.process_pool().commit_replace(
+                pending.shard_index, pending.remote_ticket
+            )
         shard._replace_units(pending.units, pending.database)
         self._notify(pending.shard_index, pending.key)
 
@@ -574,6 +696,8 @@ class ShardedDatabase:
         """Force-drop one shard's session and bump its version."""
         shard = self._shards[index]
         shard._replace_units(list(shard._units))
+        if self._pool is not None and not self._pool.closed:
+            self._pool.invalidate(index)
         self._notify(index, None)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

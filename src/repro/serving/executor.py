@@ -90,6 +90,8 @@ class ServingExecutor:
         self._dispatcher: Optional[asyncio.Task] = None
         self._shard_pools: List[ThreadPoolExecutor] = []
         self._merge_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[Any] = None
+        self._owns_process_pool = False
         self._pending: Dict[Tuple[QueryRequest, Tuple[int, ...]], asyncio.Future] = {}
         self._closed = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -103,56 +105,113 @@ class ServingExecutor:
         return self._database
 
     def metrics(self) -> ServingMetricsSnapshot:
-        """A snapshot of the executor's counters and latency quantiles."""
-        return self._metrics.snapshot()
+        """A snapshot of the executor's counters and latency quantiles.
+
+        Under ``executor="processes"`` the snapshot's ``ipc`` field carries
+        the worker pool's transport counters (summaries exchanged, bytes
+        shipped over pipes vs shared memory).
+        """
+        ipc = None
+        if self._process_pool is not None and not self._process_pool.closed:
+            ipc = self._process_pool.stats()
+        return self._metrics.snapshot(ipc=ipc)
 
     @property
     def started(self) -> bool:
         return self._dispatcher is not None
 
     async def start(self) -> "ServingExecutor":
-        """Start the dispatcher task and the worker pools (idempotent)."""
+        """Start the dispatcher task and the worker pools (idempotent).
+
+        Under ``executor="processes"`` the database's worker pool is
+        mounted first -- processes must be spawned before any thread pool
+        exists (forking a threaded parent risks deadlocked children).  A
+        failure mid-start releases everything already started.
+        """
         if self._dispatcher is not None:
             return self
         if self._closed:
             raise RuntimeError("executor already stopped")
-        self._queue = asyncio.Queue()
-        self._shard_pools = [
-            ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        try:
+            if getattr(self._database, "executor", "threads") == "processes":
+                existing = getattr(self._database, "_pool", None)
+                self._owns_process_pool = existing is None or existing.closed
+                self._process_pool = self._database.process_pool()
+            self._queue = asyncio.Queue()
+            self._shard_pools = [
+                ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+                )
+                for index in range(self._database.shard_count)
+            ]
+            self._merge_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-coordinator"
             )
-            for index in range(self._database.shard_count)
-        ]
-        self._merge_pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-coordinator"
-        )
-        self._loop = asyncio.get_running_loop()
-        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+            self._loop = asyncio.get_running_loop()
+            self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        except BaseException:
+            self._closed = True
+            self._release_workers()
+            raise
         return self
 
     async def stop(self) -> None:
         """Drain the queue, stop the dispatcher and shut the pools down.
 
-        Also detaches from the database's invalidation fan-out, so a
-        stopped executor is fully released (the database may outlive many
-        executors).
+        Idempotent: a second (or concurrent re-entrant) stop is a no-op.
+        Also detaches from the database's invalidation fan-out and, when
+        this executor started the process pool, shuts its workers down --
+        so a stopped executor is fully released even if the drain itself
+        raises (the database may outlive many executors).
         """
         self._database.unsubscribe(self._on_invalidation)
-        if self._dispatcher is None:
-            self._closed = True
+        if self._closed and self._dispatcher is None:
             return
         self._closed = True
-        assert self._queue is not None
-        await self._queue.put(_SENTINEL)
-        await self._dispatcher
-        self._dispatcher = None
+        try:
+            if self._dispatcher is not None:
+                assert self._queue is not None
+                await self._queue.put(_SENTINEL)
+                await self._dispatcher
+        finally:
+            self._dispatcher = None
+            self._release_workers()
+
+    def close(self) -> None:
+        """Synchronously release worker resources (idempotent).
+
+        The no-event-loop escape hatch: cancels a still-running dispatcher
+        instead of draining it, then releases the thread pools and (when
+        owned) the process pool.  Prefer ``await stop()`` for a graceful
+        drain; ``close()`` is for ``finally`` blocks and tests that tear
+        down outside the loop.
+        """
+        self._database.unsubscribe(self._on_invalidation)
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            self._dispatcher = None
+        self._release_workers()
+
+    def _release_workers(self) -> None:
         for pool in self._shard_pools:
             pool.shutdown(wait=True)
+        self._shard_pools = []
         if self._merge_pool is not None:
             self._merge_pool.shutdown(wait=True)
+            self._merge_pool = None
+        if self._process_pool is not None:
+            if self._owns_process_pool:
+                self._process_pool.close()
+            self._process_pool = None
+            self._owns_process_pool = False
 
     async def __aenter__(self) -> "ServingExecutor":
-        return await self.start()
+        try:
+            return await self.start()
+        except BaseException:
+            await self.stop()
+            raise
 
     async def __aexit__(self, *exc_info: Any) -> None:
         await self.stop()
@@ -343,6 +402,14 @@ class ServingExecutor:
             }
         )
         if not truncations:
+            return
+        if self._process_pool is not None and not self._process_pool.closed:
+            # One prefetch call fans out across the worker processes
+            # in parallel and leaves the partials in the pool's
+            # version-keyed cache for the merge to pick up.
+            await loop.run_in_executor(
+                self._merge_pool, self._process_pool.prefetch, truncations
+            )
             return
         tasks = []
         for shard in self._database.shards():

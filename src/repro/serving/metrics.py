@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 
 class LatencyRecorder:
@@ -65,6 +65,11 @@ class ServingMetricsSnapshot:
     latency_p50: float
     latency_p95: float
     queries_by_kind: Tuple[Tuple[str, int], ...]
+    #: Transport counters of the process-backed shard pool
+    #: (:class:`repro.sharding.procpool.IpcSnapshot`: summaries exchanged,
+    #: pipe vs shared-memory messages and bytes); ``None`` under
+    #: ``executor="threads"``.
+    ipc: Optional[Any] = None
 
     @property
     def coalesce_rate(self) -> float:
@@ -95,8 +100,9 @@ class ServingMetrics:
         self.batches += 1
         self.batched_requests += size
 
-    def snapshot(self) -> ServingMetricsSnapshot:
+    def snapshot(self, ipc: Optional[Any] = None) -> ServingMetricsSnapshot:
         return ServingMetricsSnapshot(
+            ipc=ipc,
             queries=self.queries,
             coalesced=self.coalesced,
             batches=self.batches,

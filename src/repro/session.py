@@ -378,6 +378,24 @@ class QuerySession:
         """The ranking score of an alternative under the active scoring."""
         return self.statistics.score_of(alternative)
 
+    def best_scores(
+        self, keys: Sequence[Hashable]
+    ) -> Dict[Hashable, float]:
+        """Best (maximum) alternative score per tuple key.
+
+        The hot consumer is :func:`repro.consensus.topk.common.\
+        order_by_score`; the sharded coordinator overrides this to answer
+        from its merged layout so ordering candidate keys never
+        materializes shard trees.
+        """
+        return {
+            key: max(
+                self.score_of(alternative)
+                for alternative in self.alternatives_of(key)
+            )
+            for key in keys
+        }
+
     def independent_tuple_layout(
         self,
     ) -> Optional[List[Tuple[Hashable, float, float]]]:

@@ -22,5 +22,11 @@ distributions.  This package exploits that factorization:
 
 from repro.sharding.summary import ShardRankSummary
 from repro.sharding.coordinator import ShardedQuerySession
+from repro.sharding.procpool import IpcSnapshot, ShardProcessPool
 
-__all__ = ["ShardRankSummary", "ShardedQuerySession"]
+__all__ = [
+    "ShardRankSummary",
+    "ShardedQuerySession",
+    "ShardProcessPool",
+    "IpcSnapshot",
+]

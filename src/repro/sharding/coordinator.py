@@ -118,9 +118,56 @@ class ShardedQuerySession(QuerySession):
         assert self._static_sessions is not None
         return self._static_sessions
 
+    def _process_pool(self) -> Optional[Any]:
+        """The database's started worker pool under ``executor="processes"``.
+
+        ``None`` in every other configuration; when a pool is live the
+        coordinator must not touch :meth:`_shard_sessions` on its merge
+        paths -- that would rebuild every shard in the parent process and
+        forfeit exactly the work the pool moved out.
+        """
+        if (
+            self._database is not None
+            and getattr(self._database, "executor", "threads") == "processes"
+        ):
+            return self._database.process_pool()
+        return None
+
+    def _shard_fragments(self) -> List[Tuple[Any, Any]]:
+        """``(layout_fragment, session_provider)`` per non-empty shard.
+
+        The provider is a live :class:`~repro.session.QuerySession` on the
+        in-process path, or the owning
+        :class:`~repro.models.sharded.DatabaseShard` on the process-pool
+        path (resolved lazily -- and only -- by the tree-level fallbacks).
+        """
+        pool = self._process_pool()
+        if pool is not None:
+            shards = self._database.shards()
+            return [
+                (fragment, shards[index])
+                for index, fragment in pool.layouts()
+            ]
+        from repro.sharding.summary import shard_layout
+
+        return [
+            (shard_layout(session), session)
+            for session in self._shard_sessions()
+        ]
+
+    @staticmethod
+    def _resolve_session(provider: Any) -> QuerySession:
+        if isinstance(provider, QuerySession):
+            return provider
+        return provider.session()
+
     @property
     def shard_count(self) -> int:
         """Number of (non-empty) shards behind the coordinator."""
+        if self._database is not None:
+            return sum(
+                1 for shard in self._database.shards() if not shard.is_empty
+            )
         return len(self._shard_sessions())
 
     @property
@@ -135,6 +182,15 @@ class ShardedQuerySession(QuerySession):
         first shard session answers for the whole coordinator without
         materializing the merged tree.
         """
+        if self._process_pool() is not None:
+            fragments = self._shard_fragments()
+            if not fragments:
+                return "general"
+            # Shard layouts are TI or BID by construction (anything else
+            # is rejected at extraction time on the worker).
+            return (
+                "tuple-independent" if fragments[0][0].independent else "bid"
+            )
         sessions = self._shard_sessions()
         if not sessions:
             return "general"
@@ -145,6 +201,10 @@ class ShardedQuerySession(QuerySession):
             shard_versions: Tuple[Any, ...] = tuple(self._database.versions())
         else:
             shard_versions = ()
+        if self._process_pool() is not None:
+            # Worker sessions live behind the pool; the shard versions
+            # (bumped by every committed update) are the whole signal.
+            return (shard_versions, ())
         generations = tuple(
             session.generation for session in self._shard_sessions()
         )
@@ -183,6 +243,13 @@ class ShardedQuerySession(QuerySession):
     # Merged layout
     # ------------------------------------------------------------------
     def _summaries(self, max_rank: int) -> List[ShardRankSummary]:
+        pool = self._process_pool()
+        if pool is not None:
+            # Workers compute their prefix sweeps concurrently (real
+            # parallelism -- no GIL across processes) and ship only the
+            # compact partials; the pool's version-keyed cache keeps
+            # unchanged shards' summaries warm parent-side.
+            return pool.summaries(max_rank)
         return [
             session.partial_rank_summary(max_rank)
             for session in self._shard_sessions()
@@ -192,33 +259,32 @@ class ShardedQuerySession(QuerySession):
         return self._memoized("merged_layout", (), self._build_layout)
 
     def _build_layout(self) -> _MergedLayout:
-        from repro.sharding.summary import shard_layout
-
         presence: Dict[Hashable, float] = {}
         alternatives: Dict[Hashable, List[Tuple[float, float]]] = {}
         best_score: Dict[Hashable, float] = {}
-        key_to_session: Dict[Hashable, QuerySession] = {}
+        key_to_session: Dict[Hashable, Any] = {}
         independent = True
         per_shard_triples: List[List[Tuple[float, float, Hashable]]] = []
         total = 0
-        for session in self._shard_sessions():
-            fragment = shard_layout(session)
+        fragments = self._shard_fragments()
+        for fragment, provider in fragments:
             independent = independent and fragment.independent
             per_shard_triples.append(fragment.key_triples)
             # Bulk dictionary merges: the per-shard fragments are memoized
-            # on their sessions, so after one shard's update only that
-            # shard re-extracts and this loop is C-speed dict work.
+            # (on their sessions, or in the pool's version-keyed cache), so
+            # after one shard's update only that shard re-extracts and
+            # this loop is C-speed dict work.
             presence.update(fragment.presence)
             alternatives.update(fragment.alternatives)
             best_score.update(fragment.best_score)
             key_to_session.update(
-                dict.fromkeys(fragment.keys, session)
+                dict.fromkeys(fragment.keys, provider)
             )
             total += len(fragment.keys)
         if len(presence) != total:
             counts: Dict[Hashable, int] = {}
-            for session in self._shard_sessions():
-                for key in shard_layout(session).keys:
+            for fragment, _ in fragments:
+                for key in fragment.keys:
                     counts[key] = counts.get(key, 0) + 1
             duplicates = sorted(
                 repr(key) for key, count in counts.items() if count > 1
@@ -305,16 +371,34 @@ class ShardedQuerySession(QuerySession):
         return len(self._layout().keys_order)
 
     def score_of(self, alternative: TupleAlternative) -> float:
-        session = self._layout().key_to_session.get(alternative.key)
-        if session is None:
+        provider = self._layout().key_to_session.get(alternative.key)
+        if provider is None:
             raise ModelError(f"unknown tuple key {alternative.key!r}")
-        return session.score_of(alternative)
+        return self._resolve_session(provider).score_of(alternative)
 
     def alternatives_of(self, key: Hashable) -> List[TupleAlternative]:
-        session = self._layout().key_to_session.get(key)
-        if session is None:
+        provider = self._layout().key_to_session.get(key)
+        if provider is None:
             raise ModelError(f"unknown tuple key {key!r}")
-        return session.tree.alternatives_of(key)
+        return self._resolve_session(provider).tree.alternatives_of(key)
+
+    def best_scores(
+        self, keys: Sequence[Hashable]
+    ) -> Dict[Hashable, float]:
+        """Best alternative scores, straight off the merged layout.
+
+        Overrides the session default so ordering candidate keys (the
+        symmetric-difference presentation order, every query's answer
+        assembly) never resolves shard sessions -- essential on the
+        process-pool path, a cheap win in-process too.
+        """
+        layout = self._layout()
+        missing = [key for key in keys if key not in layout.best_score]
+        if missing:
+            raise ModelError(
+                f"unknown tuple keys {sorted(map(repr, missing))}"
+            )
+        return {key: layout.best_score[key] for key in keys}
 
     def independent_tuple_layout(
         self,
@@ -353,9 +437,11 @@ class ShardedQuerySession(QuerySession):
         ]
         if not summaries:
             return RankMatrix([], backend.matrix_from_rows([]), backend, max_rank)
-        if len(summaries) == 1:
+        if len(summaries) == 1 and self._process_pool() is None:
             # A single shard needs no merging; serve its own (memoized)
-            # matrix so the coordinator adds zero overhead.
+            # matrix so the coordinator adds zero overhead.  (On the pool
+            # path the shard session lives in a worker, so the merge below
+            # runs from the shipped summary instead.)
             only = self._shard_sessions()
             for session in only:
                 if session.number_of_tuples() > 0:

@@ -1,0 +1,573 @@
+"""Process-backed shard execution: the parent-side worker pool.
+
+The per-shard kernels behind every merged statistic -- layout extraction,
+the ``(n_s + 1) × k`` prefix polynomial sweep, shard tree rebuilds -- are
+dense array work that one interpreter serializes behind the GIL no matter
+how many shard *threads* structure it.  :class:`ShardProcessPool` moves
+that work into real processes: each worker
+(:mod:`repro.sharding.procworker`) owns one shard's database plus a warm
+:class:`~repro.session.QuerySession`, and the coordinator exchanges only
+compact partials with it:
+
+* :class:`~repro.sharding.summary.ShardLayout` fragments and truncated
+  :class:`~repro.sharding.summary.ShardRankSummary` tables, fetched in
+  parallel across workers (threads blocked on pipes release the GIL, so
+  worker processes compute concurrently);
+* a shared-memory fast path (``multiprocessing.shared_memory``) for the
+  dense numpy prefix tables, so large partials cross the process boundary
+  as one memcpy instead of a pickle round-trip;
+* staged ``prepare`` / ``commit`` / ``abort`` rebuilds implementing the
+  version-checked update swap of
+  :meth:`repro.models.sharded.ShardedDatabase.apply_update` across process
+  boundaries (the parent stays the sole authority over shard versions).
+
+Summaries and layouts are cached parent-side keyed by the owning shard's
+version, so after one shard's update only that shard's partials are
+re-fetched -- the exact analogue of the warm in-process shard sessions.
+
+Worker death is detected (pipe poll + liveness checks) and surfaced as
+:class:`~repro.exceptions.WorkerCrashError` instead of hanging; closing the
+pool is idempotent, and a closed pool can be rebuilt by the owning
+database's :meth:`~repro.models.sharded.ShardedDatabase.process_pool`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import get_backend
+from repro.exceptions import ProcessPoolError, WorkerCrashError
+from repro.session import CacheInfo
+from repro.sharding.procworker import (
+    PIPE_TRANSPORT,
+    SHM_TRANSPORT,
+    worker_main,
+)
+from repro.sharding.summary import ShardLayout, ShardRankSummary
+
+#: Environment variable pinning the multiprocessing start method
+#: (``spawn`` / ``fork`` / ``forkserver``); the CI multiprocess leg sets
+#: ``spawn`` to catch fork-only pickling bugs.
+START_METHOD_ENV = "REPRO_PROC_START_METHOD"
+
+_REMOTE_EXCEPTIONS = (
+    "ModelError",
+    "ProbabilityError",
+    "ConsensusError",
+    "ProcessPoolError",
+)
+
+
+def resolve_start_method(explicit: Optional[str] = None) -> str:
+    """Start method: explicit argument > ``REPRO_PROC_START_METHOD`` > platform default."""
+    method = explicit or os.environ.get(START_METHOD_ENV) or None
+    if method is None:
+        method = multiprocessing.get_start_method(allow_none=True) or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+    if method not in multiprocessing.get_all_start_methods():
+        raise ProcessPoolError(
+            f"start method {method!r} is unavailable on this platform; "
+            f"choose one of {multiprocessing.get_all_start_methods()}"
+        )
+    return method
+
+
+@dataclass(frozen=True)
+class IpcSnapshot:
+    """Counters of the parent <-> worker exchanges at one instant.
+
+    ``pipe_bytes`` / ``shm_bytes`` count the dense prefix-table payloads
+    (8 bytes per coefficient); command envelopes and layouts are tallied
+    in ``commands`` / ``layouts`` without a byte estimate.
+    """
+
+    commands: int = 0
+    summaries: int = 0
+    layouts: int = 0
+    pipe_messages: int = 0
+    shm_messages: int = 0
+    pipe_bytes: int = 0
+    shm_bytes: int = 0
+    updates: int = 0
+    workers: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Prefix-table bytes shipped over both transports."""
+        return self.pipe_bytes + self.shm_bytes
+
+    def __sub__(self, other: "IpcSnapshot") -> "IpcSnapshot":
+        """Delta between two snapshots (workers kept from ``self``)."""
+        return IpcSnapshot(
+            commands=self.commands - other.commands,
+            summaries=self.summaries - other.summaries,
+            layouts=self.layouts - other.layouts,
+            pipe_messages=self.pipe_messages - other.pipe_messages,
+            shm_messages=self.shm_messages - other.shm_messages,
+            pipe_bytes=self.pipe_bytes - other.pipe_bytes,
+            shm_bytes=self.shm_bytes - other.shm_bytes,
+            updates=self.updates - other.updates,
+            workers=self.workers,
+        )
+
+
+class _WorkerHandle:
+    """One worker process plus its pipe; requests are serialized per worker."""
+
+    __slots__ = ("shard_index", "process", "connection", "lock")
+
+    def __init__(self, shard_index: int, process: Any, connection: Any) -> None:
+        self.shard_index = shard_index
+        self.process = process
+        self.connection = connection
+        self.lock = threading.Lock()
+
+
+def _table_cells(table: Any) -> int:
+    shape = getattr(table, "shape", None)
+    if shape is not None:
+        cells = 1
+        for extent in shape:
+            cells *= extent
+        return cells
+    return sum(len(row) for row in table)
+
+
+class ShardProcessPool:
+    """Worker processes owning the shards of one partitioned database.
+
+    Parameters
+    ----------
+    database:
+        The owning :class:`~repro.models.sharded.ShardedDatabase`; one
+        worker is spawned per non-empty shard, seeded with that shard's
+        partition units and the parent's active backend.
+    start_method:
+        ``spawn`` / ``fork`` / ``forkserver``; defaults to the
+        ``REPRO_PROC_START_METHOD`` environment variable, then the
+        platform default.
+    shm:
+        ``"auto"`` ships prefix tables of at least ``shm_min_bytes``
+        through shared memory (numpy backend only), ``"always"`` forces
+        shared memory for every table, ``"never"`` always pickles over
+        the pipe.
+    request_timeout:
+        Seconds to wait on one worker reply before giving up (worker
+        death is detected much earlier via liveness polling).
+    """
+
+    def __init__(
+        self,
+        database: Any,
+        start_method: Optional[str] = None,
+        shm: str = "auto",
+        shm_min_bytes: int = 1 << 15,
+        request_timeout: float = 120.0,
+    ) -> None:
+        if shm not in ("auto", "always", "never"):
+            raise ProcessPoolError(
+                f"shm must be 'auto', 'always' or 'never', got {shm!r}"
+            )
+        self._database = database
+        self._start_method = resolve_start_method(start_method)
+        self._shm = shm
+        self._shm_min_bytes = int(shm_min_bytes)
+        self._request_timeout = float(request_timeout)
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._gather: Optional[ThreadPoolExecutor] = None
+        self._tickets = itertools.count(1)
+        self._started = False
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            key: 0
+            for key in (
+                "commands", "summaries", "layouts", "pipe_messages",
+                "shm_messages", "pipe_bytes", "shm_bytes", "updates",
+            )
+        }
+        # version-keyed warm partials: only an updated shard re-fetches.
+        self._cache_lock = threading.Lock()
+        self._layout_cache: Dict[int, Tuple[int, ShardLayout]] = {}
+        self._summary_cache: Dict[
+            Tuple[int, int], Tuple[int, ShardRankSummary]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._started and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    def shard_indices(self) -> List[int]:
+        """Indices of the (non-empty) shards owned by workers, ascending."""
+        return sorted(self._workers)
+
+    def start(self) -> "ShardProcessPool":
+        """Spawn one worker per non-empty shard (idempotent)."""
+        if self._closed:
+            raise ProcessPoolError(
+                "process pool already closed; request a fresh pool from "
+                "the database"
+            )
+        if self._started:
+            return self
+        context = multiprocessing.get_context(self._start_method)
+        backend_name = get_backend().name
+        try:
+            for shard in self._database.shards():
+                if shard.is_empty:
+                    continue
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=worker_main,
+                    args=(
+                        child_end,
+                        shard.index,
+                        self._database.name,
+                        backend_name,
+                        list(shard.units),
+                    ),
+                    daemon=True,
+                    name=f"repro-shard-{shard.index}",
+                )
+                process.start()
+                child_end.close()
+                self._workers[shard.index] = _WorkerHandle(
+                    shard.index, process, parent_end
+                )
+        except BaseException:
+            self.close()
+            raise
+        self._gather = ThreadPoolExecutor(
+            max_workers=max(1, len(self._workers)),
+            thread_name_prefix="repro-procpool",
+        )
+        self._started = True
+        return self
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Shut every worker down and release the pipes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            try:
+                with handle.lock:
+                    handle.connection.send(("shutdown", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._workers.values():
+            handle.process.join(join_timeout)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(join_timeout)
+            try:
+                handle.connection.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers.clear()
+        if self._gather is not None:
+            self._gather.shutdown(wait=True)
+            self._gather = None
+        with self._cache_lock:
+            self._layout_cache.clear()
+            self._summary_cache.clear()
+
+    def __enter__(self) -> "ShardProcessPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close(join_timeout=0.5)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _handle(self, shard_index: int) -> _WorkerHandle:
+        if self._closed:
+            raise ProcessPoolError("process pool is closed")
+        if not self._started:
+            self.start()
+        try:
+            return self._workers[shard_index]
+        except KeyError:
+            raise ProcessPoolError(
+                f"no worker owns shard {shard_index} (empty shard?)"
+            ) from None
+
+    def _count(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for key, delta in deltas.items():
+                self._stats[key] += delta
+
+    def _request(self, shard_index: int, op: str, payload: Any = None) -> Any:
+        handle = self._handle(shard_index)
+        self._count(commands=1)
+        with handle.lock:
+            try:
+                handle.connection.send((op, payload))
+            except (BrokenPipeError, OSError):
+                raise self._crash(handle, op) from None
+            deadline = time.monotonic() + self._request_timeout
+            while not handle.connection.poll(0.05):
+                if not handle.process.is_alive():
+                    # One grace poll: the reply may have been written just
+                    # before the process exited.
+                    if handle.connection.poll(0.2):
+                        break
+                    raise self._crash(handle, op)
+                if time.monotonic() > deadline:
+                    raise ProcessPoolError(
+                        f"shard worker {shard_index} did not answer "
+                        f"{op!r} within {self._request_timeout:.0f}s"
+                    )
+            try:
+                status, value = handle.connection.recv()
+            except (EOFError, OSError):
+                raise self._crash(handle, op) from None
+        if status == "error":
+            self._raise_remote(shard_index, value)
+        return value
+
+    def _crash(self, handle: _WorkerHandle, op: str) -> WorkerCrashError:
+        handle.process.join(0.5)  # reap, so the exit code is reportable
+        code = handle.process.exitcode
+        return WorkerCrashError(
+            f"shard worker {handle.shard_index} (pid {handle.process.pid}) "
+            f"died while handling {op!r} (exit code {code}); close the "
+            "pool and re-request it from the database to rebuild workers"
+        )
+
+    def _raise_remote(
+        self, shard_index: int, value: Tuple[str, str]
+    ) -> None:
+        type_name, message = value
+        if type_name in _REMOTE_EXCEPTIONS:
+            import repro.exceptions as exceptions
+
+            raise getattr(exceptions, type_name)(message)
+        raise ProcessPoolError(
+            f"shard worker {shard_index} failed: {type_name}: {message}"
+        )
+
+    def _request_many(
+        self, commands: Sequence[Tuple[int, str, Any]]
+    ) -> List[Any]:
+        """Issue one request per worker concurrently, results in order."""
+        if len(commands) <= 1 or self._gather is None:
+            return [
+                self._request(index, op, payload)
+                for index, op, payload in commands
+            ]
+        futures = [
+            self._gather.submit(self._request, index, op, payload)
+            for index, op, payload in commands
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Partial exchange
+    # ------------------------------------------------------------------
+    def _shard_version(self, shard_index: int) -> int:
+        return self._database.shards()[shard_index].version
+
+    def layouts(self) -> List[Tuple[int, ShardLayout]]:
+        """``(shard_index, layout)`` per non-empty shard, warm-cached."""
+        wanted = []
+        for index in self.shard_indices():
+            version = self._shard_version(index)
+            with self._cache_lock:
+                cached = self._layout_cache.get(index)
+            if cached is None or cached[0] != version:
+                wanted.append((index, version))
+        if wanted:
+            fetched = self._request_many(
+                [(index, "layout", None) for index, _ in wanted]
+            )
+            self._count(layouts=len(wanted))
+            with self._cache_lock:
+                for (index, version), layout in zip(wanted, fetched):
+                    self._layout_cache[index] = (version, layout)
+        with self._cache_lock:
+            return [
+                (index, self._layout_cache[index][1])
+                for index in self.shard_indices()
+            ]
+
+    def summaries(
+        self, max_rank: int, use_cache: bool = True
+    ) -> List[ShardRankSummary]:
+        """Per-shard truncated summaries, fetched in parallel.
+
+        Cached parent-side per (shard, version, truncation): after one
+        shard's update, only that shard ships fresh partials.  Pass
+        ``use_cache=False`` to force a full exchange (transport
+        benchmarking).
+        """
+        max_rank = max(int(max_rank), 1)
+        wanted: List[Tuple[int, int]] = []
+        for index in self.shard_indices():
+            version = self._shard_version(index)
+            with self._cache_lock:
+                cached = self._summary_cache.get((index, max_rank))
+            if not use_cache or cached is None or cached[0] != version:
+                wanted.append((index, version))
+        if wanted:
+            shm_wanted = self._shm != "never" and get_backend().name == "numpy"
+            shm_floor = 0 if self._shm == "always" else self._shm_min_bytes
+            payload = (max_rank, shm_wanted, shm_floor)
+            fetched = self._request_many(
+                [(index, "summary", payload) for index, _ in wanted]
+            )
+            self._count(summaries=len(wanted))
+            with self._cache_lock:
+                for (index, version), exported in zip(wanted, fetched):
+                    summary = self._decode_summary(exported)
+                    self._summary_cache[(index, max_rank)] = (
+                        version, summary
+                    )
+                    # The summary ships its layout anyway: keep it warm.
+                    self._layout_cache.setdefault(
+                        index, (version, summary.layout)
+                    )
+        with self._cache_lock:
+            return [
+                self._summary_cache[(index, max_rank)][1]
+                for index in self.shard_indices()
+            ]
+
+    def _decode_summary(self, exported: Dict[str, Any]) -> ShardRankSummary:
+        table = self._decode_table(exported["table"])
+        return ShardRankSummary.from_layout(
+            exported["layout"], exported["max_rank"], table
+        )
+
+    def _decode_table(self, transport: Optional[Tuple[Any, ...]]) -> Any:
+        if transport is None:
+            return None
+        if transport[0] == PIPE_TRANSPORT:
+            table = transport[1]
+            self._count(
+                pipe_messages=1, pipe_bytes=8 * _table_cells(table)
+            )
+            return table
+        assert transport[0] == SHM_TRANSPORT
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        _, name, shape = transport
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            table = np.ndarray(
+                shape, dtype=np.float64, buffer=segment.buf
+            ).copy()
+        finally:
+            segment.close()
+            segment.unlink()
+        self._count(shm_messages=1, shm_bytes=table.nbytes)
+        return table
+
+    def prefetch(self, truncations: Sequence[int]) -> None:
+        """Warm the parent-side summary cache for a batch's truncations."""
+        for max_rank in sorted(set(truncations)):
+            self.summaries(max_rank)
+
+    # ------------------------------------------------------------------
+    # Update fan-out (staged rebuild protocol)
+    # ------------------------------------------------------------------
+    def prepare_replace(self, shard_index: int, units: List[Any]) -> int:
+        """Stage a shard rebuild on the owning worker; returns a ticket."""
+        ticket = next(self._tickets)
+        self._request(shard_index, "prepare", (ticket, units))
+        return ticket
+
+    def commit_replace(self, shard_index: int, ticket: int) -> None:
+        """Swap a staged rebuild in (called under the parent's version check)."""
+        self._request(shard_index, "commit", ticket)
+        self._count(updates=1)
+        self._drop_shard_cache(shard_index)
+
+    def abort_replace(self, shard_index: int, ticket: int) -> None:
+        """Drop a staged rebuild whose version check lost the race."""
+        try:
+            self._request(shard_index, "abort", ticket)
+        except ProcessPoolError:
+            # Aborts are best-effort: the caller is already unwinding a
+            # stale update and must see StaleUpdateError, not a transport
+            # failure; a dead worker's staged state died with it anyway.
+            pass
+
+    def invalidate(self, shard_index: int) -> None:
+        """Drop one worker's memoized artifacts (force-invalidation path)."""
+        if shard_index in self._workers:
+            self._request(shard_index, "invalidate", None)
+        self._drop_shard_cache(shard_index)
+
+    def _drop_shard_cache(self, shard_index: int) -> None:
+        with self._cache_lock:
+            self._layout_cache.pop(shard_index, None)
+            for key in [
+                key for key in self._summary_cache if key[0] == shard_index
+            ]:
+                del self._summary_cache[key]
+
+    def staged_count(self, shard_index: int) -> int:
+        """Number of rebuilds staged but not yet committed on one worker."""
+        return int(self._request(shard_index, "stats")["staged"])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Roll-up of every worker session's cache counters (one exchange)."""
+        if not self._workers:
+            return CacheInfo()
+        infos = self._request_many(
+            [(index, "cache_info", None) for index in self.shard_indices()]
+        )
+        rollup = CacheInfo()
+        for info in infos:
+            rollup = rollup + info
+        return rollup
+
+    def stats(self) -> IpcSnapshot:
+        """A snapshot of the pool's IPC counters."""
+        with self._stats_lock:
+            return IpcSnapshot(workers=len(self._workers), **self._stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "started" if self._started else "cold"
+        )
+        return (
+            f"ShardProcessPool(workers={len(self._workers)}, "
+            f"start_method={self._start_method!r}, shm={self._shm!r}, "
+            f"{state})"
+        )

@@ -1,0 +1,232 @@
+"""Shard worker process entrypoint.
+
+One worker process owns one database shard: it rebuilds the shard's
+database and warm :class:`~repro.session.QuerySession` from the (picklable)
+partition units, answers layout / summary / cache-info requests over its
+pipe, and participates in the coordinator's version-checked update protocol
+through staged ``prepare`` / ``commit`` / ``abort`` commands (the expensive
+tree rebuild happens here, off the parent's query path; the parent's
+:class:`~repro.models.sharded.ShardedDatabase` keeps sole authority over
+shard versions and the distinct-score registry).
+
+Everything in this module is importable at top level so the ``spawn`` start
+method can pickle the :func:`worker_main` target; the parent side lives in
+:mod:`repro.sharding.procpool`.
+
+Wire protocol: the parent sends ``(op, payload)`` tuples and receives
+``("ok", value)`` or ``("error", (exception_type_name, message))``.  Large
+tuple-independent prefix tables are exported through
+``multiprocessing.shared_memory`` when the parent asks for it (numpy
+backend only); everything else travels pickled over the pipe.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine import get_backend, set_backend
+from repro.exceptions import ProcessPoolError
+from repro.session import QuerySession
+from repro.sharding.summary import shard_layout
+
+#: Transport tags for the prefix-table payload of a summary reply.
+PIPE_TRANSPORT = "pipe"
+SHM_TRANSPORT = "shm"
+
+
+def _untrack_shared_memory(shm: Any) -> None:
+    """Hand a segment's unlink responsibility to the parent process.
+
+    The creating process's ``resource_tracker`` would otherwise unlink the
+    segment (with a "leaked shared_memory" warning) when this worker exits,
+    racing the parent that is still reading it.
+    """
+    try:  # private API, but the standard workaround pre-3.13
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variants
+        pass
+
+
+def export_prefix_table(
+    summary: Any, shm_wanted: bool, shm_min_bytes: int
+) -> Optional[Tuple[Any, ...]]:
+    """Package a summary's dense prefix table for the parent.
+
+    Returns ``None`` for block-independent shards (their partials are
+    derived from the layout on the parent), a ``("shm", name, shape)``
+    descriptor when the table is a large-enough numpy array and the parent
+    asked for shared memory, or ``("pipe", table)`` otherwise.
+    """
+    if not summary.is_independent:
+        return None
+    table = summary.prefix_table
+    if shm_wanted and get_backend().name == "numpy":
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        array = np.ascontiguousarray(table, dtype=np.float64)
+        if array.nbytes >= max(shm_min_bytes, 1):
+            segment = shared_memory.SharedMemory(
+                create=True, size=array.nbytes
+            )
+            view = np.ndarray(
+                array.shape, dtype=np.float64, buffer=segment.buf
+            )
+            view[:] = array
+            name = segment.name
+            _untrack_shared_memory(segment)
+            segment.close()
+            return (SHM_TRANSPORT, name, array.shape)
+    return (PIPE_TRANSPORT, table)
+
+
+class ShardWorkerState:
+    """The worker-side shard: units, database, session, staged rebuilds."""
+
+    def __init__(self, shard_index: int, name: str, units: List[Any]) -> None:
+        self.shard_index = shard_index
+        self.name = name
+        self.units = units
+        self._database: Optional[Any] = None
+        self._session: Optional[QuerySession] = None
+        #: ticket -> (units, database): rebuilds prepared but not committed.
+        self.staged: Dict[int, Tuple[List[Any], Any]] = {}
+
+    def _build_database(self, units: List[Any]) -> Any:
+        from repro.models.sharded import build_shard_database
+
+        return build_shard_database(self.name, self.shard_index, units)
+
+    def session(self) -> Optional[QuerySession]:
+        if not self.units:
+            return None
+        if self._session is None:
+            if self._database is None:
+                self._database = self._build_database(self.units)
+            self._session = QuerySession(self._database.tree)
+        return self._session
+
+    # -- command handlers ----------------------------------------------
+    def handle_layout(self, _payload: Any) -> Any:
+        session = self.session()
+        if session is None:
+            raise ProcessPoolError(
+                f"shard {self.shard_index} is empty; it has no layout"
+            )
+        return shard_layout(session)
+
+    def handle_summary(self, payload: Tuple[int, bool, int]) -> Any:
+        max_rank, shm_wanted, shm_min_bytes = payload
+        session = self.session()
+        if session is None:
+            raise ProcessPoolError(
+                f"shard {self.shard_index} is empty; it has no summary"
+            )
+        summary = session.partial_rank_summary(max_rank)
+        return {
+            "layout": summary.layout,
+            "max_rank": summary.max_rank,
+            "table": export_prefix_table(summary, shm_wanted, shm_min_bytes),
+        }
+
+    def handle_prepare(self, payload: Tuple[int, List[Any]]) -> int:
+        ticket, units = payload
+        # The expensive half of the swap: tree construction runs here, on
+        # the owning worker, while other shards keep answering queries.
+        self.staged[ticket] = (units, self._build_database(units))
+        return ticket
+
+    def handle_commit(self, ticket: int) -> int:
+        try:
+            units, database = self.staged.pop(ticket)
+        except KeyError:
+            raise ProcessPoolError(
+                f"unknown staged rebuild ticket {ticket} on shard "
+                f"{self.shard_index} (already committed or aborted?)"
+            ) from None
+        self.units = units
+        self._database = database
+        self._session = None
+        return ticket
+
+    def handle_abort(self, ticket: int) -> int:
+        self.staged.pop(ticket, None)
+        return ticket
+
+    def handle_invalidate(self, _payload: Any) -> None:
+        if self._session is not None:
+            self._session.invalidate()
+        return None
+
+    def handle_cache_info(self, _payload: Any) -> Any:
+        if self._session is None:
+            from repro.session import CacheInfo
+
+            return CacheInfo(backend=get_backend().name)
+        return self._session.cache_info()
+
+    def handle_stats(self, _payload: Any) -> Dict[str, Any]:
+        return {
+            "pid": os.getpid(),
+            "shard_index": self.shard_index,
+            "tuples": len(self.units),
+            "staged": len(self.staged),
+            "session_built": self._session is not None,
+            "backend": get_backend().name,
+        }
+
+
+def worker_main(
+    connection: Any,
+    shard_index: int,
+    name: str,
+    backend_name: str,
+    units: List[Any],
+) -> None:
+    """Run one shard worker until shutdown or parent disconnect."""
+    set_backend(backend_name)
+    state = ShardWorkerState(shard_index, name, units)
+    handlers = {
+        "layout": state.handle_layout,
+        "summary": state.handle_summary,
+        "prepare": state.handle_prepare,
+        "commit": state.handle_commit,
+        "abort": state.handle_abort,
+        "invalidate": state.handle_invalidate,
+        "cache_info": state.handle_cache_info,
+        "stats": state.handle_stats,
+        "ping": lambda _payload: "pong",
+    }
+    while True:
+        try:
+            op, payload = connection.recv()
+        except (EOFError, OSError):  # parent went away: nothing to serve
+            break
+        if op == "shutdown":
+            try:
+                connection.send(("ok", None))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            break
+        if op == "exit-now":
+            # Test hook: simulate a crash (no reply, hard exit) so the
+            # parent's no-hang detection can be exercised deterministically.
+            os._exit(13)
+        handler = handlers.get(op)
+        try:
+            if handler is None:
+                raise ProcessPoolError(f"unknown worker command {op!r}")
+            reply = ("ok", handler(payload))
+        except BaseException as error:  # ship the failure, keep serving
+            reply = ("error", (type(error).__name__, str(error)))
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            break
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover
+        pass

@@ -184,6 +184,35 @@ class ShardRankSummary:
             -score for score in self._layout.scores
         ]
 
+    @classmethod
+    def from_layout(
+        cls,
+        layout: ShardLayout,
+        max_rank: int,
+        prefix_table: Any = None,
+    ) -> "ShardRankSummary":
+        """Rebuild a summary from exported state, without a session.
+
+        Used by the process-backed execution layer: a shard worker ships
+        its (picklable) :class:`ShardLayout` plus, for tuple-independent
+        shards, the dense prefix polynomial table (over a pipe or a
+        shared-memory segment); the coordinator reconstructs an equivalent
+        summary against the parent's active backend.  A missing
+        ``prefix_table`` is recomputed lazily from the layout's
+        probabilities -- identical coefficients, just without reusing the
+        worker's sweep.
+        """
+        self = cls.__new__(cls)
+        self._session = None
+        self._max_rank = max(int(max_rank), 1)
+        self._backend = get_backend()
+        self._layout = layout
+        self._prefix_table = prefix_table
+        self._block_polynomials = {}
+        self._excluding_polynomials = {}
+        self._neg_scores = [-score for score in layout.scores]
+        return self
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ from repro.workloads.traffic import (
     TrafficEvent,
     generate_traffic,
     replay_traffic,
+    traffic_signature,
 )
 
 __all__ = [
@@ -68,4 +69,5 @@ __all__ = [
     "TrafficEvent",
     "generate_traffic",
     "replay_traffic",
+    "traffic_signature",
 ]

@@ -192,6 +192,32 @@ def generate_traffic(
     return events
 
 
+def traffic_signature(events: Sequence[TrafficEvent]) -> str:
+    """A stable structural fingerprint of an event stream.
+
+    Hashes each event's kind, the query's restart-stable
+    :meth:`~repro.query.ConsensusQuery.fingerprint`, and the update fields
+    into one hex digest.  Two streams with the same signature are
+    byte-identical in everything the serving layer reads off them, so a
+    seeded generator can be asserted reproducible across processes, start
+    methods and executor modes without comparing event objects pairwise.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for event in events:
+        if event.is_update:
+            part = (
+                "update", repr(event.key),
+                repr(event.probability), repr(event.score),
+            )
+        else:
+            part = ("query", event.query.fingerprint())
+        digest.update("\x1f".join(part).encode("utf-8"))
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
 async def replay_traffic(
     executor: "Any",
     events: Sequence[TrafficEvent],

@@ -258,6 +258,57 @@ class TestServingExecutor:
 
         assert len(asyncio.run(scenario())) == 8
 
+    def test_stop_is_idempotent_and_close_releases_workers(self):
+        _, sharded = make_sharded(count=8, shard_count=2)
+
+        async def scenario():
+            executor = ServingExecutor(sharded)
+            await executor.start()
+            await executor.query("top_k_membership", k=2)
+            await executor.stop()
+            await executor.stop()  # second stop: no-op, no error
+            return executor
+
+        executor = asyncio.run(scenario())
+        assert executor._shard_pools == []
+        assert executor._merge_pool is None
+        executor.close()  # sync close after stop: still a no-op
+        executor.close()
+
+    def test_close_without_loop_releases_workers(self):
+        _, sharded = make_sharded(count=8, shard_count=2)
+
+        async def scenario():
+            executor = ServingExecutor(sharded)
+            await executor.start()
+            await executor.query("top_k_membership", k=2)
+            return executor
+
+        executor = asyncio.run(scenario())
+        # Simulates teardown after an exception unwound past stop(): the
+        # synchronous escape hatch must still release every worker pool.
+        executor.close()
+        assert executor._shard_pools == []
+        assert executor._merge_pool is None
+        assert executor._dispatcher is None
+        assert executor._on_invalidation not in sharded._subscribers
+
+    def test_exception_inside_context_still_releases_workers(self):
+        _, sharded = make_sharded(count=8, shard_count=2)
+
+        async def scenario():
+            executor = ServingExecutor(sharded)
+            with pytest.raises(ValueError, match="boom"):
+                async with executor:
+                    await executor.query("top_k_membership", k=2)
+                    raise ValueError("boom")
+            return executor
+
+        executor = asyncio.run(scenario())
+        assert executor._shard_pools == []
+        assert executor._merge_pool is None
+        assert executor._on_invalidation not in sharded._subscribers
+
 
 class TestLatencyRecorder:
     def test_percentiles(self):
