@@ -65,6 +65,11 @@ inside its event loop to get coalescing and micro-batching):
 >>> sharded.execute(Query.topk(k=2)).answer
 ('t1', 't2')
 
+Updates re-merge incrementally through cached prefix/suffix partial
+products (O(shards) convolutions per single-shard change), and
+``coordinator.at(versions)`` pins an MVCC snapshot reader whose answers
+stay bit-identical while writers publish new shard versions.
+
 The pre-declarative module-level functions
 (``repro.mean_topk_symmetric_difference`` and friends) keep working but
 emit :class:`DeprecationWarning` and re-route through the planner.

@@ -55,6 +55,22 @@ class Backend:
 
     name: str = "abstract"
 
+    # -- instrumentation ----------------------------------------------------
+    def count_kernel(self, kernel: str) -> None:
+        """Bump the per-instance call counter for one named kernel.
+
+        Only the shard-merge kernels currently report (``convolve_rows``):
+        benchmarks assert the incremental coordinator merge issues O(S)
+        row convolutions per update instead of the O(S²) of a full
+        re-merge, and the counter is how they measure it.
+        """
+        counters = self.__dict__.setdefault("_kernel_calls", {})
+        counters[kernel] = counters.get(kernel, 0) + 1
+
+    def kernel_calls(self, kernel: str) -> int:
+        """Lifetime number of calls recorded for one named kernel."""
+        return self.__dict__.get("_kernel_calls", {}).get(kernel, 0)
+
     # -- polynomial kernels -------------------------------------------------
     def convolve(
         self, a: Sequence[Number], b: Sequence[Number], out_len: int
@@ -222,6 +238,21 @@ class Backend:
         """Gather rows of a native matrix (callers must not mutate them)."""
         raise NotImplementedError
 
+    def index_vector(self, indices: Sequence[int]) -> Sequence[int]:
+        """Pre-convert row indices to the backend's native gather form.
+
+        Callers that reuse one index list across many :meth:`take_rows` /
+        :meth:`sum_rows_by_group` calls (the merge engine's grid positions
+        live across every incremental re-merge) convert it once through
+        this hook instead of paying a python-list conversion per call.
+        """
+        return list(indices)
+
+    def factor_vector(self, factors: Sequence[float]) -> Sequence[float]:
+        """Pre-convert per-row scale factors for reuse across
+        :meth:`scale_rows` calls (same contract as :meth:`index_vector`)."""
+        return [float(value) for value in factors]
+
     def descending_prefix_lengths(
         self,
         scores_desc: Sequence[float],
@@ -242,6 +273,17 @@ class Backend:
 
     def stack_matrices(self, matrices: Sequence[Any]) -> Any:
         """Concatenate native matrices with equal column counts row-wise."""
+        raise NotImplementedError
+
+    def sum_rows_by_group(
+        self, matrix: Any, groups: Sequence[int], group_count: int
+    ) -> Any:
+        """Sum rows of a native matrix into ``group_count`` output rows.
+
+        ``result[groups[r]] += matrix[r]`` for every row ``r``.  The merge
+        engine uses this to collapse per-alternative rank contributions of
+        a block-independent shard into per-key rows.
+        """
         raise NotImplementedError
 
     # -- consensus cost kernels --------------------------------------------
@@ -535,6 +577,7 @@ class PurePythonBackend(Backend):
         b: List[List[float]],
         out_len: int,
     ) -> List[List[float]]:
+        self.count_kernel("convolve_rows")
         if len(a) != len(b):
             raise ValueError(
                 f"row counts differ: {len(a)} vs {len(b)}"
@@ -578,6 +621,20 @@ class PurePythonBackend(Backend):
         for matrix in matrices:
             stacked.extend(matrix)
         return stacked
+
+    def sum_rows_by_group(
+        self,
+        matrix: List[List[float]],
+        groups: Sequence[int],
+        group_count: int,
+    ) -> List[List[float]]:
+        width = len(matrix[0]) if matrix else 0
+        out = [[0.0] * width for _ in range(group_count)]
+        for row, group in zip(matrix, groups):
+            target = out[group]
+            for index, value in enumerate(row):
+                target[index] += value
+        return out
 
     def footrule_cost_matrix(
         self, matrix: List[List[float]], k: int
@@ -964,26 +1021,48 @@ class NumpyBackend(Backend):
         return rows
 
     def convolve_rows(self, a: Any, b: Any, out_len: int) -> Any:
+        self.count_kernel("convolve_rows")
         a = _np.asarray(a, dtype=_np.float64)
         b = _np.asarray(b, dtype=_np.float64)
         if a.shape[0] != b.shape[0]:
             raise ValueError(
                 f"row counts differ: {a.shape[0]} vs {b.shape[0]}"
             )
-        out = _np.zeros((a.shape[0], out_len), dtype=_np.float64)
+        rows = a.shape[0]
         width = min(a.shape[1], out_len)
         b_width = min(b.shape[1], out_len)
-        # One shifted rank-1 accumulation per degree of the left operand:
-        # out[:, i + j] += a[:, i] * b[:, j], truncated at out_len columns.
-        for i in range(width):
-            span = min(b_width, out_len - i)
-            if span <= 0:
-                break
-            out[:, i : i + span] += a[:, i : i + 1] * b[:, :span]
-        return out
+        if width <= 0 or out_len < 1:
+            return _np.zeros((rows, max(out_len, 0)), dtype=_np.float64)
+        # Per-row truncated polynomial product as one batched contraction:
+        # out[r, m] = Σ_i a[r, i] · b[r, m - i].  A zero-padded copy of b
+        # exposes every shifted window b[r, m - i] through a strided view
+        # (stride -1 along i), so the whole product is a single einsum
+        # instead of `width` shifted accumulation passes.
+        padded = _np.empty((rows, width - 1 + out_len), dtype=_np.float64)
+        padded[:, : width - 1] = 0.0
+        padded[:, width - 1 : width - 1 + b_width] = b[:, :b_width]
+        if out_len > b_width:
+            padded[:, width - 1 + b_width :] = 0.0
+        anchored = padded[:, width - 1 :]
+        row_stride, col_stride = padded.strides
+        windows = _np.lib.stride_tricks.as_strided(
+            anchored,
+            shape=(rows, out_len, width),
+            strides=(row_stride, col_stride, -col_stride),
+            writeable=False,
+        )
+        return _np.einsum(
+            "rmi,ri->rm", windows, a[:, :width], optimize=True
+        )
 
     def take_rows(self, matrix: Any, indices: Sequence[int]) -> Any:
         return matrix[_np.asarray(indices, dtype=_np.intp)]
+
+    def index_vector(self, indices: Sequence[int]) -> Any:
+        return _np.asarray(indices, dtype=_np.intp)
+
+    def factor_vector(self, factors: Sequence[float]) -> Any:
+        return _np.asarray(factors, dtype=_np.float64)
 
     def descending_prefix_lengths(
         self,
@@ -1001,6 +1080,14 @@ class NumpyBackend(Backend):
 
     def stack_matrices(self, matrices: Sequence[Any]) -> Any:
         return _np.vstack([_np.asarray(m, dtype=_np.float64) for m in matrices])
+
+    def sum_rows_by_group(
+        self, matrix: Any, groups: Sequence[int], group_count: int
+    ) -> Any:
+        matrix = _np.asarray(matrix, dtype=_np.float64)
+        out = _np.zeros((group_count, matrix.shape[1]), dtype=_np.float64)
+        _np.add.at(out, _np.asarray(groups, dtype=_np.intp), matrix)
+        return out
 
     def footrule_cost_matrix(self, matrix: Any, k: int) -> Any:
         positions = _np.arange(1, k + 1, dtype=_np.float64)

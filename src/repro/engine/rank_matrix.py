@@ -12,7 +12,7 @@ stay inside the backend's native array layout.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Sequence
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from repro.engine.backends import Backend
 
@@ -36,11 +36,19 @@ class RankMatrix:
         backend: Backend,
         max_rank: int,
         cumulative: bool = False,
+        key_index: Optional[Dict[Hashable, int]] = None,
     ) -> None:
         self._keys: List[Hashable] = list(keys)
-        self._index: Dict[Hashable, int] = {
-            key: position for position, key in enumerate(self._keys)
-        }
+        if key_index is not None:
+            # Caller-supplied position index (already aligned with ``keys``):
+            # producers that emit many matrices over one stable key order
+            # (the sharded coordinator's incremental re-merges) share one
+            # index instead of rebuilding an n-entry dict per matrix.
+            self._index: Dict[Hashable, int] = key_index
+        else:
+            self._index = {
+                key: position for position, key in enumerate(self._keys)
+            }
         if len(self._index) != len(self._keys):
             raise ValueError("rank matrix keys must be distinct")
         self._matrix = matrix

@@ -32,6 +32,17 @@ class ProbabilityError(ModelError):
     """Raised when a probability value or distribution is invalid."""
 
 
+class SnapshotTooOldError(ModelError):
+    """Raised when a version-pinned snapshot read can no longer be served.
+
+    The sharded coordinator keeps a small bounded history of per-shard
+    states (version vectors, layouts, summaries); a reader pinned at a
+    vector that has been evicted from that history cannot reconstruct the
+    merged artifacts it needs.  Re-pin at the current version vector
+    (``coordinator.at()``) to proceed.
+    """
+
+
 class DistanceError(ReproError):
     """Raised when a distance computation receives incompatible answers."""
 

@@ -15,7 +15,11 @@ from repro.models.relation import ProbabilisticRelation
 from repro.models.tuple_independent import TupleIndependentDatabase
 from repro.models.bid import BlockIndependentDatabase
 from repro.models.xtuples import XTupleDatabase
-from repro.models.sharded import DatabaseShard, ShardedDatabase
+from repro.models.sharded import (
+    DatabaseShard,
+    DatabaseSnapshot,
+    ShardedDatabase,
+)
 
 __all__ = [
     "ProbabilisticRelation",
@@ -23,5 +27,6 @@ __all__ = [
     "BlockIndependentDatabase",
     "XTupleDatabase",
     "DatabaseShard",
+    "DatabaseSnapshot",
     "ShardedDatabase",
 ]

@@ -17,6 +17,7 @@ invalidation fan-out); the other shards' memoized statistics stay warm.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from typing import (
     Any,
@@ -237,6 +238,11 @@ class ShardedDatabase:
         Keyword arguments forwarded to the process pool constructor
         (``start_method``, ``shm``, ``shm_min_bytes``,
         ``request_timeout``); ignored under ``executor="threads"``.
+    snapshot_history:
+        How many superseded shard versions the coordinator archives for
+        version-pinned snapshot readers (:meth:`snapshot`,
+        ``coordinator().at(...)``); older pins raise
+        :class:`~repro.exceptions.SnapshotTooOldError`.
     """
 
     def __init__(
@@ -248,6 +254,7 @@ class ShardedDatabase:
         validate_scores: bool = True,
         executor: str = "threads",
         executor_options: Optional[Dict[str, Any]] = None,
+        snapshot_history: int = 4,
     ) -> None:
         if shard_count < 1:
             raise ModelError(f"shard_count must be >= 1, got {shard_count}")
@@ -259,6 +266,8 @@ class ShardedDatabase:
         self._validate_scores = validate_scores
         self._executor = executor
         self._executor_options = dict(executor_options or {})
+        self._snapshot_history = max(1, int(snapshot_history))
+        self._apply_lock = threading.Lock()
         self._pool: Optional[Any] = None
         self._partitioner_name = (
             partitioner if isinstance(partitioner, str) else "custom"
@@ -427,9 +436,22 @@ class ShardedDatabase:
             from repro.sharding.coordinator import ShardedQuerySession
 
             self._coordinator = ShardedQuerySession(
-                self, validate_scores=self._validate_scores
+                self,
+                validate_scores=self._validate_scores,
+                snapshot_history=self._snapshot_history,
             )
         return self._coordinator
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """A handle pinning the current shard-version vector (MVCC read).
+
+        The returned :class:`DatabaseSnapshot` resolves version-pinned
+        reader sessions via ``coordinator().at(versions)``: queries through
+        it answer exactly as the database did at pin time, unaffected by
+        concurrent updates, until the vector leaves the coordinator's
+        bounded snapshot history.
+        """
+        return DatabaseSnapshot(self, self.versions())
 
     def cache_info(self) -> CacheInfo:
         """Cache counters rolled up across every shard session.
@@ -634,42 +656,56 @@ class ShardedDatabase:
         after the update was prepared (a concurrent update won the race);
         the caller should re-prepare and retry.
         """
-        shard = self._shards[pending.shard_index]
-        if shard.version != pending.base_version:
-            if pending.remote_ticket is not None and self._pool is not None:
-                # Losing the race must also drop the worker-side staged
-                # rebuild, or worker and parent units would diverge on the
-                # next prepared update that does win.
-                self._pool.abort_replace(
+        with self._apply_lock:
+            shard = self._shards[pending.shard_index]
+            if shard.version != pending.base_version:
+                if (
+                    pending.remote_ticket is not None
+                    and self._pool is not None
+                ):
+                    # Losing the race must also drop the worker-side staged
+                    # rebuild, or worker and parent units would diverge on
+                    # the next prepared update that does win.
+                    self._pool.abort_replace(
+                        pending.shard_index, pending.remote_ticket
+                    )
+                raise StaleUpdateError(
+                    f"shard {pending.shard_index} moved from version "
+                    f"{pending.base_version} to {shard.version} since the "
+                    "update was prepared; re-prepare and retry"
+                )
+            # Re-validate and apply the distinct-score delta only now, so an
+            # abandoned prepared update (race lost, caller cancelled) leaves
+            # the registry untouched, and a concurrent update of another
+            # shard that claimed the same score since preparation is caught.
+            if self._validate_scores and (
+                pending.added_scores or pending.removed_scores
+            ):
+                self._check_score_free(pending.key, pending.added_scores)
+                for score in pending.removed_scores:
+                    if self._score_owner.get(score) == pending.key:
+                        del self._score_owner[score]
+                for score in pending.added_scores:
+                    self._score_owner[score] = pending.key
+            # Archive the outgoing shard state while it is still live, so
+            # readers pinned at the current vector keep resolving it after
+            # the swap publishes the new one.
+            self._archive_current(shard)
+            if pending.remote_ticket is not None:
+                # Commit on the worker BEFORE the parent swap: a worker
+                # crash here raises and leaves the parent at the old
+                # version, so parent and (rebuilt) workers never disagree
+                # about state.
+                self.process_pool().commit_replace(
                     pending.shard_index, pending.remote_ticket
                 )
-            raise StaleUpdateError(
-                f"shard {pending.shard_index} moved from version "
-                f"{pending.base_version} to {shard.version} since the "
-                "update was prepared; re-prepare and retry"
-            )
-        # Re-validate and apply the distinct-score delta only now, so an
-        # abandoned prepared update (race lost, caller cancelled) leaves
-        # the registry untouched, and a concurrent update of another shard
-        # that claimed the same score since preparation is caught.
-        if self._validate_scores and (
-            pending.added_scores or pending.removed_scores
-        ):
-            self._check_score_free(pending.key, pending.added_scores)
-            for score in pending.removed_scores:
-                if self._score_owner.get(score) == pending.key:
-                    del self._score_owner[score]
-            for score in pending.added_scores:
-                self._score_owner[score] = pending.key
-        if pending.remote_ticket is not None:
-            # Commit on the worker BEFORE the parent swap: a worker crash
-            # here raises and leaves the parent at the old version, so
-            # parent and (rebuilt) workers never disagree about state.
-            self.process_pool().commit_replace(
-                pending.shard_index, pending.remote_ticket
-            )
-        shard._replace_units(pending.units, pending.database)
+            shard._replace_units(pending.units, pending.database)
         self._notify(pending.shard_index, pending.key)
+
+    def _archive_current(self, shard: DatabaseShard) -> None:
+        """Hand the shard's outgoing state to the coordinator's history."""
+        if self._coordinator is not None:
+            self._coordinator._archive_shard(shard)
 
     def update_tuple(
         self,
@@ -695,9 +731,11 @@ class ShardedDatabase:
     def invalidate_shard(self, index: int) -> None:
         """Force-drop one shard's session and bump its version."""
         shard = self._shards[index]
-        shard._replace_units(list(shard._units))
-        if self._pool is not None and not self._pool.closed:
-            self._pool.invalidate(index)
+        with self._apply_lock:
+            self._archive_current(shard)
+            shard._replace_units(list(shard._units))
+            if self._pool is not None and not self._pool.closed:
+                self._pool.invalidate(index)
         self._notify(index, None)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -705,6 +743,49 @@ class ShardedDatabase:
         return (
             f"ShardedDatabase({self._name!r}, shards={sizes}, "
             f"partitioner={self._partitioner_name!r})"
+        )
+
+
+class DatabaseSnapshot:
+    """A pinned shard-version vector over a :class:`ShardedDatabase`.
+
+    Snapshot handles are cheap (they record only the vector); the actual
+    MVCC machinery lives in the coordinator's bounded per-vector artifact
+    store and per-shard archive history.  Use :meth:`session` for a
+    reader that answers exactly as the database did at pin time.
+    """
+
+    __slots__ = ("_database", "_versions")
+
+    def __init__(
+        self, database: ShardedDatabase, versions: Tuple[int, ...]
+    ) -> None:
+        self._database = database
+        self._versions = tuple(versions)
+
+    @property
+    def versions(self) -> Tuple[int, ...]:
+        """The pinned per-shard version vector."""
+        return self._versions
+
+    @property
+    def is_current(self) -> bool:
+        """Whether no shard has been updated since the pin."""
+        return self._database.versions() == self._versions
+
+    def session(self) -> Any:
+        """A version-pinned reader session (a coordinator drop-in).
+
+        Raises :class:`~repro.exceptions.SnapshotTooOldError` (lazily, at
+        query time) once the pinned vector leaves the coordinator's
+        bounded snapshot history.
+        """
+        return self._database.coordinator().at(self._versions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatabaseSnapshot({self._database.name!r}, "
+            f"versions={self._versions}, current={self.is_current})"
         )
 
 

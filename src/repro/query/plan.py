@@ -165,6 +165,24 @@ class ExecutionPlan:
         """The session the plan was built for."""
         return self._session
 
+    def rebound(self, session: Any) -> "ExecutionPlan":
+        """The same plan retargeted at another session.
+
+        The serving executor plans once against the live coordinator, then
+        rebinds the plan to a version-pinned snapshot reader so the actual
+        read runs against immutable state.  Routing inputs (layout, size,
+        backend) are identical across the rebind by construction, so the
+        decision is reused as-is.
+        """
+        if session is self._session:
+            return self
+        clone = object.__new__(ExecutionPlan)
+        for name in ExecutionPlan.__slots__:
+            object.__setattr__(clone, name, getattr(self, name))
+        clone._session = session
+        clone.generation = session.generation
+        return clone
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
+from repro.exceptions import SnapshotTooOldError
 from repro.models.sharded import ShardedDatabase, StaleUpdateError
 from repro.query.answers import QueryAnswer
 from repro.query.builder import ConsensusQuery
@@ -109,12 +110,19 @@ class ServingExecutor:
 
         Under ``executor="processes"`` the snapshot's ``ipc`` field carries
         the worker pool's transport counters (summaries exchanged, bytes
-        shipped over pipes vs shared memory).
+        shipped over pipes vs shared memory).  The ``merge`` field carries
+        the coordinator's merge-engine counters (full vs incremental
+        re-merges, convolutions, reused partial products) once a
+        coordinator exists.
         """
         ipc = None
         if self._process_pool is not None and not self._process_pool.closed:
             ipc = self._process_pool.stats()
-        return self._metrics.snapshot(ipc=ipc)
+        merge = None
+        coordinator = getattr(self._database, "_coordinator", None)
+        if coordinator is not None:
+            merge = coordinator.merge_stats()
+        return self._metrics.snapshot(ipc=ipc, merge=merge)
 
     @property
     def started(self) -> bool:
@@ -269,7 +277,10 @@ class ServingExecutor:
                 lambda _: self._pending.pop(pending_key, None)
             )
         self._metrics.count_query(query.kind)
-        await self._queue.put((query, future))
+        # The versions captured at ingress pin the read: the batch answers
+        # on a snapshot reader at exactly this vector, so a concurrent
+        # update landing before the batch runs cannot tear the result.
+        await self._queue.put((query, future, versions))
         try:
             return await asyncio.shield(future)
         finally:
@@ -294,18 +305,21 @@ class ServingExecutor:
     ) -> None:
         """Update one tuple; only its shard is rebuilt and invalidated.
 
-        The rebuild (tree construction) runs on the owning shard's worker;
-        the version-bumping swap is serialized with queries on the
-        coordinator worker.  Retries transparently if a concurrent update
-        to the same shard wins the race.
+        Both the rebuild (tree construction) and the version-bumping swap
+        run on the owning shard's worker: snapshot-pinned reads make the
+        swap safe against in-flight queries, so updates no longer wait
+        behind the coordinator worker's merge queue.  Retries
+        transparently if a concurrent update to the same shard wins the
+        race.
         """
         if self._dispatcher is None:
             await self.start()
         loop = asyncio.get_running_loop()
         shard_index = self._database.shard_of(key)
+        pool = self._shard_pools[shard_index]
         while True:
             pending = await loop.run_in_executor(
-                self._shard_pools[shard_index],
+                pool,
                 self._database.prepare_update,
                 key,
                 probability,
@@ -313,7 +327,7 @@ class ServingExecutor:
             )
             try:
                 await loop.run_in_executor(
-                    self._merge_pool, self._database.apply_update, pending
+                    pool, self._database.apply_update, pending
                 )
             except StaleUpdateError:
                 continue
@@ -363,23 +377,37 @@ class ServingExecutor:
                 return
 
     async def _execute_batch(
-        self, batch: List[Tuple[ConsensusQuery, asyncio.Future]]
+        self,
+        batch: List[Tuple[ConsensusQuery, asyncio.Future, Tuple[int, ...]]],
     ) -> None:
         loop = asyncio.get_running_loop()
         self._metrics.count_batch(len(batch))
         coordinator = self._database.coordinator()
         if self._warm_shards and self._database.shard_count > 1:
             await self._warm_batch(loop, batch)
-        for query, future in batch:
+        for query, future, versions in batch:
             if future.done():
                 continue
             try:
-                # Plan (memoized per session generation) + execute on the
-                # coordinator worker; the future carries the QueryAnswer.
+                # Plan (memoized per session generation) on the live
+                # coordinator, then rebind to a reader pinned at the
+                # versions captured when the request arrived: the read is
+                # isolated from updates that landed while it was queued.
                 plan = DEFAULT_PLANNER.plan_for(query, coordinator, "served")
-                result = await loop.run_in_executor(
-                    self._merge_pool, plan.execute
-                )
+                reader = coordinator.at(versions)
+                self._metrics.snapshot_reads += 1
+                if tuple(versions) != self._database.versions():
+                    self._metrics.stale_reads += 1
+                try:
+                    result = await loop.run_in_executor(
+                        self._merge_pool, plan.rebound(reader).execute
+                    )
+                except SnapshotTooOldError:
+                    # The pinned state aged out of the bounded history
+                    # while queued; answer at the current versions instead.
+                    result = await loop.run_in_executor(
+                        self._merge_pool, plan.execute
+                    )
             except Exception as error:  # surfaced to the submitter
                 if not future.done():
                     future.set_exception(error)
@@ -390,13 +418,13 @@ class ServingExecutor:
     async def _warm_batch(
         self,
         loop: asyncio.AbstractEventLoop,
-        batch: List[Tuple[ConsensusQuery, asyncio.Future]],
+        batch: List[Tuple[ConsensusQuery, asyncio.Future, Tuple[int, ...]]],
     ) -> None:
         """Concurrently refresh the shard summaries a batch will merge."""
         truncations = sorted(
             {
                 rank
-                for query, _ in batch
+                for query, _, _ in batch
                 for rank in (required_max_rank(query),)
                 if rank is not None
             }

@@ -65,11 +65,21 @@ class ServingMetricsSnapshot:
     latency_p50: float
     latency_p95: float
     queries_by_kind: Tuple[Tuple[str, int], ...]
+    #: Reads answered on a version-pinned snapshot reader (MVCC path).
+    snapshot_reads: int = 0
+    #: Snapshot-pinned reads whose pinned vector was already superseded
+    #: when the batch ran (the read resolved archived shard state).
+    stale_reads: int = 0
     #: Transport counters of the process-backed shard pool
     #: (:class:`repro.sharding.procpool.IpcSnapshot`: summaries exchanged,
     #: pipe vs shared-memory messages and bytes); ``None`` under
     #: ``executor="threads"``.
     ipc: Optional[Any] = None
+    #: Coordinator merge-engine counters
+    #: (:class:`repro.sharding.merge.MergeStatsSnapshot`: full vs
+    #: incremental merges, convolutions, reused partial products);
+    #: ``None`` when no coordinator has been built yet.
+    merge: Optional[Any] = None
 
     @property
     def coalesce_rate(self) -> float:
@@ -88,6 +98,8 @@ class ServingMetrics:
     batches: int = 0
     updates: int = 0
     invalidations: int = 0
+    snapshot_reads: int = 0
+    stale_reads: int = 0
     batched_requests: int = 0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     queries_by_kind: Dict[str, int] = field(default_factory=dict)
@@ -100,14 +112,19 @@ class ServingMetrics:
         self.batches += 1
         self.batched_requests += size
 
-    def snapshot(self, ipc: Optional[Any] = None) -> ServingMetricsSnapshot:
+    def snapshot(
+        self, ipc: Optional[Any] = None, merge: Optional[Any] = None
+    ) -> ServingMetricsSnapshot:
         return ServingMetricsSnapshot(
             ipc=ipc,
+            merge=merge,
             queries=self.queries,
             coalesced=self.coalesced,
             batches=self.batches,
             updates=self.updates,
             invalidations=self.invalidations,
+            snapshot_reads=self.snapshot_reads,
+            stale_reads=self.stale_reads,
             mean_batch_size=(
                 self.batched_requests / self.batches if self.batches else 0.0
             ),

@@ -21,12 +21,16 @@ distributions.  This package exploits that factorization:
 """
 
 from repro.sharding.summary import ShardRankSummary
-from repro.sharding.coordinator import ShardedQuerySession
+from repro.sharding.merge import MergeEngine, MergeStatsSnapshot
+from repro.sharding.coordinator import ShardedQuerySession, SnapshotReader
 from repro.sharding.procpool import IpcSnapshot, ShardProcessPool
 
 __all__ = [
     "ShardRankSummary",
     "ShardedQuerySession",
+    "SnapshotReader",
+    "MergeEngine",
+    "MergeStatsSnapshot",
     "ShardProcessPool",
     "IpcSnapshot",
 ]

@@ -17,14 +17,29 @@ intersection, footrule and (via the merged pairwise grid) Kendall metrics
 are computed from merged statistics and are semantically identical to a
 single unsharded session over the same data.
 
-Shard caches stay independent: the coordinator snapshots the shard
-versions/generations it last merged against and transparently drops its
-merged artifacts when any shard changes, while unchanged shards keep their
-memoized partial summaries warm.
+Two properties make the coordinator honest under sustained mixed traffic:
+
+* **Incremental merging** (``merge_mode="incremental"``, the default): the
+  merge runs through :class:`~repro.sharding.merge.MergeEngine`, which
+  keeps prefix/suffix partial products of the per-shard count-above
+  polynomials on one shared score grid, keyed by per-shard version tokens.
+  A full merge is O(S) row convolutions and a single-shard update
+  recomputes only the partial-product rows containing that shard.
+  ``merge_mode="rebuild"`` keeps the legacy from-scratch O(S²) merge (used
+  by parity tests and as the baseline of the update-latency benchmarks).
+* **MVCC snapshot reads**: merged artifacts are memoized *per version
+  vector* in a small bounded store, and :meth:`at` returns a
+  :class:`SnapshotReader` pinned at one vector.  Updates publish a new
+  vector (the owning database archives the outgoing shard state first),
+  so in-flight readers keep answering from their pinned snapshot without
+  blocking or racing the writer; a reader whose vector has been evicted
+  raises :class:`~repro.exceptions.SnapshotTooOldError`.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.andxor.nodes import AndNode
@@ -32,9 +47,10 @@ from repro.andxor.rank_probabilities import RankStatistics
 from repro.andxor.tree import AndXorTree
 from repro.core.tuples import TupleAlternative
 from repro.engine import PairwisePreferenceMatrix, RankMatrix, get_backend
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, SnapshotTooOldError
 from repro.session import QuerySession, as_session
-from repro.sharding.summary import ShardRankSummary
+from repro.sharding.merge import MergeEngine, MergeStatsSnapshot
+from repro.sharding.summary import ShardRankSummary, shard_layout
 
 
 class _MergedLayout:
@@ -48,6 +64,7 @@ class _MergedLayout:
         "triples",
         "independent",
         "key_to_session",
+        "grid_scores",
     )
 
     def __init__(
@@ -59,6 +76,7 @@ class _MergedLayout:
         triples: List[Tuple[float, float, Hashable]],
         independent: bool,
         key_to_session: Dict[Hashable, QuerySession],
+        grid_scores: List[float],
     ) -> None:
         self.keys_order = keys_order
         self.presence = presence
@@ -67,6 +85,80 @@ class _MergedLayout:
         self.triples = triples
         self.independent = independent
         self.key_to_session = key_to_session
+        self.grid_scores = grid_scores
+
+
+class _VersionEntry:
+    """Memoized merged artifacts of one version vector."""
+
+    __slots__ = ("cache", "statistics", "merged_tree")
+
+    def __init__(
+        self,
+        cache: Dict[Any, Any],
+        statistics: Optional[RankStatistics],
+        merged_tree: Optional[AndXorTree],
+    ) -> None:
+        self.cache = cache
+        self.statistics = statistics
+        self.merged_tree = merged_tree
+
+
+class _ShardArchive:
+    """One shard's frozen state at a historical version.
+
+    Created by the owning database right before an update swaps the
+    shard's units, so readers pinned at the outgoing version can still
+    resolve it.  Whatever warm artifacts exist at archive time -- the live
+    session on the in-process path, the pool's cached layout and summaries
+    on the process path -- are adopted; anything missing is rebuilt lazily
+    from the archived units.
+    """
+
+    __slots__ = (
+        "index",
+        "version",
+        "units",
+        "owner",
+        "_session",
+        "_fragment",
+        "_summaries",
+    )
+
+    def __init__(self, shard: Any) -> None:
+        self.index = shard.index
+        self.version = shard.version
+        self.units = shard.units  # a copy, by DatabaseShard contract
+        self.owner = shard._owner
+        self._session: Optional[QuerySession] = None
+        self._fragment: Optional[Any] = None
+        self._summaries: Dict[int, ShardRankSummary] = {}
+
+    def session(self) -> Optional[QuerySession]:
+        """The archived shard session (rebuilt from units when cold)."""
+        if self._session is None and self.units:
+            database = self.owner._build_shard_database(
+                self.index, self.units
+            )
+            self._session = QuerySession(database.tree)
+        return self._session
+
+    def layout_fragment(self) -> Optional[Any]:
+        if self._fragment is None and self.units:
+            self._fragment = shard_layout(self.session())
+        return self._fragment
+
+    def summary(self, max_rank: int) -> ShardRankSummary:
+        cached = self._summaries.get(max_rank)
+        if cached is None:
+            if self._session is not None or self._fragment is None:
+                cached = self.session().partial_rank_summary(max_rank)
+            else:
+                cached = ShardRankSummary.from_layout(
+                    self._fragment, max_rank
+                )
+            self._summaries[max_rank] = cached
+        return cached
 
 
 class ShardedQuerySession(QuerySession):
@@ -76,17 +168,31 @@ class ShardedQuerySession(QuerySession):
     ----------
     shards:
         Either a :class:`~repro.models.sharded.ShardedDatabase` (the
-        coordinator then follows its shard versions, dropping merged
-        artifacts whenever a shard is updated) or an iterable of per-shard
-        sources (trees, :class:`RankStatistics` or sessions) with disjoint
-        tuple keys.
+        coordinator then follows its shard versions, swapping to a fresh
+        per-vector artifact store whenever a shard is updated) or an
+        iterable of per-shard sources (trees, :class:`RankStatistics` or
+        sessions) with disjoint tuple keys.
     validate_scores:
         Require pairwise-distinct scores *across* shards (each shard only
         validates its own); the merge semantics assume the paper's no-ties
         ranking.
+    merge_mode:
+        ``"incremental"`` (default) merges through the prefix/suffix
+        partial-product engine; ``"rebuild"`` keeps the legacy from-scratch
+        merge on every call.
+    snapshot_history:
+        How many version vectors (and per-shard archived states) to retain
+        for pinned snapshot readers; older pins raise
+        :class:`~repro.exceptions.SnapshotTooOldError`.
     """
 
-    def __init__(self, shards: Any, validate_scores: bool = True) -> None:
+    def __init__(
+        self,
+        shards: Any,
+        validate_scores: bool = True,
+        merge_mode: str = "incremental",
+        snapshot_history: int = 4,
+    ) -> None:
         if hasattr(shards, "sessions") and hasattr(shards, "versions"):
             self._database: Optional[Any] = shards
             self._static_sessions: Optional[List[QuerySession]] = None
@@ -100,13 +206,27 @@ class ShardedQuerySession(QuerySession):
             self._static_sessions = [
                 as_session(source) for source in shards
             ]
+        if merge_mode not in ("incremental", "rebuild"):
+            raise ValueError(
+                f"unknown merge_mode {merge_mode!r}; expected "
+                "'incremental' or 'rebuild'"
+            )
         self._validate_scores = validate_scores
+        self._merge_mode = merge_mode
+        self._snapshot_history = max(1, int(snapshot_history))
         self._scoring = None
         self._adopted = False
         self._use_fast_path = True
         self._statistics: Optional[RankStatistics] = None
         self._merged_tree: Optional[AndXorTree] = None
         self._versions_seen: Optional[Tuple[Any, ...]] = None
+        self._engine = MergeEngine()
+        self._store: "OrderedDict[Any, _VersionEntry]" = OrderedDict()
+        self._history: Dict[int, "OrderedDict[int, _ShardArchive]"] = {}
+        self._state_lock = threading.Lock()
+        self._last_fragments: Optional[List[Any]] = None
+        self._last_layout: Optional[_MergedLayout] = None
+        self._rank_key_index: Optional[Tuple[Any, Dict[Hashable, int]]] = None
         self._init_cache_state()
 
     # ------------------------------------------------------------------
@@ -148,8 +268,6 @@ class ShardedQuerySession(QuerySession):
                 (fragment, shards[index])
                 for index, fragment in pool.layouts()
             ]
-        from repro.sharding.summary import shard_layout
-
         return [
             (shard_layout(session), session)
             for session in self._shard_sessions()
@@ -210,28 +328,111 @@ class ShardedQuerySession(QuerySession):
         )
         return (shard_versions, generations)
 
-    def _sync(self) -> None:
-        """Drop merged artifacts when any shard changed since the last merge.
+    # ------------------------------------------------------------------
+    # Version store (MVCC)
+    # ------------------------------------------------------------------
+    def _store_key(self, versions: Tuple[Any, ...]) -> Any:
+        """Store key of a full version vector.
 
-        This is the graceful half of invalidation fan-out: shard updates
-        only touch their own shard (and bump its version); the coordinator
-        notices lazily, invalidates *its* merged artifacts, and re-merges
-        from the unchanged shards' still-warm partial summaries.
+        Database-backed coordinators key by the shard-version tuple (the
+        public vector that :meth:`at` pins and the executor captures);
+        static coordinators have no shard versions, so the session
+        generations carry the whole signal.
+        """
+        if self._database is not None:
+            return versions[0]
+        return versions
+
+    def _entry(self) -> _VersionEntry:
+        return _VersionEntry(self._cache, self._statistics, self._merged_tree)
+
+    def _sync(self) -> None:
+        """Swap artifact stores when any shard changed since the last merge.
+
+        Shard updates only touch their own shard (and bump its version);
+        the coordinator notices lazily and rebinds to the new vector's
+        (usually fresh) artifact entry.  The outgoing vector's entry stays
+        in the bounded store so pinned snapshot readers keep serving from
+        it; unchanged shards' partial summaries and the merge engine's
+        cached partial products stay warm either way.
         """
         versions = self._current_versions()
         if self._versions_seen is None:
             self._versions_seen = versions
+            with self._state_lock:
+                self._store[self._store_key(versions)] = self._entry()
+                self._trim_store_locked()
         elif versions != self._versions_seen:
-            self.invalidate()
-            self._versions_seen = versions
+            self._swap_to(versions)
+
+    def _swap_to(self, versions: Tuple[Any, ...]) -> None:
+        old_key = self._store_key(self._versions_seen)
+        new_key = self._store_key(versions)
+        with self._state_lock:
+            current = self._store.get(old_key)
+            if current is not None and current.cache is self._cache:
+                # Write the lazily-built singletons back so readers pinned
+                # at the outgoing vector reuse them.
+                current.statistics = self._statistics
+                current.merged_tree = self._merged_tree
+            entry = self._store.get(new_key) if new_key != old_key else None
+            if entry is None:
+                # Same shard versions but a shard session was invalidated
+                # in place (new_key == old_key), or a vector never seen:
+                # either way the artifacts must be rebuilt.
+                entry = _VersionEntry({}, None, None)
+            self._store[new_key] = entry
+            self._store.move_to_end(new_key)
+            self._cache = entry.cache
+            self._statistics = entry.statistics
+            self._merged_tree = entry.merged_tree
+            self._trim_store_locked()
+        self._versions_seen = versions
+        # Version swaps keep the legacy invalidation contract observable:
+        # memoized plans and callers watching `generation` re-validate.
+        self._generation += 1
+
+    def _trim_store_locked(self) -> None:
+        while len(self._store) > self._snapshot_history:
+            key = next(iter(self._store))
+            entry = self._store[key]
+            if entry.cache is self._cache:
+                if len(self._store) == 1:
+                    break
+                self._store.move_to_end(key)
+                continue
+            del self._store[key]
+            self._engine.counters["snapshot_evictions"] += 1
+
+    def _entry_for(self, pinned: Any) -> _VersionEntry:
+        """Get-or-create the artifact entry of one pinned vector."""
+        with self._state_lock:
+            entry = self._store.get(pinned)
+            if entry is None:
+                entry = _VersionEntry({}, None, None)
+                self._store[pinned] = entry
+            self._store.move_to_end(pinned)
+            self._trim_store_locked()
+            return entry
 
     def _memoized(self, artifact, params, compute):
         self._sync()
         return super()._memoized(artifact, params, compute)
 
     def invalidate(self) -> None:
+        """Drop every merged artifact, snapshot entry and cached partial."""
         super().invalidate()
         self._merged_tree = None
+        self._engine.clear()
+        self._last_fragments = None
+        self._last_layout = None
+        with self._state_lock:
+            self._store.clear()
+            self._history.clear()
+            if self._versions_seen is not None:
+                self._store[self._store_key(self._versions_seen)] = (
+                    self._entry()
+                )
 
     def set_scoring(self, scoring) -> None:
         raise ValueError(
@@ -239,26 +440,191 @@ class ShardedQuerySession(QuerySession):
             "rebuild the shard databases (or their sessions) to re-score"
         )
 
+    def merge_stats(self) -> MergeStatsSnapshot:
+        """Counters of the incremental merge engine (snapshot, subtractable)."""
+        return self._engine.stats()
+
+    # ------------------------------------------------------------------
+    # Snapshot reads
+    # ------------------------------------------------------------------
+    def at(self, versions: Optional[Sequence[int]] = None) -> "SnapshotReader":
+        """A read-only session pinned at one shard-version vector.
+
+        ``versions`` is a per-shard version tuple as returned by
+        :meth:`~repro.models.sharded.ShardedDatabase.versions` (default:
+        the current vector).  The reader answers every query exactly as
+        the coordinator did at that vector, even while updates publish
+        newer vectors concurrently; once the vector leaves the bounded
+        snapshot history, reads raise
+        :class:`~repro.exceptions.SnapshotTooOldError`.
+        """
+        return SnapshotReader(self, versions)
+
+    def _archive_shard(self, shard: Any) -> None:
+        """Archive a shard's state just before its version is bumped.
+
+        Called by the owning database with the *outgoing* state still
+        live, so pinned readers that resolve the old version find either
+        the warm session (in-process path) or the pool's cached layout
+        and summaries (process path) -- worst case the raw units.
+        """
+        archive = _ShardArchive(shard)
+        pool = None
+        if (
+            self._database is not None
+            and getattr(self._database, "executor", "threads") == "processes"
+        ):
+            pool = getattr(self._database, "_pool", None)
+            if pool is not None and getattr(pool, "closed", False):
+                pool = None
+        if pool is not None:
+            archive._fragment = pool.cached_layout(shard.index)
+            archive._summaries = pool.cached_summaries(shard.index)
+        else:
+            session = shard._session
+            if session is not None:
+                archive._session = session
+        with self._state_lock:
+            history = self._history.setdefault(shard.index, OrderedDict())
+            history[shard.version] = archive
+            history.move_to_end(shard.version)
+            while len(history) > self._snapshot_history:
+                history.popitem(last=False)
+                self._engine.counters["snapshot_evictions"] += 1
+
+    def _archive_lookup(self, index: int, version: int) -> _ShardArchive:
+        with self._state_lock:
+            history = self._history.get(index)
+            archive = history.get(version) if history is not None else None
+        if archive is None:
+            raise SnapshotTooOldError(
+                f"shard {index} version {version} is no longer in the "
+                f"coordinator's snapshot history (depth "
+                f"{self._snapshot_history}); re-pin at the current vector"
+            )
+        return archive
+
     # ------------------------------------------------------------------
     # Merged layout
     # ------------------------------------------------------------------
-    def _summaries(self, max_rank: int) -> List[ShardRankSummary]:
+    def _summaries_and_tokens(
+        self, max_rank: int
+    ) -> Tuple[List[ShardRankSummary], List[Any]]:
+        """Per-shard summaries plus content-faithful version tokens.
+
+        The tokens key the merge engine's cached partial products, so a
+        token may only repeat when the summary content is identical.  On
+        the process path the worker's own state counter is authoritative
+        (it changes atomically with the worker's committed state); on the
+        in-process path the (version, generation) pair is re-checked after
+        the summary is built so a concurrent swap cannot mislabel it.
+        """
         pool = self._process_pool()
         if pool is not None:
-            # Workers compute their prefix sweeps concurrently (real
-            # parallelism -- no GIL across processes) and ship only the
-            # compact partials; the pool's version-keyed cache keeps
-            # unchanged shards' summaries warm parent-side.
-            return pool.summaries(max_rank)
-        return [
-            session.partial_rank_summary(max_rank)
-            for session in self._shard_sessions()
-        ]
+            rows = pool.summaries_with_tokens(max_rank)
+            return [row[1] for row in rows], [row[2] for row in rows]
+        summaries: List[ShardRankSummary] = []
+        tokens: List[Any] = []
+        if self._database is not None:
+            for shard in self._database.shards():
+                if shard.is_empty:
+                    continue
+                for _ in range(8):
+                    version = shard.version
+                    session = shard.session()
+                    summary = session.partial_rank_summary(max_rank)
+                    if shard.version == version and shard._session is session:
+                        break
+                summaries.append(summary)
+                tokens.append((version, session.generation))
+            return summaries, tokens
+        assert self._static_sessions is not None
+        for index, session in enumerate(self._static_sessions):
+            summaries.append(session.partial_rank_summary(max_rank))
+            tokens.append((index, session.generation))
+        return summaries, tokens
+
+    def _summaries(self, max_rank: int) -> List[ShardRankSummary]:
+        summaries, _ = self._summaries_and_tokens(max_rank)
+        return summaries
 
     def _layout(self) -> _MergedLayout:
         return self._memoized("merged_layout", (), self._build_layout)
 
+    def _remember_layout(
+        self, fragments: List[Tuple[Any, Any]], layout: _MergedLayout
+    ) -> _MergedLayout:
+        self._last_fragments = [fragment for fragment, _ in fragments]
+        self._last_layout = layout
+        return layout
+
+    def _patched_layout(
+        self, fragments: List[Tuple[Any, Any]]
+    ) -> Optional[_MergedLayout]:
+        """Patch the previous merged layout when no score moved.
+
+        A probability-only update keeps every score (hence the global
+        grid, the triple positions and the key order) in place, so the new
+        layout is the old one with the changed shards' dictionaries and
+        triple rows substituted -- no global re-sort, no re-validation.
+        Returns ``None`` whenever a full rebuild is required.
+        """
+        previous = self._last_layout
+        cached = self._last_fragments
+        if (
+            previous is None
+            or cached is None
+            or len(fragments) != len(cached)
+        ):
+            return None
+        changed: List[Tuple[Any, Any, Any]] = []
+        for index, (fragment, provider) in enumerate(fragments):
+            old = cached[index]
+            if fragment is old:
+                continue
+            if (
+                fragment.independent != old.independent
+                or fragment.scores != old.scores
+                or fragment.keys != old.keys
+            ):
+                return None
+            changed.append((fragment, old, provider))
+        if not changed:
+            return previous
+        backend = get_backend()
+        presence = dict(previous.presence)
+        alternatives = dict(previous.alternatives)
+        triples = list(previous.triples)
+        for fragment, _, provider in changed:
+            presence.update(fragment.presence)
+            alternatives.update(fragment.alternatives)
+            # A shard's scores are a subsequence of the (unchanged) grid,
+            # so each alternative's global position is its strict-above
+            # count there -- one backend sweep per changed shard.
+            positions = backend.descending_prefix_lengths(
+                previous.grid_scores, fragment.scores
+            )
+            for position, triple in zip(positions, fragment.key_triples):
+                triples[position] = triple
+        # Scores and keys are unchanged by precondition, so the best-score
+        # and key-ownership maps carry over without copying.
+        return _MergedLayout(
+            previous.keys_order,
+            presence,
+            alternatives,
+            previous.best_score,
+            triples,
+            previous.independent,
+            previous.key_to_session,
+            previous.grid_scores,
+        )
+
     def _build_layout(self) -> _MergedLayout:
+        fragments = self._shard_fragments()
+        patched = self._patched_layout(fragments)
+        if patched is not None:
+            self._engine.counters["layout_patches"] += 1
+            return self._remember_layout(fragments, patched)
         presence: Dict[Hashable, float] = {}
         alternatives: Dict[Hashable, List[Tuple[float, float]]] = {}
         best_score: Dict[Hashable, float] = {}
@@ -266,7 +632,6 @@ class ShardedQuerySession(QuerySession):
         independent = True
         per_shard_triples: List[List[Tuple[float, float, Hashable]]] = []
         total = 0
-        fragments = self._shard_fragments()
         for fragment, provider in fragments:
             independent = independent and fragment.independent
             per_shard_triples.append(fragment.key_triples)
@@ -317,14 +682,19 @@ class ShardedQuerySession(QuerySession):
             if key not in seen:
                 seen[key] = True
                 keys_order.append(key)
-        return _MergedLayout(
-            keys_order,
-            presence,
-            alternatives,
-            best_score,
-            triples,
-            independent,
-            key_to_session,
+        self._engine.counters["layout_rebuilds"] += 1
+        return self._remember_layout(
+            fragments,
+            _MergedLayout(
+                keys_order,
+                presence,
+                alternatives,
+                best_score,
+                triples,
+                independent,
+                key_to_session,
+                [score for score, _, _ in triples],
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -429,12 +799,14 @@ class ShardedQuerySession(QuerySession):
         # The layout carries the cross-shard validation (duplicate keys,
         # tied scores); building it first means a direct rank_matrix()
         # call fails as loudly as every other merged artifact.
-        self._layout()
-        summaries = [
-            summary
-            for summary in self._summaries(max_rank)
-            if summary.number_of_tuples() > 0
-        ]
+        layout = self._layout()
+        all_summaries, all_tokens = self._summaries_and_tokens(max_rank)
+        summaries: List[ShardRankSummary] = []
+        tokens: List[Any] = []
+        for summary, token in zip(all_summaries, all_tokens):
+            if summary.number_of_tuples() > 0:
+                summaries.append(summary)
+                tokens.append(token)
         if not summaries:
             return RankMatrix([], backend.matrix_from_rows([]), backend, max_rank)
         if len(summaries) == 1 and self._process_pool() is None:
@@ -446,6 +818,27 @@ class ShardedQuerySession(QuerySession):
             for session in only:
                 if session.number_of_tuples() > 0:
                     return session.rank_matrix(max_rank)
+        if self._merge_mode == "incremental":
+            keys, native = self._engine.merge(
+                summaries,
+                tokens,
+                max_rank,
+                layout.grid_scores,
+                layout.keys_order,
+                backend,
+            )
+            # The engine returns the *same* key-order list across
+            # incremental re-merges, so the n-entry position index is
+            # shared instead of rebuilt for every updated matrix.
+            cached = self._rank_key_index
+            if cached is None or cached[0] is not keys:
+                cached = (keys, {k: row for row, k in enumerate(keys)})
+                self._rank_key_index = cached
+            return RankMatrix(
+                list(keys), native, backend, max_rank, key_index=cached[1]
+            )
+        self._engine.counters["merges"] += 1
+        self._engine.counters["rebuild_merges"] += 1
         if all(summary.is_independent for summary in summaries):
             return self._merge_independent(summaries, max_rank, backend)
         return self._merge_general(summaries, max_rank, backend)
@@ -505,17 +898,38 @@ class ShardedQuerySession(QuerySession):
         row_scores: List[float] = []
         for i, summary in enumerate(summaries):
             others = [s for j, s in enumerate(summaries) if j != i]
+            # Scores are globally distinct, so memoizing the others-product
+            # by raw score would never hit.  What *does* repeat across a
+            # shard's alternatives is the vector of prefix indices their
+            # thresholds induce in the other shards: two thresholds falling
+            # in the same inter-score gaps share the exact same product.
+            others_products: Dict[Tuple[int, ...], List[float]] = {}
             for key in summary.keys():
                 row = [0.0] * max_rank
                 pairs = summary.alternatives_of(key)
                 for score, probability in pairs:
                     if probability <= 0.0:
                         continue
-                    factors = [summary.count_above_excluding(score, key)]
-                    factors.extend(
-                        other.count_above(score) for other in others
-                    )
-                    combined = backend.polynomial_product(factors, max_rank)
+                    own = summary.count_above_excluding(score, key)
+                    if others:
+                        signature = tuple(
+                            other.prefix_index(score) for other in others
+                        )
+                        product = others_products.get(signature)
+                        if product is None:
+                            product = backend.polynomial_product(
+                                [
+                                    other.prefix_polynomial(prefix)
+                                    for other, prefix in zip(
+                                        others, signature
+                                    )
+                                ],
+                                max_rank,
+                            )
+                            others_products[signature] = product
+                        combined = backend.convolve(own, product, max_rank)
+                    else:
+                        combined = own
                     for index in range(min(len(combined), max_rank)):
                         row[index] += probability * combined[index]
                 rows.append(row)
@@ -615,4 +1029,218 @@ class ShardedQuerySession(QuerySession):
             f"ShardedQuerySession({self.shard_count} shards, "
             f"entries={len(self._cache)}, hits={self._hits}, "
             f"misses={self._misses}, generation={self._generation})"
+        )
+
+
+class SnapshotReader(ShardedQuerySession):
+    """A read-only coordinator view pinned at one shard-version vector.
+
+    Shares the parent coordinator's bounded per-vector artifact store (two
+    readers at the same vector reuse each other's merged artifacts, and a
+    reader at the live vector shares the coordinator's own cache) and its
+    per-shard archive history.  A reader whose vector is still live merges
+    through the parent's incremental engine; once any pinned shard version
+    is superseded the reader resolves archived shard states and merges
+    from scratch, so stale reads never thrash the live partial products.
+    Readers never mutate shard state; writers never wait for readers.
+    """
+
+    def __init__(
+        self, parent: ShardedQuerySession, versions: Optional[Sequence[int]]
+    ) -> None:
+        self._parent = parent
+        self._database = parent._database
+        self._static_sessions = parent._static_sessions
+        self._validate_scores = parent._validate_scores
+        self._merge_mode = parent._merge_mode
+        self._snapshot_history = parent._snapshot_history
+        self._scoring = None
+        self._adopted = False
+        self._use_fast_path = True
+        self._merged_tree = None
+        self._statistics = None
+        # Shared MVCC state: one store, one history, one engine.
+        self._engine = parent._engine
+        self._store = parent._store
+        self._history = parent._history
+        self._state_lock = parent._state_lock
+        self._last_fragments = None
+        self._last_layout = None
+        self._rank_key_index = None
+        self._init_cache_state()
+        if self._database is not None:
+            if versions is None:
+                pinned: Any = tuple(self._database.versions())
+            else:
+                pinned = tuple(versions)
+                if len(pinned) != len(self._database.shards()):
+                    raise ValueError(
+                        f"version vector of length {len(pinned)} does not "
+                        f"match {len(self._database.shards())} shards"
+                    )
+        else:
+            if versions is not None:
+                raise ValueError(
+                    "a static coordinator has no shard-version vector; "
+                    "call at() without arguments to pin the current state"
+                )
+            pinned = parent._current_versions()
+        self._pinned = pinned
+        self._versions_seen = pinned
+        entry = parent._entry_for(pinned)
+        self._cache = entry.cache
+        self._statistics = entry.statistics
+        self._merged_tree = entry.merged_tree
+        self._engine.counters["snapshot_reads"] += 1
+
+    # -- pinned-version plumbing ---------------------------------------
+    @property
+    def pinned_versions(self) -> Any:
+        """The shard-version vector this reader answers at."""
+        return self._pinned
+
+    def _sync(self) -> None:
+        # A pinned reader never swaps artifact stores.
+        return None
+
+    def _current_versions(self) -> Tuple[Any, ...]:
+        return self._pinned
+
+    def _live(self) -> bool:
+        if self._database is None:
+            return self._parent._current_versions() == self._pinned
+        return tuple(self._database.versions()) == self._pinned
+
+    def _require_live_static(self) -> None:
+        if self._parent._current_versions() != self._pinned:
+            raise SnapshotTooOldError(
+                "static shard sessions keep no history; this pinned "
+                "snapshot predates a session invalidation"
+            )
+
+    def invalidate(self) -> None:
+        # Drop only this reader's (possibly shared) artifact entry.
+        QuerySession.invalidate(self)
+        self._merged_tree = None
+
+    def at(self, versions: Optional[Sequence[int]] = None) -> "SnapshotReader":
+        return self._parent.at(versions)
+
+    # -- pinned shard resolution ---------------------------------------
+    def _shard_fragments(self) -> List[Tuple[Any, Any]]:
+        if self._database is None:
+            self._require_live_static()
+            return ShardedQuerySession._shard_fragments(self)
+        if self._live():
+            return ShardedQuerySession._shard_fragments(self)
+        pool = self._process_pool()
+        live_fragments: Dict[int, Any] = (
+            dict(pool.layouts()) if pool is not None else {}
+        )
+        fragments: List[Tuple[Any, Any]] = []
+        for shard in self._database.shards():
+            pinned = self._pinned[shard.index]
+            if shard.version == pinned:
+                if pool is not None:
+                    if shard.index in live_fragments:
+                        fragments.append(
+                            (live_fragments[shard.index], shard)
+                        )
+                elif not shard.is_empty:
+                    session = shard.session()
+                    fragments.append((shard_layout(session), session))
+            else:
+                archive = self._parent._archive_lookup(shard.index, pinned)
+                if archive.units:
+                    fragments.append(
+                        (archive.layout_fragment(), archive)
+                    )
+        return fragments
+
+    def _shard_sessions(self) -> List[QuerySession]:
+        if self._database is None:
+            self._require_live_static()
+            return ShardedQuerySession._shard_sessions(self)
+        if self._live():
+            return ShardedQuerySession._shard_sessions(self)
+        sessions: List[QuerySession] = []
+        for shard in self._database.shards():
+            pinned = self._pinned[shard.index]
+            if shard.version == pinned:
+                if not shard.is_empty:
+                    sessions.append(shard.session())
+            else:
+                archive = self._parent._archive_lookup(shard.index, pinned)
+                if archive.units:
+                    sessions.append(archive.session())
+        return sessions
+
+    def _summaries_and_tokens(
+        self, max_rank: int
+    ) -> Tuple[List[ShardRankSummary], List[Any]]:
+        if self._database is None:
+            self._require_live_static()
+            return ShardedQuerySession._summaries_and_tokens(self, max_rank)
+        if self._live():
+            return ShardedQuerySession._summaries_and_tokens(self, max_rank)
+        pool = self._process_pool()
+        live_rows: Dict[int, Tuple[Any, Any]] = {}
+        if pool is not None:
+            live_rows = {
+                index: (summary, token)
+                for index, summary, token in pool.summaries_with_tokens(
+                    max_rank
+                )
+            }
+        summaries: List[ShardRankSummary] = []
+        tokens: List[Any] = []
+        for shard in self._database.shards():
+            pinned = self._pinned[shard.index]
+            if shard.version == pinned:
+                if pool is not None:
+                    if shard.index in live_rows:
+                        summary, token = live_rows[shard.index]
+                        summaries.append(summary)
+                        tokens.append(token)
+                elif not shard.is_empty:
+                    session = shard.session()
+                    summaries.append(
+                        session.partial_rank_summary(max_rank)
+                    )
+                    tokens.append((shard.version, session.generation))
+            else:
+                archive = self._parent._archive_lookup(shard.index, pinned)
+                if archive.units:
+                    summaries.append(archive.summary(max_rank))
+                    tokens.append(("archive", shard.index, pinned))
+        return summaries, tokens
+
+    def _merged_rank_matrix(self, max_rank: int) -> RankMatrix:
+        if self._database is None or self._live():
+            return ShardedQuerySession._merged_rank_matrix(self, max_rank)
+        # Pinned at a superseded vector: merge from scratch off archived
+        # shard states so stale reads cannot thrash the live engine's
+        # cached partial products.
+        backend = get_backend()
+        self._layout()
+        all_summaries, _ = self._summaries_and_tokens(max_rank)
+        summaries = [
+            summary
+            for summary in all_summaries
+            if summary.number_of_tuples() > 0
+        ]
+        if not summaries:
+            return RankMatrix(
+                [], backend.matrix_from_rows([]), backend, max_rank
+            )
+        self._engine.counters["merges"] += 1
+        self._engine.counters["rebuild_merges"] += 1
+        if all(summary.is_independent for summary in summaries):
+            return self._merge_independent(summaries, max_rank, backend)
+        return self._merge_general(summaries, max_rank, backend)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SnapshotReader(pinned={self._pinned!r}, "
+            f"entries={len(self._cache)}, live={self._live()})"
         )

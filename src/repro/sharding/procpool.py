@@ -46,6 +46,7 @@ from repro.engine import get_backend
 from repro.exceptions import ProcessPoolError, WorkerCrashError
 from repro.session import CacheInfo
 from repro.sharding.procworker import (
+    DELTA_TRANSPORT,
     PIPE_TRANSPORT,
     SHM_TRANSPORT,
     worker_main,
@@ -98,6 +99,9 @@ class IpcSnapshot:
     pipe_bytes: int = 0
     shm_bytes: int = 0
     updates: int = 0
+    summary_deltas: int = 0
+    delta_rows: int = 0
+    delta_rows_saved: int = 0
     workers: int = 0
 
     @property
@@ -116,6 +120,9 @@ class IpcSnapshot:
             pipe_bytes=self.pipe_bytes - other.pipe_bytes,
             shm_bytes=self.shm_bytes - other.shm_bytes,
             updates=self.updates - other.updates,
+            summary_deltas=self.summary_deltas - other.summary_deltas,
+            delta_rows=self.delta_rows - other.delta_rows,
+            delta_rows_saved=self.delta_rows_saved - other.delta_rows_saved,
             workers=self.workers,
         )
 
@@ -193,13 +200,19 @@ class ShardProcessPool:
             for key in (
                 "commands", "summaries", "layouts", "pipe_messages",
                 "shm_messages", "pipe_bytes", "shm_bytes", "updates",
+                "summary_deltas", "delta_rows", "delta_rows_saved",
             )
         }
         # version-keyed warm partials: only an updated shard re-fetches.
+        # Entries outlive a commit: a stale entry never serves (the version
+        # check forces a re-fetch) but its table is the baseline the worker
+        # ships a row-suffix delta against.
         self._cache_lock = threading.Lock()
         self._layout_cache: Dict[int, Tuple[int, ShardLayout]] = {}
+        #: (shard, max_rank) -> (version, summary, state_id, export_id).
         self._summary_cache: Dict[
-            Tuple[int, int], Tuple[int, ShardRankSummary]
+            Tuple[int, int],
+            Tuple[int, ShardRankSummary, int, Optional[int]],
         ] = {}
 
     # ------------------------------------------------------------------
@@ -432,39 +445,123 @@ class ShardProcessPool:
         benchmarking).
         """
         max_rank = max(int(max_rank), 1)
-        wanted: List[Tuple[int, int]] = []
+        wanted: List[Tuple[int, int, Optional[int], Any]] = []
         for index in self.shard_indices():
             version = self._shard_version(index)
             with self._cache_lock:
                 cached = self._summary_cache.get((index, max_rank))
             if not use_cache or cached is None or cached[0] != version:
-                wanted.append((index, version))
+                if use_cache and cached is not None:
+                    base_id, base_summary = cached[3], cached[1]
+                else:
+                    base_id, base_summary = None, None
+                wanted.append((index, version, base_id, base_summary))
         if wanted:
             shm_wanted = self._shm != "never" and get_backend().name == "numpy"
             shm_floor = 0 if self._shm == "always" else self._shm_min_bytes
-            payload = (max_rank, shm_wanted, shm_floor)
             fetched = self._request_many(
-                [(index, "summary", payload) for index, _ in wanted]
+                [
+                    (index, "summary", (max_rank, shm_wanted, shm_floor, base_id))
+                    for index, _, base_id, _ in wanted
+                ]
             )
             self._count(summaries=len(wanted))
             with self._cache_lock:
-                for (index, version), exported in zip(wanted, fetched):
-                    summary = self._decode_summary(exported)
+                for (index, version, _, base_summary), exported in zip(
+                    wanted, fetched
+                ):
+                    summary = self._decode_summary(exported, base_summary)
                     self._summary_cache[(index, max_rank)] = (
-                        version, summary
+                        version,
+                        summary,
+                        int(exported.get("state_id", 0)),
+                        exported.get("export_id"),
                     )
                     # The summary ships its layout anyway: keep it warm.
-                    self._layout_cache.setdefault(
-                        index, (version, summary.layout)
-                    )
+                    existing = self._layout_cache.get(index)
+                    if existing is None or existing[0] != version:
+                        self._layout_cache[index] = (version, summary.layout)
         with self._cache_lock:
             return [
                 self._summary_cache[(index, max_rank)][1]
                 for index in self.shard_indices()
             ]
 
-    def _decode_summary(self, exported: Dict[str, Any]) -> ShardRankSummary:
-        table = self._decode_table(exported["table"])
+    def summaries_with_tokens(
+        self, max_rank: int
+    ) -> List[Tuple[int, ShardRankSummary, Tuple[int, int]]]:
+        """``(shard_index, summary, token)`` rows, warm-cached.
+
+        The token pairs the parent-side shard version with the worker's
+        committed ``state_id`` (shipped in the same reply as the summary,
+        so it identifies the summary's *content* even when a fetch races a
+        concurrent commit).  Merge-engine partial products keyed by these
+        tokens therefore never mix shard states.
+        """
+        self.summaries(max_rank)
+        max_rank = max(int(max_rank), 1)
+        with self._cache_lock:
+            rows = []
+            for index in self.shard_indices():
+                version, summary, state_id, _ = self._summary_cache[
+                    (index, max_rank)
+                ]
+                rows.append((index, summary, (version, state_id)))
+            return rows
+
+    def cached_layout(self, shard_index: int) -> Optional[ShardLayout]:
+        """The warm layout for one shard, if any (no worker round-trip)."""
+        with self._cache_lock:
+            entry = self._layout_cache.get(shard_index)
+            return entry[1] if entry is not None else None
+
+    def cached_summaries(
+        self, shard_index: int
+    ) -> Dict[int, ShardRankSummary]:
+        """Warm ``max_rank -> summary`` entries for one shard (no I/O).
+
+        Used by the coordinator to freeze a shard's outgoing state into
+        its snapshot history right before an update commits.
+        """
+        with self._cache_lock:
+            return {
+                key[1]: value[1]
+                for key, value in self._summary_cache.items()
+                if key[0] == shard_index
+            }
+
+    def _decode_summary(
+        self, exported: Dict[str, Any], base_summary: Any = None
+    ) -> ShardRankSummary:
+        transport = exported["table"]
+        if transport is not None and transport[0] == DELTA_TRANSPORT:
+            _, _base_id, start, inner = transport
+            if base_summary is None or base_summary.prefix_table is None:
+                raise ProcessPoolError(
+                    "worker shipped a summary delta without a parent-side "
+                    "base table"
+                )
+            backend = get_backend()
+            old = base_summary.prefix_table
+            if inner is None:
+                table = old
+                shipped = 0
+            else:
+                suffix = self._decode_table(inner)
+                if start == 0:
+                    table = suffix
+                else:
+                    table = backend.stack_matrices(
+                        [backend.take_rows(old, range(start)), suffix]
+                    )
+                shipped = len(exported["layout"].probabilities) + 1 - start
+            self._count(
+                summary_deltas=1,
+                delta_rows=shipped,
+                delta_rows_saved=start,
+            )
+        else:
+            table = self._decode_table(transport)
         return ShardRankSummary.from_layout(
             exported["layout"], exported["max_rank"], table
         )
@@ -509,10 +606,15 @@ class ShardProcessPool:
         return ticket
 
     def commit_replace(self, shard_index: int, ticket: int) -> None:
-        """Swap a staged rebuild in (called under the parent's version check)."""
+        """Swap a staged rebuild in (called under the parent's version check).
+
+        The shard's cache entries are deliberately *retained*: the version
+        check in :meth:`summaries` / :meth:`layouts` already keeps a stale
+        entry from being served, and its table is the baseline the worker
+        ships a row-suffix delta against on the next fetch.
+        """
         self._request(shard_index, "commit", ticket)
         self._count(updates=1)
-        self._drop_shard_cache(shard_index)
 
     def abort_replace(self, shard_index: int, ticket: int) -> None:
         """Drop a staged rebuild whose version check lost the race."""
@@ -529,6 +631,16 @@ class ShardProcessPool:
         if shard_index in self._workers:
             self._request(shard_index, "invalidate", None)
         self._drop_shard_cache(shard_index)
+
+    def forget_cached_summaries(self) -> None:
+        """Drop the parent-side layout/summary caches for every shard.
+
+        Workers keep their memoized state, so the next fetch pays the full
+        transport cost but no recompute -- this is the "cold coordinator,
+        warm shards" starting point a from-scratch re-merge measures.
+        """
+        for shard_index in self.shard_indices():
+            self._drop_shard_cache(shard_index)
 
     def _drop_shard_cache(self, shard_index: int) -> None:
         with self._cache_lock:

@@ -28,11 +28,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.engine import get_backend, set_backend
 from repro.exceptions import ProcessPoolError
 from repro.session import QuerySession
-from repro.sharding.summary import shard_layout
+from repro.sharding.summary import shard_layout, table_delta_start
 
 #: Transport tags for the prefix-table payload of a summary reply.
 PIPE_TRANSPORT = "pipe"
 SHM_TRANSPORT = "shm"
+#: Wrapper tag for a row-suffix delta against a previously shipped table.
+DELTA_TRANSPORT = "delta"
 
 
 def _untrack_shared_memory(shm: Any) -> None:
@@ -50,19 +52,15 @@ def _untrack_shared_memory(shm: Any) -> None:
         pass
 
 
-def export_prefix_table(
-    summary: Any, shm_wanted: bool, shm_min_bytes: int
-) -> Optional[Tuple[Any, ...]]:
-    """Package a summary's dense prefix table for the parent.
+def export_table(
+    table: Any, shm_wanted: bool, shm_min_bytes: int
+) -> Tuple[Any, ...]:
+    """Package a dense row table for the parent.
 
-    Returns ``None`` for block-independent shards (their partials are
-    derived from the layout on the parent), a ``("shm", name, shape)``
-    descriptor when the table is a large-enough numpy array and the parent
-    asked for shared memory, or ``("pipe", table)`` otherwise.
+    Returns a ``("shm", name, shape)`` descriptor when the table is a
+    large-enough numpy array and the parent asked for shared memory, or
+    ``("pipe", table)`` otherwise.
     """
-    if not summary.is_independent:
-        return None
-    table = summary.prefix_table
     if shm_wanted and get_backend().name == "numpy":
         import numpy as np
         from multiprocessing import shared_memory
@@ -83,6 +81,20 @@ def export_prefix_table(
     return (PIPE_TRANSPORT, table)
 
 
+def export_prefix_table(
+    summary: Any, shm_wanted: bool, shm_min_bytes: int
+) -> Optional[Tuple[Any, ...]]:
+    """Package a summary's dense prefix table for the parent.
+
+    Returns ``None`` for block-independent shards (their partials are
+    derived from the layout on the parent), otherwise whatever
+    :func:`export_table` picked for the full table.
+    """
+    if not summary.is_independent:
+        return None
+    return export_table(summary.prefix_table, shm_wanted, shm_min_bytes)
+
+
 class ShardWorkerState:
     """The worker-side shard: units, database, session, staged rebuilds."""
 
@@ -94,6 +106,14 @@ class ShardWorkerState:
         self._session: Optional[QuerySession] = None
         #: ticket -> (units, database): rebuilds prepared but not committed.
         self.staged: Dict[int, Tuple[List[Any], Any]] = {}
+        #: Monotone id of the worker's committed state.  Bumped atomically
+        #: with the staged swap, so it identifies summary *content* even
+        #: while the parent's version bump is still in flight.
+        self.state_id = 0
+        #: max_rank -> (export_id, scores, probabilities) of the last full
+        #: table shipped, the baseline for row-suffix delta exports.
+        self._exports: Dict[int, Tuple[int, List[Any], List[float]]] = {}
+        self._next_export = 0
 
     def _build_database(self, units: List[Any]) -> Any:
         from repro.models.sharded import build_shard_database
@@ -118,18 +138,60 @@ class ShardWorkerState:
             )
         return shard_layout(session)
 
-    def handle_summary(self, payload: Tuple[int, bool, int]) -> Any:
-        max_rank, shm_wanted, shm_min_bytes = payload
+    def handle_summary(
+        self, payload: Tuple[int, bool, int, Optional[int]]
+    ) -> Any:
+        max_rank, shm_wanted, shm_min_bytes, base_export = payload
         session = self.session()
         if session is None:
             raise ProcessPoolError(
                 f"shard {self.shard_index} is empty; it has no summary"
             )
         summary = session.partial_rank_summary(max_rank)
+        layout = summary.layout
+        table = None
+        export_id: Optional[int] = None
+        if summary.is_independent:
+            export_id = self._next_export
+            self._next_export += 1
+            retained = self._exports.get(max_rank)
+            start: Optional[int] = None
+            if (
+                retained is not None
+                and base_export == retained[0]
+                and retained[1] == layout.scores
+            ):
+                start = table_delta_start(retained[2], layout.probabilities)
+            if start is not None:
+                # Row m of the prefix table depends only on the first m
+                # probabilities, so a tail swap reaches the parent as a
+                # row suffix spliced onto the table it already holds.
+                rows = len(layout.probabilities) + 1
+                if start >= rows:
+                    inner = None
+                else:
+                    suffix = get_backend().take_rows(
+                        summary.prefix_table, range(start, rows)
+                    )
+                    inner = export_table(suffix, shm_wanted, shm_min_bytes)
+                table = (DELTA_TRANSPORT, retained[0], start, inner)
+            else:
+                table = export_prefix_table(
+                    summary, shm_wanted, shm_min_bytes
+                )
+            self._exports[max_rank] = (
+                export_id,
+                list(layout.scores),
+                list(layout.probabilities),
+            )
+        else:
+            self._exports.pop(max_rank, None)
         return {
-            "layout": summary.layout,
+            "layout": layout,
             "max_rank": summary.max_rank,
-            "table": export_prefix_table(summary, shm_wanted, shm_min_bytes),
+            "table": table,
+            "state_id": self.state_id,
+            "export_id": export_id,
         }
 
     def handle_prepare(self, payload: Tuple[int, List[Any]]) -> int:
@@ -150,6 +212,9 @@ class ShardWorkerState:
         self.units = units
         self._database = database
         self._session = None
+        # New committed content: advance the state id the parent pairs
+        # with shard versions so merge caches never mix states.
+        self.state_id += 1
         return ticket
 
     def handle_abort(self, ticket: int) -> int:
@@ -176,6 +241,7 @@ class ShardWorkerState:
             "staged": len(self.staged),
             "session_built": self._session is not None,
             "backend": get_backend().name,
+            "state_id": self.state_id,
         }
 
 

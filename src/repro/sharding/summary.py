@@ -302,15 +302,14 @@ class ShardRankSummary:
             masses[block] = masses.get(block, 0.0) + probability
         return masses
 
-    def count_above(self, threshold: float) -> List[float]:
-        """Coefficients of the count-above-``threshold`` distribution.
+    def prefix_polynomial(self, prefix: int) -> List[float]:
+        """Count distribution of the first ``prefix`` alternatives.
 
-        This is the partial univariate generating function the coordinator
-        convolves across shards: coefficient ``j`` is the probability that
-        exactly ``j`` tuples of this shard are present with realized score
-        above ``threshold`` (truncated at ``max_rank`` coefficients).
+        The prefix-indexed form of :meth:`count_above`: two thresholds with
+        the same prefix index have identical distributions, so callers that
+        already hold prefix indices (the coordinator's per-threshold
+        memoization, the grid-aligned tables) skip the bisect.
         """
-        prefix = self.prefix_index(threshold)
         if self._layout.independent:
             return self._backend.matrix_row(self.prefix_table, prefix)
         cached = self._block_polynomials.get(prefix)
@@ -325,6 +324,51 @@ class ShardRankSummary:
             )
             self._block_polynomials[prefix] = cached
         return cached
+
+    def count_above(self, threshold: float) -> List[float]:
+        """Coefficients of the count-above-``threshold`` distribution.
+
+        This is the partial univariate generating function the coordinator
+        convolves across shards: coefficient ``j`` is the probability that
+        exactly ``j`` tuples of this shard are present with realized score
+        above ``threshold`` (truncated at ``max_rank`` coefficients).
+        """
+        return self.prefix_polynomial(self.prefix_index(threshold))
+
+    def count_table(self) -> Any:
+        """The native ``(n_s + 1) × max_rank`` count-above table, both kinds.
+
+        Row ``m`` is :meth:`prefix_polynomial` for prefix ``m``.  For
+        tuple-independent shards this is exactly :attr:`prefix_table`; for
+        block-independent shards the rows are the memoized Bernoulli
+        products, densified once so the incremental merge engine can gather
+        grid-aligned rows with one backend call per shard.
+        """
+        if self._layout.independent:
+            return self.prefix_table
+        if getattr(self, "_dense_table", None) is None:
+            self._dense_table = self._backend.matrix_from_rows(
+                [
+                    self.prefix_polynomial(prefix)
+                    for prefix in range(len(self._layout.scores) + 1)
+                ]
+            )
+        return self._dense_table
+
+    def aligned_count_table(
+        self, grid_scores_desc: List[float], indices: Optional[List[int]] = None
+    ) -> Any:
+        """Rows of :meth:`count_table` aligned with a shared score grid.
+
+        ``grid_scores_desc`` is the coordinator's merged decreasing score
+        grid; row ``g`` of the result is this shard's count-above
+        distribution at threshold ``grid_scores_desc[g]``.  Pass cached
+        ``indices`` (from :meth:`prefix_indices`) to skip the sweep when
+        the grid and the shard's scores are both unchanged.
+        """
+        if indices is None:
+            indices = self.prefix_indices(grid_scores_desc)
+        return self._backend.take_rows(self.count_table(), indices)
 
     def count_above_excluding(
         self, threshold: float, key: Hashable
@@ -369,3 +413,25 @@ def _pad(coefficients: List[float], length: int) -> List[float]:
     if len(coefficients) >= length:
         return coefficients[:length]
     return coefficients + [0.0] * (length - len(coefficients))
+
+
+def table_delta_start(
+    old_probabilities: List[float], new_probabilities: List[float]
+) -> Optional[int]:
+    """First prefix-table row invalidated by a probability change.
+
+    Row ``m`` of a prefix count-polynomial table depends only on the first
+    ``m`` probabilities, so when two same-score layouts differ first at
+    probability index ``d``, rows ``0 .. d`` are identical and only rows
+    ``d + 1 ..`` need to cross the process boundary.  Returns ``None``
+    when the lists differ in length (no usable delta) and
+    ``len + 1`` (an empty suffix) when nothing changed.
+    """
+    if len(old_probabilities) != len(new_probabilities):
+        return None
+    for index, (old, new) in enumerate(
+        zip(old_probabilities, new_probabilities)
+    ):
+        if old != new:
+            return index + 1
+    return len(new_probabilities) + 1

@@ -43,6 +43,8 @@ from repro.workloads.scenarios import (
     sensor_network_scenario,
 )
 from repro.workloads.traffic import (
+    bursty_traffic,
+    update_heavy_traffic,
     DEFAULT_QUERY_MIX,
     TrafficEvent,
     generate_traffic,
@@ -68,6 +70,8 @@ __all__ = [
     "DEFAULT_QUERY_MIX",
     "TrafficEvent",
     "generate_traffic",
+    "update_heavy_traffic",
+    "bursty_traffic",
     "replay_traffic",
     "traffic_signature",
 ]

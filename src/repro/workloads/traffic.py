@@ -50,6 +50,9 @@ class TrafficEvent:
     key: Optional[Hashable] = None
     probability: Optional[float] = None
     score: Optional[float] = None
+    #: Inter-arrival gap (seconds) before this event; ``None`` for steady
+    #: streams, set by the bursty arrival process.
+    gap: Optional[float] = None
     request: InitVar[Optional[Any]] = None
 
     def __post_init__(self, request: Optional[Any]) -> None:
@@ -84,6 +87,24 @@ def _request_view(self: TrafficEvent) -> Optional[Any]:
 TrafficEvent.request = property(_request_view)  # type: ignore[assignment]
 
 
+def _zipf_cumulative(n: int, s: float) -> List[float]:
+    """Cumulative zipfian rank distribution over ``n`` items."""
+    weights = [1.0 / float(rank + 1) ** s for rank in range(n)]
+    total = sum(weights)
+    running = 0.0
+    cumulative = []
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    return cumulative
+
+
+def _draw_index(cumulative: List[float], draw: float) -> int:
+    from bisect import bisect_left
+
+    return min(bisect_left(cumulative, draw), len(cumulative) - 1)
+
+
 def generate_traffic(
     keys: Sequence[Hashable],
     count: int,
@@ -93,6 +114,11 @@ def generate_traffic(
     update_ratio: float = 0.0,
     probability_range: Tuple[float, float] = (0.05, 1.0),
     popular_pool: Optional[int] = 8,
+    popularity: str = "uniform",
+    zipf_s: float = 1.2,
+    arrival: str = "steady",
+    mean_gap: float = 0.01,
+    burst_length: int = 8,
 ) -> List[TrafficEvent]:
     """Generate a reproducible mixed query/update event stream.
 
@@ -120,6 +146,22 @@ def generate_traffic(
         "popular" queries instead of fresh independent draws -- the
         realistic repeated-query regime that request coalescing and result
         memoization exploit.  ``None`` draws every query independently.
+    popularity:
+        ``"uniform"`` (default) picks pool queries and update keys
+        uniformly; ``"zipf"`` skews both towards low ranks with exponent
+        ``zipf_s`` (popular queries coalesce harder, popular keys make
+        update races realistic).
+    arrival:
+        ``"steady"`` (default) leaves every event's ``gap`` unset;
+        ``"bursty"`` stamps clustered inter-arrival gaps: runs of
+        ``burst_length`` events separated by ~``mean_gap`` pauses, with
+        near-zero gaps inside a burst.
+    mean_gap / burst_length:
+        The bursty arrival process's scale (seconds) and cluster size.
+
+    Default-parameter draws are byte-identical to the previous generator:
+    the new regimes consume extra random draws only when activated, so
+    existing seeded streams (and their signatures) are unchanged.
     """
     if count < 0:
         raise WorkloadError(f"count must be non-negative, got {count}")
@@ -154,6 +196,26 @@ def generate_traffic(
     low, high = probability_range
     if not 0.0 <= low <= high <= 1.0:
         raise WorkloadError(f"invalid probability range {probability_range}")
+    if popularity not in ("uniform", "zipf"):
+        raise WorkloadError(
+            f"popularity must be 'uniform' or 'zipf', got {popularity!r}"
+        )
+    if arrival not in ("steady", "bursty"):
+        raise WorkloadError(
+            f"arrival must be 'steady' or 'bursty', got {arrival!r}"
+        )
+    if arrival == "bursty":
+        if mean_gap <= 0.0:
+            raise WorkloadError(f"mean_gap must be positive, got {mean_gap}")
+        if burst_length < 1:
+            raise WorkloadError(
+                f"burst_length must be >= 1, got {burst_length}"
+            )
+    key_cumulative = (
+        _zipf_cumulative(len(key_list), zipf_s)
+        if popularity == "zipf"
+        else None
+    )
 
     def draw_query() -> ConsensusQuery:
         # One rng.random() + one rng.randrange() per draw, exactly as the
@@ -168,28 +230,88 @@ def generate_traffic(
         return query_for_kind(kind, k)
 
     pool: Optional[List[ConsensusQuery]] = None
+    pool_cumulative: Optional[List[float]] = None
     if popular_pool is not None:
         if popular_pool < 1:
             raise WorkloadError(
                 f"popular_pool must be positive, got {popular_pool}"
             )
         pool = [draw_query() for _ in range(popular_pool)]
+        if popularity == "zipf":
+            pool_cumulative = _zipf_cumulative(len(pool), zipf_s)
     events: List[TrafficEvent] = []
+    burst_remaining = 0
     for _ in range(count):
+        # The bursty arrival process draws its gap first, so the event
+        # draws below consume the exact same stream as a steady run with
+        # one extra rng.random() skipped in between.
+        gap: Optional[float] = None
+        if arrival == "bursty":
+            draw = rng.random()
+            if burst_remaining > 0:
+                burst_remaining -= 1
+                gap = mean_gap * 0.05 * draw
+            else:
+                burst_remaining = burst_length - 1
+                gap = mean_gap * (0.5 + draw)
         if update_ratio > 0.0 and rng.random() < update_ratio:
+            if key_cumulative is not None:
+                key = key_list[_draw_index(key_cumulative, rng.random())]
+            else:
+                key = key_list[rng.randrange(len(key_list))]
             events.append(
                 TrafficEvent(
                     kind="update",
-                    key=key_list[rng.randrange(len(key_list))],
+                    key=key,
                     probability=rng.uniform(low, high),
+                    gap=gap,
                 )
             )
         else:
-            query = (
-                pool[rng.randrange(len(pool))] if pool else draw_query()
-            )
-            events.append(TrafficEvent(kind="query", query=query))
+            if pool is not None and pool_cumulative is not None:
+                query = pool[_draw_index(pool_cumulative, rng.random())]
+            elif pool is not None:
+                query = pool[rng.randrange(len(pool))]
+            else:
+                query = draw_query()
+            events.append(TrafficEvent(kind="query", query=query, gap=gap))
     return events
+
+
+def update_heavy_traffic(
+    keys: Sequence[Hashable],
+    count: int,
+    rng: RandomSource = None,
+    update_ratio: float = 0.4,
+    **options: Any,
+) -> List[TrafficEvent]:
+    """An update-heavy mix: ~40% tuple updates on a zipfian key pool.
+
+    The regime the incremental re-merge targets: most events touch one
+    shard and force a single-shard delta, reads in between reuse every
+    other shard's cached partial products.
+    """
+    options.setdefault("popularity", "zipf")
+    return generate_traffic(
+        keys, count, rng=rng, update_ratio=update_ratio, **options
+    )
+
+
+def bursty_traffic(
+    keys: Sequence[Hashable],
+    count: int,
+    rng: RandomSource = None,
+    **options: Any,
+) -> List[TrafficEvent]:
+    """Zipfian-popularity traffic with clustered inter-arrival gaps.
+
+    Bursts of near-simultaneous events (micro-batching and coalescing
+    engage) separated by ~``mean_gap`` idle pauses; event ``gap`` fields
+    carry the arrival process for replay harnesses that honor pacing.
+    """
+    options.setdefault("popularity", "zipf")
+    options.setdefault("arrival", "bursty")
+    return generate_traffic(keys, count, rng=rng, **options)
 
 
 def traffic_signature(events: Sequence[TrafficEvent]) -> str:
@@ -213,6 +335,10 @@ def traffic_signature(events: Sequence[TrafficEvent]) -> str:
             )
         else:
             part = ("query", event.query.fingerprint())
+        if event.gap is not None:
+            # Appended only when set: steady streams keep their
+            # pre-arrival-process signatures.
+            part = part + (repr(event.gap),)
         digest.update("\x1f".join(part).encode("utf-8"))
         digest.update(b"\x1e")
     return digest.hexdigest()

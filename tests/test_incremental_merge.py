@@ -1,0 +1,349 @@
+"""Incremental cross-shard re-merge and MVCC snapshot-read suite.
+
+Covers the prefix/suffix partial-product merge engine (incremental vs
+from-scratch parity across models, partitioners, shard counts, backends
+and executors), version-pinned snapshot readers staying 1e-9-identical
+across concurrent shard swaps, the bounded snapshot history actually
+evicting, the memoized ``_merge_general`` hot loop, and the seeded
+update-heavy / bursty traffic streams.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from conftest import small_bid
+from repro.engine import numpy_available, use_backend
+from repro.exceptions import SnapshotTooOldError
+from repro.models import BlockIndependentDatabase, ShardedDatabase
+from repro.session import QuerySession
+from repro.sharding import ShardedQuerySession
+from repro.workloads.traffic import (
+    bursty_traffic,
+    generate_traffic,
+    traffic_signature,
+    update_heavy_traffic,
+)
+
+BACKENDS = ["python", "numpy"]
+TOLERANCE = 1e-9
+K = 5
+
+
+def _backend_or_skip(backend_name):
+    if backend_name == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    return backend_name
+
+
+def _ti_tuples(seed, count):
+    rng = random.Random(seed)
+    scores = rng.sample(range(10, 9000), count)
+    return [
+        (f"t{i + 1}", float(scores[i]), float(scores[i]),
+         round(rng.uniform(0.05, 0.95), 3))
+        for i in range(count)
+    ]
+
+
+def _bid_spec(seed, blocks):
+    rng = random.Random(seed)
+    scores = iter(rng.sample(range(10, 9000), blocks * 3))
+    spec = []
+    for index in range(blocks):
+        count = rng.randint(1, 3)
+        raw = [rng.uniform(0.1, 1.0) for _ in range(count)]
+        norm = sum(raw) / 0.8
+        alternatives = []
+        for j in range(count):
+            score = float(next(scores))
+            alternatives.append((score, score, raw[j] / norm))
+        spec.append((f"t{index + 1}", alternatives))
+    return spec
+
+
+def _matrix_rows(session, max_rank):
+    matrix = session.rank_matrix(max_rank)
+    return {key: list(matrix.row(key)) for key in matrix.keys()}
+
+
+def assert_rows_close(left, right, tolerance=TOLERANCE):
+    assert set(left) == set(right)
+    for key, row in left.items():
+        other = right[key]
+        assert len(row) == len(other)
+        for a, b in zip(row, other):
+            assert abs(a - b) < tolerance
+
+
+class TestIncrementalVsRebuildParity:
+    """The merge engine answers exactly like a from-scratch merge."""
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    @pytest.mark.parametrize("partitioner", ["hash", "range"])
+    @pytest.mark.parametrize("shard_count", [1, 2, 4, 8])
+    @pytest.mark.parametrize("model", ["ti", "bid"])
+    def test_parity_after_update(
+        self, model, shard_count, partitioner, executor, backend_name
+    ):
+        with use_backend(_backend_or_skip(backend_name)):
+            if model == "ti":
+                source = _ti_tuples(shard_count + 17, 14)
+            else:
+                spec = _bid_spec(shard_count + 29, 7)
+                source = BlockIndependentDatabase(spec)
+            sharded = ShardedDatabase(
+                source, shard_count,
+                partitioner=partitioner, executor=executor,
+            )
+            with sharded:
+                incremental = sharded.coordinator()
+                rebuild = ShardedQuerySession(sharded, merge_mode="rebuild")
+                assert_rows_close(
+                    _matrix_rows(incremental, K), _matrix_rows(rebuild, K)
+                )
+                # A single-shard swap: the incremental path re-merges
+                # through cached partial products, the rebuild path from
+                # scratch; answers must still match to 1e-9.
+                if model == "ti":
+                    sharded.update_tuple("t3", probability=0.42)
+                else:
+                    replacement = [
+                        (value, score, min(1.0, probability * 0.7))
+                        for value, score, probability in spec[2][1]
+                    ]
+                    sharded.update_block(spec[2][0], replacement)
+                assert_rows_close(
+                    _matrix_rows(incremental, K), _matrix_rows(rebuild, K)
+                )
+                mean_inc = incremental.mean_topk_symmetric_difference(K)
+                mean_reb = rebuild.mean_topk_symmetric_difference(K)
+                assert mean_inc[0] == mean_reb[0]
+                assert abs(mean_inc[1] - mean_reb[1]) < TOLERANCE
+
+
+class TestConvolutionBudget:
+    def test_single_shard_update_is_linear_in_shards(self):
+        """One shard swap costs O(S) convolutions, not O(S^2)."""
+        sharded = ShardedDatabase(_ti_tuples(5, 48), 4, partitioner="hash")
+        coordinator = sharded.coordinator()
+        coordinator.rank_matrix(K)
+        shard_count = sum(
+            1 for shard in sharded.shards() if not shard.is_empty
+        )
+        before = coordinator.merge_stats()
+        sharded.update_tuple("t7", probability=0.31)
+        coordinator.rank_matrix(K)
+        delta = coordinator.merge_stats() - before
+        assert delta.incremental_merges == 1
+        assert delta.full_merges == 0
+        # Incremental re-merge: own rank rows + the partial-product rows
+        # containing the swapped shard -- at most 3S convolutions, far
+        # under the S*(S-1) of the pairwise legacy merge.
+        assert delta.convolutions <= 3 * shard_count
+        assert delta.convolutions < shard_count * (shard_count - 1) or (
+            shard_count <= 3
+        )
+        assert delta.partials_reused >= 1
+
+    def test_layout_patch_on_probability_update(self):
+        sharded = ShardedDatabase(_ti_tuples(11, 30), 4)
+        coordinator = sharded.coordinator()
+        coordinator.rank_matrix(K)
+        before = coordinator.merge_stats()
+        sharded.update_tuple("t5", probability=0.5)
+        coordinator.rank_matrix(K)
+        delta = coordinator.merge_stats() - before
+        # A probability-only update keeps every score in place: the merged
+        # layout is patched, not rebuilt.
+        assert delta.layout_patches == 1
+        assert delta.layout_rebuilds == 0
+
+
+class TestPinnedSnapshotReads:
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_pinned_reader_identical_across_swap(self, executor):
+        sharded = ShardedDatabase(
+            _ti_tuples(23, 24), 4, executor=executor
+        )
+        with sharded:
+            coordinator = sharded.coordinator()
+            coordinator.rank_matrix(K)
+            snapshot = sharded.snapshot()
+            pinned = snapshot.session()
+            before = _matrix_rows(pinned, K)
+            membership_before = dict(pinned.top_k_membership(K))
+            sharded.update_tuple("t2", probability=0.11)
+            assert not snapshot.is_current
+            # The pinned reader keeps answering at its version vector.
+            assert_rows_close(before, _matrix_rows(pinned, K))
+            membership_after = dict(pinned.top_k_membership(K))
+            for key, value in membership_before.items():
+                assert abs(membership_after[key] - value) < TOLERANCE
+            # The live coordinator sees the new state.
+            live = _matrix_rows(coordinator, K)
+            assert any(
+                abs(a - b) >= TOLERANCE
+                for key in before
+                for a, b in zip(before[key], live[key])
+            )
+
+    def test_pinned_reader_during_concurrent_swaps(self):
+        sharded = ShardedDatabase(_ti_tuples(31, 24), 4, snapshot_history=8)
+        coordinator = sharded.coordinator()
+        coordinator.rank_matrix(K)
+        pinned = coordinator.at()
+        expected = _matrix_rows(pinned, K)
+        errors = []
+
+        def writer():
+            try:
+                for step in range(6):
+                    sharded.update_tuple(
+                        f"t{step + 1}", probability=0.15 + 0.1 * step
+                    )
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(10):
+                assert_rows_close(expected, _matrix_rows(pinned, K))
+        finally:
+            thread.join()
+        assert not errors
+        assert_rows_close(expected, _matrix_rows(pinned, K))
+
+    def test_snapshot_readers_share_memoized_artifacts(self):
+        sharded = ShardedDatabase(_ti_tuples(37, 20), 3)
+        coordinator = sharded.coordinator()
+        snapshot = sharded.snapshot()
+        first = snapshot.session()
+        first.rank_matrix(K)
+        second = snapshot.session()
+        hits_before = second.cache_hits
+        second.rank_matrix(K)
+        assert second.cache_hits > hits_before
+
+
+class TestBoundedSnapshotHistory:
+    def test_old_pins_evict(self):
+        sharded = ShardedDatabase(
+            _ti_tuples(41, 20), 2, snapshot_history=2
+        )
+        coordinator = sharded.coordinator()
+        coordinator.rank_matrix(K)
+        stale = sharded.snapshot()
+        pinned = stale.session()
+        pinned.rank_matrix(K)
+        # Push the pinned shard versions far beyond the bounded history.
+        target = "t1"
+        for step in range(4):
+            sharded.update_tuple(target, probability=0.2 + 0.1 * step)
+        fresh_reader = coordinator.at()
+        fresh_reader.rank_matrix(K)  # current pins always resolve
+        assert not stale.is_current
+        # Drop the memoized artifacts so the stale pin must re-resolve its
+        # archived shard state -- which the bounded history has evicted.
+        reader = stale.session()
+        reader.invalidate()
+        with pytest.raises(SnapshotTooOldError):
+            reader.rank_matrix(K)
+
+    def test_recent_pin_still_resolves(self):
+        sharded = ShardedDatabase(
+            _ti_tuples(43, 20), 2, snapshot_history=4
+        )
+        coordinator = sharded.coordinator()
+        coordinator.rank_matrix(K)
+        snapshot = sharded.snapshot()
+        reference = _matrix_rows(snapshot.session(), K)
+        sharded.update_tuple("t1", probability=0.77)
+        # A fresh reader at the superseded vector rebuilds from the
+        # archived shard state and matches the pre-update answer.
+        reader = coordinator.at(snapshot.versions)
+        assert_rows_close(reference, _matrix_rows(reader, K))
+
+
+class TestMergeGeneralMemo:
+    """The memoized others-product hot loop answers like the unsharded
+    session (the general/BID merge path used by rebuilds and stale
+    readers)."""
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_general_merge_parity(self, backend_name):
+        with use_backend(_backend_or_skip(backend_name)):
+            database = small_bid(13, blocks=7)
+            reference = QuerySession(database.tree)
+            sharded = ShardedDatabase(database, 3, partitioner="hash")
+            rebuild = ShardedQuerySession(sharded, merge_mode="rebuild")
+            assert_rows_close(
+                _matrix_rows(reference, K), _matrix_rows(rebuild, K)
+            )
+            membership_ref = reference.top_k_membership(K)
+            membership_merged = rebuild.top_k_membership(K)
+            assert set(membership_ref) == set(membership_merged)
+            for key, value in membership_ref.items():
+                assert abs(membership_merged[key] - value) < TOLERANCE
+
+
+class TestTrafficStreams:
+    def test_default_stream_unchanged_and_stable(self):
+        events = generate_traffic(
+            [f"t{i}" for i in range(20)], 60, rng=random.Random(123),
+            update_ratio=0.2,
+        )
+        replay = generate_traffic(
+            [f"t{i}" for i in range(20)], 60, rng=random.Random(123),
+            update_ratio=0.2,
+        )
+        assert traffic_signature(events) == traffic_signature(replay)
+        # Default streams carry no arrival process: signatures (and the
+        # RNG draw sequence) are byte-compatible with the steady era.
+        assert all(event.gap is None for event in events)
+
+    def test_update_heavy_mix_is_update_heavy_and_skewed(self):
+        keys = [f"t{i}" for i in range(40)]
+        events = update_heavy_traffic(keys, 400, rng=random.Random(7))
+        updates = [event for event in events if event.is_update]
+        assert 0.25 < len(updates) / len(events) < 0.55
+        counts = {}
+        for event in updates:
+            counts[event.key] = counts.get(event.key, 0) + 1
+        top = max(counts.values())
+        # Zipfian popularity: the hottest key dominates far beyond the
+        # uniform expectation of len(updates)/len(keys).
+        assert top > 2 * (len(updates) / len(keys))
+        assert traffic_signature(events) == traffic_signature(
+            update_heavy_traffic(keys, 400, rng=random.Random(7))
+        )
+
+    def test_bursty_stream_gaps_and_signature(self):
+        keys = [f"t{i}" for i in range(10)]
+        events = bursty_traffic(
+            keys, 80, rng=random.Random(5), mean_gap=0.02, burst_length=6
+        )
+        assert all(event.gap is not None for event in events)
+        gaps = [event.gap for event in events]
+        small = sum(1 for gap in gaps if gap < 0.02 * 0.05)
+        large = sum(1 for gap in gaps if gap >= 0.02 * 0.5)
+        # Clustered arrivals: most gaps are tiny, separated by pauses
+        # roughly every burst_length events.
+        assert small > large >= 80 // 6 - 2
+        assert traffic_signature(events) == traffic_signature(
+            bursty_traffic(
+                keys, 80, rng=random.Random(5),
+                mean_gap=0.02, burst_length=6,
+            )
+        )
+        # The gap participates in the signature: same queries at a
+        # different pacing fingerprint differently.
+        repaced = bursty_traffic(
+            keys, 80, rng=random.Random(5), mean_gap=0.04, burst_length=6
+        )
+        assert traffic_signature(events) != traffic_signature(repaced)
