@@ -4,6 +4,10 @@ Partitions the movie-ratings scenario across four shards, serves a
 concurrent mix of consensus Top-k queries and tuple updates through the
 asyncio executor, and shows that the cross-shard merged answers are exactly
 the unsharded answers -- while updates invalidate only the owning shard.
+The final section injects seeded worker kills into a supervised process
+pool and shows the serving layer self-healing: workers respawn, every
+request terminates, and answers served while a shard was down are flagged
+stale or degraded.
 
 Run with:  PYTHONPATH=src python examples/sharded_serving.py
 """
@@ -15,6 +19,8 @@ import asyncio
 from repro import QuerySession
 from repro.models import ShardedDatabase
 from repro.serving import ServingExecutor
+from repro.sharding import FaultInjector, FaultSchedule, SupervisorPolicy
+from repro.workloads.chaos import chaos_replay, chaos_summary
 from repro.workloads.scenarios import movie_rating_scenario
 from repro.workloads.traffic import generate_traffic, replay_traffic
 
@@ -179,6 +185,54 @@ async def main() -> None:
             f"{ipc_delta.summary_deltas} ({ipc_delta.delta_rows_saved} "
             f"unchanged rows skipped).  The pinned reader still serves "
             f"version vector {tuple(pinned.pinned_versions)}."
+        )
+
+    # -- fault tolerance: supervised workers + degraded answers ---------
+    # Process pools are supervised by default: a crashed or wedged
+    # worker is respawned (exponential backoff + seeded jitter), staged
+    # but uncommitted shard rebuilds are replayed, and the executor adds
+    # per-query deadlines (``deadline_ms=``), bounded retries and a
+    # per-shard circuit breaker.  While a shard is down, queries degrade
+    # gracefully -- a recent cached answer flagged ``stale=True``, or a
+    # fresh merge over the surviving shards flagged ``degraded=True`` --
+    # instead of silently serving wrong values.  A seeded FaultSchedule
+    # makes whole failure scenarios replayable from one integer.
+    schedule = FaultSchedule.periodic("kill", start=8, every=20, count=2)
+    injector = FaultInjector(schedule)
+    with ShardedDatabase(
+        database,
+        SHARDS,
+        executor="processes",
+        executor_options={
+            "supervisor": SupervisorPolicy(
+                max_restarts=10, backoff_base=0.0, jitter=0.0, seed=17
+            ),
+            "fault_injector": injector,
+        },
+    ) as supervised:
+        events = generate_traffic(
+            supervised.keys(), 40, rng=17, update_ratio=0.2, k_choices=(3, K)
+        )
+        async with ServingExecutor(
+            supervised, retry_backoff=0.0
+        ) as executor:
+            outcomes = await chaos_replay(executor, events, concurrency=8)
+            summary = chaos_summary(outcomes)
+            snapshot = executor.metrics()
+        kills = injector.fired_of_kind("kill")
+        print(
+            f"\nChaos replay with {len(kills)} injected worker kills "
+            f"(schedule {schedule.signature()}): "
+            f"{summary['completed']}/{summary['events']} events completed "
+            f"({summary['fresh']} fresh, {summary['stale']} stale, "
+            f"{summary['degraded']} degraded answers)"
+        )
+        print(
+            f"Self-healing: {snapshot.worker_restarts} worker restarts, "
+            f"{snapshot.retries} retries, {snapshot.breaker_open} breaker "
+            f"trips, {snapshot.stale_served} stale / "
+            f"{snapshot.degraded_served} degraded served, "
+            f"{snapshot.updates_queued} updates queued"
         )
 
 

@@ -178,6 +178,25 @@ the same :class:`~repro.exceptions.StaleUpdateError`).  Prefer process
 execution for large shards (n >= 10^4) on the numpy backend, where
 shard-local compute dominates the summary-exchange cost; use the
 database as a context manager (or call ``close()``) to release workers.
+
+Serving is self-healing.  Process pools are supervised by default: a
+crashed or wedged worker is restarted with exponential backoff and
+seeded jitter (:class:`~repro.sharding.SupervisorPolicy`), staged but
+uncommitted shard rebuilds are replayed, and ``close()`` escalates
+join -> terminate -> kill so shutdown never hangs.  The executor layers
+per-query deadlines (``execute(query, deadline_ms=...)`` raising
+:class:`~repro.exceptions.DeadlineExceededError`), bounded retries with
+backoff for transient worker failures, and a per-shard circuit breaker
+on top.  While a shard is down, answers degrade gracefully instead of
+failing or silently lying: a recent cached answer is re-served flagged
+``stale=True``, or the query re-runs over the surviving shards flagged
+``degraded=True``; updates queue (bounded) until the shard heals, else
+raise the typed :class:`~repro.exceptions.ShardUnavailableError`.
+Failure scenarios are replayable: a seeded
+:class:`~repro.sharding.FaultSchedule` of worker kills / stalls /
+message drops drives :class:`~repro.sharding.FaultInjector`, and
+:func:`repro.workloads.chaos_replay` accounts for every request under
+faults (see ``benchmarks/bench_e16_faults.py``).
 """
 
 from repro.core.tuples import TupleAlternative

@@ -100,7 +100,36 @@ class ProcessPoolError(ReproError):
 class WorkerCrashError(ProcessPoolError):
     """Raised when a shard worker process died mid-request.
 
-    Surfaced instead of hanging on the dead worker's pipe; the pool is
-    left closed for the affected shard and should be rebuilt (closing and
-    re-requesting the database's process pool starts fresh workers).
+    Surfaced instead of hanging on the dead worker's pipe.  **Retryable**:
+    on a supervised pool the worker is respawned automatically (with
+    exponential backoff), so retrying the request -- or letting
+    :class:`~repro.serving.ServingExecutor`'s retry budget do it -- is
+    expected to succeed once the restart budget allows it.  On an
+    unsupervised pool, close and re-request the database's process pool
+    to rebuild workers.
+    """
+
+
+class ShardUnavailableError(ReproError):
+    """Raised when a shard stays unusable after every recovery avenue.
+
+    **Terminal for this request**: the caller has already burned its
+    retry budget, the shard's circuit breaker is open (or its worker
+    exhausted the supervisor's restart budget), no sufficiently fresh
+    cached answer exists to serve stale, and -- for updates -- the
+    bounded per-shard update queue is full.  Callers should shed load or
+    surface the failure; retrying immediately will fail the same way.
+    The shard becomes usable again once its worker recovers (breaker
+    half-opens after the cooldown).
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a serving query missed its per-query deadline.
+
+    **Retryable**: the query itself is well-formed and the system is
+    healthy enough to be making progress -- the answer simply did not
+    arrive within ``deadline_ms``.  Retrying with a longer deadline, or
+    at lower load, is expected to succeed.  The abandoned work is
+    cancelled when no other coalesced waiter still wants it.
     """

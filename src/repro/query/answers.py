@@ -40,6 +40,16 @@ class QueryAnswer:
     estimate:
         The :class:`~repro.engine.Estimate` behind a Monte-Carlo route
         (None on exact/approximate routes).
+    stale:
+        True when the serving layer answered from a previously computed
+        answer (exact, but at a superseded shard-version vector) because
+        a shard was unavailable.  The value is bit-identical to what the
+        same query answered before the outage.
+    degraded:
+        True when the serving layer answered *fresh but approximate*:
+        the query ran over the merged tree minus the unavailable
+        shard(s), so the dead shards' tuples are missing and any
+        confidence interval is effectively widened.
     """
 
     value: Any
@@ -51,6 +61,8 @@ class QueryAnswer:
     cache_hits: int = 0
     cache_misses: int = 0
     estimate: Optional[Any] = None
+    stale: bool = False
+    degraded: bool = False
 
     @property
     def answer(self) -> Any:
@@ -95,6 +107,8 @@ class QueryAnswer:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "samples": None if self.estimate is None else self.estimate.samples,
+            "stale": self.stale,
+            "degraded": self.degraded,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

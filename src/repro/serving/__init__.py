@@ -12,7 +12,9 @@ reproduction's per-shard pieces:
   hash), micro-batching, a per-shard worker pool for summary refresh /
   shard rebuilds, and graceful cache-invalidation fan-out on updates.
   Execution routes through the hardness-aware planner
-  (:mod:`repro.query.planner`).
+  (:mod:`repro.query.planner`) and self-heals: per-query deadlines,
+  bounded retries, per-shard circuit breakers, and stale / shard-excluded
+  degraded answers while a shard worker is down.
 * :mod:`repro.serving.metrics` -- latency and throughput instrumentation.
 
 Traffic to drive it comes from :mod:`repro.workloads.traffic`.

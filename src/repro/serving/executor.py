@@ -18,6 +18,16 @@ cross-shard coordinator session:
   change lazily and re-merges from the unchanged shards' warm summaries.
 * **Instrumentation** -- per-request latency quantiles, batch sizes,
   coalescing and invalidation counters (:meth:`ServingExecutor.metrics`).
+* **Self-healing** -- per-query deadlines (``deadline_ms`` ->
+  :class:`~repro.exceptions.DeadlineExceededError`, with abandoned
+  batch entries cancelled once no coalesced waiter remains), bounded
+  retries with exponential backoff for transient worker failures, a
+  per-shard circuit breaker, and graceful degradation when a shard stays
+  down: reads serve the last good answer (``stale=True`` provenance)
+  within ``staleness_bound_s``, then fall back to a fresh answer over
+  the merged tree *minus* the dead shards (``degraded=True``); updates
+  to a dead shard land in a bounded queue that drains on recovery, or
+  fail fast with :class:`~repro.exceptions.ShardUnavailableError`.
 
 >>> async def main():
 ...     async with ServingExecutor(database) as executor:
@@ -32,10 +42,18 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+from dataclasses import replace
+from typing import Any, Deque, Dict, FrozenSet, Hashable, List, Optional, Tuple, Union
 
-from repro.exceptions import SnapshotTooOldError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ProcessPoolError,
+    ShardUnavailableError,
+    SnapshotTooOldError,
+    WorkerCrashError,
+)
 from repro.models.sharded import ShardedDatabase, StaleUpdateError
 from repro.query.answers import QueryAnswer
 from repro.query.builder import ConsensusQuery
@@ -51,6 +69,49 @@ _SENTINEL = object()
 
 #: Anything the executor accepts as one query submission.
 Submittable = Union[QueryRequest, ConsensusQuery]
+
+#: Bound on the last-good-answer cache behind stale serving.
+_LAST_ANSWER_CAP = 256
+
+
+def _is_transient(error: BaseException) -> bool:
+    """Whether a pool failure is worth retrying (crash/timeout/drop)."""
+    return bool(getattr(error, "transient", isinstance(error, WorkerCrashError)))
+
+
+class _ShardBreaker:
+    """Circuit breaker for one shard.
+
+    ``threshold`` consecutive failures trip it open; while open (within
+    ``cooldown`` seconds of the trip) callers skip the shard entirely.
+    After the cooldown the breaker *half-opens*: one probe request is
+    admitted, and its outcome either closes the breaker or re-arms the
+    cooldown.
+    """
+
+    __slots__ = ("consecutive", "opened_at")
+
+    def __init__(self) -> None:
+        self.consecutive = 0
+        self.opened_at: Optional[float] = None
+
+    def is_open(self, now: float, cooldown: float) -> bool:
+        if self.opened_at is None:
+            return False
+        return now - self.opened_at < cooldown
+
+    def record_failure(self, now: float, threshold: int) -> bool:
+        """Count one failure; True when this trip newly opened the breaker."""
+        self.consecutive += 1
+        if self.consecutive >= threshold:
+            newly = self.opened_at is None
+            self.opened_at = now
+            return newly
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive = 0
+        self.opened_at = None
 
 
 class ServingExecutor:
@@ -71,6 +132,32 @@ class ServingExecutor:
     warm_shards:
         Pre-compute the per-shard partial summaries of a batch concurrently
         on the per-shard workers before merging.
+    deadline_ms:
+        Default per-query deadline in milliseconds (``None`` = none).  A
+        query that misses it raises
+        :class:`~repro.exceptions.DeadlineExceededError`; its queued
+        batch entry is cancelled once no coalesced waiter remains.
+        Overridable per call via ``execute(..., deadline_ms=...)``.
+    max_retries / retry_backoff:
+        Budget for re-running a query or update whose execution failed
+        with a *transient* worker error (crash, request timeout, dropped
+        message).  Attempt ``i`` sleeps ``retry_backoff * 2**(i-1)``
+        seconds first.
+    breaker_threshold / breaker_cooldown_s:
+        Per-shard circuit breaker: after ``breaker_threshold``
+        consecutive failures the shard is skipped for
+        ``breaker_cooldown_s`` seconds (reads degrade, updates queue),
+        then one probe is admitted (half-open).
+    degraded_reads:
+        Allow stale / shard-excluded answers when a shard is
+        unavailable; when false, exhausted retries surface the error.
+    staleness_bound_s:
+        Maximum age of a cached answer served stale; older falls through
+        to the fresh-but-degraded route (merged tree minus dead shards).
+    update_queue_limit:
+        Bounded per-shard queue for updates arriving while the shard is
+        down; beyond it updates fail fast with
+        :class:`~repro.exceptions.ShardUnavailableError`.
     """
 
     def __init__(
@@ -80,12 +167,33 @@ class ServingExecutor:
         batch_window: float = 0.0,
         max_batch_size: int = 64,
         warm_shards: bool = True,
+        deadline_ms: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.02,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 0.5,
+        degraded_reads: bool = True,
+        staleness_bound_s: float = 30.0,
+        update_queue_limit: int = 32,
     ) -> None:
         self._database = database
         self._coalesce = coalesce
         self._batch_window = batch_window
         self._max_batch_size = max(1, max_batch_size)
         self._warm_shards = warm_shards
+        self._deadline_ms = deadline_ms
+        self._max_retries = max(0, int(max_retries))
+        self._retry_backoff = max(0.0, retry_backoff)
+        self._breaker_threshold = max(1, int(breaker_threshold))
+        self._breaker_cooldown = max(0.0, breaker_cooldown_s)
+        self._degraded_reads = degraded_reads
+        self._staleness_bound = max(0.0, staleness_bound_s)
+        self._update_queue_limit = max(0, int(update_queue_limit))
+        self._breakers: Dict[int, _ShardBreaker] = {}
+        #: query -> (QueryAnswer, monotonic time): the stale-serving source.
+        self._last_answers: "OrderedDict[ConsensusQuery, Tuple[QueryAnswer, float]]" = OrderedDict()
+        self._degraded_cache: Optional[Tuple[Any, Any]] = None
+        self._update_queues: Dict[int, Deque[Tuple[Hashable, Optional[float], Optional[float]]]] = {}
         self._metrics = ServingMetrics()
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
@@ -241,7 +349,11 @@ class ServingExecutor:
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
-    async def execute(self, request: Submittable) -> QueryAnswer:
+    async def execute(
+        self,
+        request: Submittable,
+        deadline_ms: Optional[float] = None,
+    ) -> QueryAnswer:
         """Answer one query, returning the full :class:`QueryAnswer`.
 
         Accepts a declarative :class:`~repro.query.ConsensusQuery` or a
@@ -249,8 +361,31 @@ class ServingExecutor:
         both forms coalesce onto the same in-flight computation -- the
         coalescing key is the query object's stable hash plus the shard
         versions it would read).
+
+        ``deadline_ms`` overrides the executor default for this call (a
+        value <= 0 disables the deadline).  On expiry the call raises
+        :class:`~repro.exceptions.DeadlineExceededError` and -- when it
+        was the last waiter -- cancels the queued batch entry so the
+        dispatcher never computes an answer nobody wants.
         """
         query = as_query(request)
+        timeout = self._deadline_ms if deadline_ms is None else deadline_ms
+        if timeout is not None and timeout <= 0:
+            timeout = None
+        if timeout is None:
+            return await self._execute_inner(query)
+        try:
+            return await asyncio.wait_for(
+                self._execute_inner(query), timeout / 1000.0
+            )
+        except asyncio.TimeoutError:
+            self._metrics.deadline_exceeded += 1
+            raise DeadlineExceededError(
+                f"query {query.kind!r} missed its {timeout:g} ms deadline; "
+                "retry with a longer deadline or at lower load"
+            ) from None
+
+    async def _execute_inner(self, query: ConsensusQuery) -> QueryAnswer:
         if self._dispatcher is None:
             await self.start()
         if self._closed:
@@ -265,12 +400,13 @@ class ServingExecutor:
             if existing is not None:
                 self._metrics.coalesced += 1
                 try:
-                    return await asyncio.shield(existing)
+                    return await self._await_result(existing)
                 finally:
                     self._metrics.latency.record(
                         time.perf_counter() - started
                     )
         future: asyncio.Future = loop.create_future()
+        future._repro_waiters = 0  # type: ignore[attr-defined]
         if self._coalesce:
             self._pending[pending_key] = future
             future.add_done_callback(
@@ -282,13 +418,40 @@ class ServingExecutor:
         # update landing before the batch runs cannot tear the result.
         await self._queue.put((query, future, versions))
         try:
-            return await asyncio.shield(future)
+            return await self._await_result(future)
         finally:
             self._metrics.latency.record(time.perf_counter() - started)
 
-    async def submit(self, request: Submittable) -> Any:
+    @staticmethod
+    async def _await_result(future: asyncio.Future) -> QueryAnswer:
+        """Await a (possibly shared) result, cancelling it when abandoned.
+
+        The shield keeps one waiter's deadline from killing a computation
+        other coalesced waiters still want; the waiter count lets the
+        *last* departing waiter cancel the future, so the dispatcher can
+        skip batch entries nobody is waiting on anymore.
+        """
+        count = getattr(future, "_repro_waiters", 0)
+        future._repro_waiters = count + 1  # type: ignore[attr-defined]
+        try:
+            return await asyncio.shield(future)
+        except asyncio.CancelledError:
+            if (
+                not future.done()
+                and getattr(future, "_repro_waiters", 1) <= 1
+            ):
+                future.cancel()
+            raise
+        finally:
+            future._repro_waiters -= 1  # type: ignore[attr-defined]
+
+    async def submit(
+        self,
+        request: Submittable,
+        deadline_ms: Optional[float] = None,
+    ) -> Any:
         """Answer one query, returning the raw (legacy-shaped) value."""
-        answer = await self.execute(request)
+        answer = await self.execute(request, deadline_ms=deadline_ms)
         return answer.value
 
     async def query(
@@ -310,12 +473,61 @@ class ServingExecutor:
         swap safe against in-flight queries, so updates no longer wait
         behind the coordinator worker's merge queue.  Retries
         transparently if a concurrent update to the same shard wins the
-        race.
+        race (``StaleUpdateError``) and, within the retry budget, if the
+        shard's worker fails transiently.
+
+        When the owning shard is down (breaker open, or retries
+        exhausted on a transient failure) the update lands in a bounded
+        per-shard queue that drains once the shard recovers; a full
+        queue fails fast with
+        :class:`~repro.exceptions.ShardUnavailableError`.
         """
         if self._dispatcher is None:
             await self.start()
         loop = asyncio.get_running_loop()
         shard_index = self._database.shard_of(key)
+        breaker = self._breakers.get(shard_index)
+        if breaker is not None and breaker.is_open(
+            time.monotonic(), self._breaker_cooldown
+        ):
+            self._queue_update(shard_index, key, probability, score)
+            return
+        attempt = 0
+        while True:
+            try:
+                await self._apply_update_once(
+                    loop, shard_index, key, probability, score
+                )
+            except (WorkerCrashError, ProcessPoolError) as error:
+                self._record_shard_failure(shard_index)
+                if not _is_transient(error):
+                    raise
+                if attempt < self._max_retries:
+                    attempt += 1
+                    self._metrics.retries += 1
+                    await asyncio.sleep(
+                        self._retry_backoff * (2 ** (attempt - 1))
+                    )
+                    continue
+                self._queue_update(
+                    shard_index, key, probability, score, cause=error
+                )
+                return
+            else:
+                self._record_shard_success(shard_index)
+                self._metrics.updates += 1
+                await self._drain_queued_updates(loop)
+                return
+
+    async def _apply_update_once(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        shard_index: int,
+        key: Hashable,
+        probability: Optional[float],
+        score: Optional[float],
+    ) -> None:
+        """One prepare+apply cycle, retrying only lost version races."""
         pool = self._shard_pools[shard_index]
         while True:
             pending = await loop.run_in_executor(
@@ -331,8 +543,93 @@ class ServingExecutor:
                 )
             except StaleUpdateError:
                 continue
-            break
-        self._metrics.updates += 1
+            return
+
+    def _queue_update(
+        self,
+        shard_index: int,
+        key: Hashable,
+        probability: Optional[float],
+        score: Optional[float],
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        queue = self._update_queues.setdefault(shard_index, deque())
+        if len(queue) >= self._update_queue_limit:
+            raise ShardUnavailableError(
+                f"shard {shard_index} is unavailable and its bounded "
+                f"update queue is full ({self._update_queue_limit} "
+                "entries); shed load or wait for the worker to recover"
+            ) from cause
+        queue.append((key, probability, score))
+        self._metrics.updates_queued += 1
+
+    async def _drain_queued_updates(
+        self, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        """Apply queued updates for every shard whose breaker allows it."""
+        for shard_index in list(self._update_queues):
+            queue = self._update_queues[shard_index]
+            if not queue:
+                continue
+            breaker = self._breakers.get(shard_index)
+            if breaker is not None and breaker.is_open(
+                time.monotonic(), self._breaker_cooldown
+            ):
+                continue
+            while queue:
+                key, probability, score = queue[0]
+                try:
+                    await self._apply_update_once(
+                        loop, shard_index, key, probability, score
+                    )
+                except (WorkerCrashError, ProcessPoolError):
+                    self._record_shard_failure(shard_index)
+                    break
+                queue.popleft()
+                self._metrics.updates += 1
+                self._record_shard_success(shard_index)
+
+    def queued_update_count(self) -> int:
+        """Updates currently parked in the per-shard recovery queues."""
+        return sum(len(queue) for queue in self._update_queues.values())
+
+    async def flush_updates(self) -> int:
+        """Try to drain the queued updates now; returns how many remain."""
+        if self._dispatcher is None:
+            await self.start()
+        await self._drain_queued_updates(asyncio.get_running_loop())
+        return self.queued_update_count()
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+    def _record_shard_failure(self, shard_index: Optional[int]) -> None:
+        if shard_index is None:
+            return
+        breaker = self._breakers.setdefault(shard_index, _ShardBreaker())
+        if breaker.record_failure(time.monotonic(), self._breaker_threshold):
+            self._metrics.breaker_open += 1
+
+    def _record_shard_success(self, shard_index: Optional[int] = None) -> None:
+        if shard_index is None:
+            # A fresh merged answer touched every live shard.
+            for breaker in self._breakers.values():
+                breaker.record_success()
+        else:
+            breaker = self._breakers.get(shard_index)
+            if breaker is not None:
+                breaker.record_success()
+
+    def _open_breaker_shards(self, now: float) -> FrozenSet[int]:
+        return frozenset(
+            index
+            for index, breaker in self._breakers.items()
+            if breaker.is_open(now, self._breaker_cooldown)
+        )
+
+    def open_breakers(self) -> Tuple[int, ...]:
+        """Shards currently skipped by their circuit breaker, ascending."""
+        return tuple(sorted(self._open_breaker_shards(time.monotonic())))
 
     # ------------------------------------------------------------------
     # Dispatcher
@@ -382,38 +679,205 @@ class ServingExecutor:
     ) -> None:
         loop = asyncio.get_running_loop()
         self._metrics.count_batch(len(batch))
-        coordinator = self._database.coordinator()
+        if self._update_queues and self.queued_update_count():
+            # Shards may have recovered since the updates were parked;
+            # drain before reading so answers see the queued writes.
+            await self._drain_queued_updates(loop)
+        try:
+            coordinator = self._database.coordinator()
+        except Exception as error:  # route to waiters, keep dispatching
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
         if self._warm_shards and self._database.shard_count > 1:
-            await self._warm_batch(loop, batch)
+            try:
+                await self._warm_batch(loop, batch)
+            except Exception:
+                # Warming is advisory; the query path surfaces real
+                # failures with retry/degradation applied.
+                pass
         for query, future, versions in batch:
             if future.done():
                 continue
             try:
-                # Plan (memoized per session generation) on the live
-                # coordinator, then rebind to a reader pinned at the
-                # versions captured when the request arrived: the read is
-                # isolated from updates that landed while it was queued.
-                plan = DEFAULT_PLANNER.plan_for(query, coordinator, "served")
-                reader = coordinator.at(versions)
-                self._metrics.snapshot_reads += 1
-                if tuple(versions) != self._database.versions():
-                    self._metrics.stale_reads += 1
-                try:
-                    result = await loop.run_in_executor(
-                        self._merge_pool, plan.rebound(reader).execute
-                    )
-                except SnapshotTooOldError:
-                    # The pinned state aged out of the bounded history
-                    # while queued; answer at the current versions instead.
-                    result = await loop.run_in_executor(
-                        self._merge_pool, plan.execute
-                    )
+                result = await self._answer_query(
+                    loop, coordinator, query, versions
+                )
             except Exception as error:  # surfaced to the submitter
                 if not future.done():
                     future.set_exception(error)
             else:
                 if not future.done():
                     future.set_result(result)
+
+    async def _answer_query(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        coordinator: Any,
+        query: ConsensusQuery,
+        versions: Tuple[int, ...],
+    ) -> QueryAnswer:
+        """One query through the full robustness ladder.
+
+        Fresh merged answer first (with bounded retries on transient
+        worker failures), degradation when a shard stays unavailable,
+        :class:`~repro.exceptions.ShardUnavailableError` when every
+        avenue is exhausted.
+        """
+        dead = self._open_breaker_shards(time.monotonic())
+        if dead:
+            if self._degraded_reads:
+                return await self._serve_degraded(loop, query, dead, None)
+            raise ShardUnavailableError(
+                f"shard(s) {sorted(dead)} have an open circuit breaker "
+                "and degraded reads are disabled"
+            )
+        attempt = 0
+        while True:
+            try:
+                result = await self._run_pinned(
+                    loop, coordinator, query, versions
+                )
+            except (WorkerCrashError, ProcessPoolError) as error:
+                shard = getattr(error, "shard_index", None)
+                self._record_shard_failure(shard)
+                if _is_transient(error) and attempt < self._max_retries:
+                    attempt += 1
+                    self._metrics.retries += 1
+                    await asyncio.sleep(
+                        self._retry_backoff * (2 ** (attempt - 1))
+                    )
+                    continue
+                if self._degraded_reads:
+                    dead = self._open_breaker_shards(time.monotonic())
+                    if shard is not None:
+                        dead = frozenset(dead | {shard})
+                    return await self._serve_degraded(
+                        loop, query, dead, error
+                    )
+                raise
+            else:
+                # A merged answer touched every live shard: close all
+                # breakers and refresh the stale-serving cache.
+                self._record_shard_success(None)
+                self._cache_answer(query, result)
+                return result
+
+    async def _run_pinned(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        coordinator: Any,
+        query: ConsensusQuery,
+        versions: Tuple[int, ...],
+    ) -> QueryAnswer:
+        # Plan (memoized per session generation) on the live
+        # coordinator, then rebind to a reader pinned at the
+        # versions captured when the request arrived: the read is
+        # isolated from updates that landed while it was queued.
+        plan = DEFAULT_PLANNER.plan_for(query, coordinator, "served")
+        reader = coordinator.at(versions)
+        self._metrics.snapshot_reads += 1
+        if tuple(versions) != self._database.versions():
+            self._metrics.stale_reads += 1
+        try:
+            return await loop.run_in_executor(
+                self._merge_pool, plan.rebound(reader).execute
+            )
+        except SnapshotTooOldError:
+            # The pinned state aged out of the bounded history
+            # while queued; answer at the current versions instead.
+            return await loop.run_in_executor(self._merge_pool, plan.execute)
+
+    def _cache_answer(self, query: ConsensusQuery, answer: QueryAnswer) -> None:
+        cache = self._last_answers
+        cache[query] = (answer, time.monotonic())
+        cache.move_to_end(query)
+        while len(cache) > _LAST_ANSWER_CAP:
+            cache.popitem(last=False)
+
+    async def _serve_degraded(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        query: ConsensusQuery,
+        dead: FrozenSet[int],
+        error: Optional[BaseException],
+    ) -> QueryAnswer:
+        """Answer without the dead shard(s): stale, then shard-excluded.
+
+        The ladder: (1) the last good answer for this exact query, when
+        younger than ``staleness_bound_s`` -- exact but at a superseded
+        version vector (``stale=True``); (2) a fresh answer over the
+        merged tree *minus* the dead shards -- current but missing their
+        tuples, so confidence intervals are effectively widened
+        (``degraded=True``); (3) a typed
+        :class:`~repro.exceptions.ShardUnavailableError`.
+        """
+        cached = self._last_answers.get(query)
+        if cached is not None:
+            answer, at_time = cached
+            if time.monotonic() - at_time <= self._staleness_bound:
+                self._last_answers.move_to_end(query)
+                self._metrics.stale_served += 1
+                return replace(answer, stale=True)
+        if dead and len(dead) < self._database.shard_count:
+            try:
+                session = await loop.run_in_executor(
+                    self._merge_pool, self._degraded_session, frozenset(dead)
+                )
+                plan = DEFAULT_PLANNER.plan_for(query, session, "served")
+                result = await loop.run_in_executor(
+                    self._merge_pool, plan.execute
+                )
+            except Exception as degraded_error:
+                raise ShardUnavailableError(
+                    f"shard(s) {sorted(dead)} are unavailable and the "
+                    f"degraded route failed too: {degraded_error}"
+                ) from (error if error is not None else degraded_error)
+            self._metrics.degraded_served += 1
+            return replace(result, degraded=True)
+        raise ShardUnavailableError(
+            f"shard(s) {sorted(dead) if dead else '(unknown)'} are "
+            "unavailable: no cached answer within the staleness bound "
+            "and no live shards left to answer from"
+        ) from error
+
+    def _degraded_session(self, dead: FrozenSet[int]) -> Any:
+        """A static merged session over the live shards only.
+
+        Built parent-side from the shards' units (the parent always
+        holds them, whatever executor runs the healthy path), cached by
+        (dead set, live shard versions) and rebuilt only when either
+        changes.  Runs on the coordinator worker thread.
+        """
+        versions = self._database.versions()
+        key = (
+            dead,
+            tuple(
+                version
+                for index, version in enumerate(versions)
+                if index not in dead
+            ),
+        )
+        cached = self._degraded_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        from repro.sharding.coordinator import ShardedQuerySession
+
+        sources = []
+        for shard in self._database.shards():
+            if shard.index in dead:
+                continue
+            session = shard.session()
+            if session is not None:
+                sources.append(session)
+        if not sources:
+            raise ShardUnavailableError(
+                "every shard is unavailable; nothing to degrade onto"
+            )
+        session = ShardedQuerySession(sources)
+        self._degraded_cache = (key, session)
+        return session
 
     async def _warm_batch(
         self,

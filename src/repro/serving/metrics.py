@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Deque, Dict, Optional, Tuple
 
 
@@ -80,6 +80,23 @@ class ServingMetricsSnapshot:
     #: incremental merges, convolutions, reused partial products);
     #: ``None`` when no coordinator has been built yet.
     merge: Optional[Any] = None
+    #: Robustness counters (the self-healing serving path).
+    #: Workers respawned by the pool supervisor (mirrors the pool's
+    #: ``restarts`` IPC counter; 0 under ``executor="threads"``).
+    worker_restarts: int = 0
+    #: Executor-level retries of transient worker failures.
+    retries: int = 0
+    #: Queries that missed their ``deadline_ms``.
+    deadline_exceeded: int = 0
+    #: Per-shard circuit-breaker open transitions.
+    breaker_open: int = 0
+    #: Answers served from the last good cached answer (``stale=True``).
+    stale_served: int = 0
+    #: Answers served fresh over the merged tree minus dead shards
+    #: (``degraded=True``).
+    degraded_served: int = 0
+    #: Updates accepted into a dead shard's bounded queue.
+    updates_queued: int = 0
 
     @property
     def coalesce_rate(self) -> float:
@@ -87,6 +104,49 @@ class ServingMetricsSnapshot:
         identical query."""
         total = self.queries + self.coalesced
         return self.coalesced / total if total else 0.0
+
+    def __sub__(
+        self, other: "ServingMetricsSnapshot"
+    ) -> "ServingMetricsSnapshot":
+        """Counter delta between two snapshots (IpcSnapshot-style).
+
+        Monotone counters subtract; point-in-time gauges (latency
+        quantiles, mean batch size) are kept from ``self``; the nested
+        ``ipc`` / ``merge`` snapshots subtract when both sides carry
+        them.
+        """
+        other_kinds = dict(other.queries_by_kind)
+        return replace(
+            self,
+            queries=self.queries - other.queries,
+            coalesced=self.coalesced - other.coalesced,
+            batches=self.batches - other.batches,
+            updates=self.updates - other.updates,
+            invalidations=self.invalidations - other.invalidations,
+            snapshot_reads=self.snapshot_reads - other.snapshot_reads,
+            stale_reads=self.stale_reads - other.stale_reads,
+            worker_restarts=self.worker_restarts - other.worker_restarts,
+            retries=self.retries - other.retries,
+            deadline_exceeded=self.deadline_exceeded - other.deadline_exceeded,
+            breaker_open=self.breaker_open - other.breaker_open,
+            stale_served=self.stale_served - other.stale_served,
+            degraded_served=self.degraded_served - other.degraded_served,
+            updates_queued=self.updates_queued - other.updates_queued,
+            queries_by_kind=tuple(
+                (kind, count - other_kinds.get(kind, 0))
+                for kind, count in self.queries_by_kind
+            ),
+            ipc=(
+                self.ipc - other.ipc
+                if self.ipc is not None and other.ipc is not None
+                else self.ipc
+            ),
+            merge=(
+                self.merge - other.merge
+                if self.merge is not None and other.merge is not None
+                else self.merge
+            ),
+        )
 
 
 @dataclass
@@ -100,6 +160,12 @@ class ServingMetrics:
     invalidations: int = 0
     snapshot_reads: int = 0
     stale_reads: int = 0
+    retries: int = 0
+    deadline_exceeded: int = 0
+    breaker_open: int = 0
+    stale_served: int = 0
+    degraded_served: int = 0
+    updates_queued: int = 0
     batched_requests: int = 0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     queries_by_kind: Dict[str, int] = field(default_factory=dict)
@@ -125,6 +191,13 @@ class ServingMetrics:
             invalidations=self.invalidations,
             snapshot_reads=self.snapshot_reads,
             stale_reads=self.stale_reads,
+            worker_restarts=getattr(ipc, "restarts", 0),
+            retries=self.retries,
+            deadline_exceeded=self.deadline_exceeded,
+            breaker_open=self.breaker_open,
+            stale_served=self.stale_served,
+            degraded_served=self.degraded_served,
+            updates_queued=self.updates_queued,
             mean_batch_size=(
                 self.batched_requests / self.batches if self.batches else 0.0
             ),

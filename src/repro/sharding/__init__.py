@@ -18,12 +18,20 @@ distributions.  This package exploits that factorization:
   backend (:meth:`~repro.engine.backends.Backend.convolve_rows`), so every
   consensus algorithm runs unchanged at the coordinator without ever
   building a global session.
+* :class:`~repro.sharding.procpool.ShardProcessPool` -- the process-backed
+  execution of the same protocol: one worker process per shard, supervised
+  by :class:`~repro.sharding.supervisor.WorkerSupervisor` (crashed or
+  wedged workers restart with backoff and their staged-but-uncommitted
+  rebuilds replay or abort cleanly), with a deterministic fault-injection
+  harness in :mod:`repro.sharding.faults` for chaos testing.
 """
 
 from repro.sharding.summary import ShardRankSummary
 from repro.sharding.merge import MergeEngine, MergeStatsSnapshot
 from repro.sharding.coordinator import ShardedQuerySession, SnapshotReader
+from repro.sharding.faults import FaultEvent, FaultInjector, FaultSchedule
 from repro.sharding.procpool import IpcSnapshot, ShardProcessPool
+from repro.sharding.supervisor import SupervisorPolicy, WorkerSupervisor
 
 __all__ = [
     "ShardRankSummary",
@@ -33,4 +41,9 @@ __all__ = [
     "MergeStatsSnapshot",
     "ShardProcessPool",
     "IpcSnapshot",
+    "SupervisorPolicy",
+    "WorkerSupervisor",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
 ]

@@ -1,0 +1,246 @@
+"""Deterministic fault injection for process-backed shard execution.
+
+Testing failure paths by hand does not scale: "kill worker 2 while an
+update is staged, then stall shard 0 for 80 ms" has to be *replayable*
+before recovery behaviour can be asserted in CI.  This module gives the
+pool a seeded, deterministic fault plan:
+
+* :class:`FaultEvent` -- one fault: ``kill`` (the worker hard-exits via
+  the ``exit-now`` hook in :mod:`repro.sharding.procworker`), ``stall``
+  (the worker sleeps ``seconds`` before serving the request -- a slow
+  shard), ``delay`` (the parent sleeps before sending -- a slow pipe),
+  or ``drop`` (the request is failed with a transient
+  :class:`~repro.exceptions.ProcessPoolError`, as a lost message's
+  timeout would).
+* :class:`FaultSchedule` -- an ordered plan of events, built explicitly,
+  from a seed (:meth:`FaultSchedule.seeded`), or as periodic kills
+  (:meth:`FaultSchedule.periodic`).  The same seed always yields the
+  same schedule; :meth:`FaultSchedule.signature` fingerprints it.
+* :class:`FaultInjector` -- the live harness a
+  :class:`~repro.sharding.procpool.ShardProcessPool` consults on every
+  worker request.  It counts requests and fires each event at its
+  request ordinal (``at``), recording what fired and when in
+  :attr:`FaultInjector.fired` so benchmarks can measure e.g. time from
+  kill to first fresh answer.
+
+Install via ``ShardProcessPool(..., fault_injector=injector)`` or
+``ShardedDatabase(..., executor="processes",
+executor_options={"fault_injector": injector})``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+
+#: Fault kinds an injector can fire, in schedule-string order.
+FAULT_KINDS = ("kill", "stall", "delay", "drop")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` is the 1-based ordinal of the pool request the event fires on
+    (the injector counts every worker request it sees).  ``shard`` pins
+    the event to one shard -- the event then waits, armed, until a
+    request for that shard comes due -- or ``None`` to hit whichever
+    shard owns the triggering request.  ``seconds`` is the stall/delay
+    duration (ignored for ``kill`` and ``drop``).
+    """
+
+    at: int
+    kind: str
+    shard: Optional[int] = None
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise WorkloadError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.at < 1:
+            raise WorkloadError("fault ordinal 'at' must be >= 1")
+        if self.seconds < 0.0:
+            raise WorkloadError("fault duration must be >= 0")
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One event that actually fired, with its execution context."""
+
+    event: FaultEvent
+    ordinal: int
+    shard_index: int
+    op: str
+    at_time: float  # time.monotonic() when the fault fired
+
+
+class FaultSchedule:
+    """An ordered, replayable plan of :class:`FaultEvent`\\ s."""
+
+    def __init__(self, events: List[FaultEvent]) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda event: (event.at, event.kind))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FaultSchedule) and self.events == other.events
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        horizon: int = 100,
+        kills: int = 1,
+        stalls: int = 1,
+        delays: int = 0,
+        drops: int = 1,
+        shard_count: Optional[int] = None,
+        stall_seconds: float = 0.05,
+        delay_seconds: float = 0.02,
+    ) -> "FaultSchedule":
+        """A deterministic schedule drawn from one seed.
+
+        Event ordinals are sampled without replacement from
+        ``[1, horizon]``; shards are drawn uniformly from
+        ``range(shard_count)`` when given, else left unpinned.  The same
+        ``(seed, parameters)`` always produce the same schedule.
+        """
+        total = kills + stalls + delays + drops
+        if total > horizon:
+            raise WorkloadError(
+                f"cannot place {total} faults in a horizon of {horizon} "
+                "requests"
+            )
+        rng = random.Random(seed)
+        ordinals = rng.sample(range(1, horizon + 1), total)
+        kinds = (
+            ["kill"] * kills + ["stall"] * stalls
+            + ["delay"] * delays + ["drop"] * drops
+        )
+        rng.shuffle(kinds)
+        events = []
+        for ordinal, kind in zip(ordinals, kinds):
+            shard = (
+                rng.randrange(shard_count) if shard_count else None
+            )
+            seconds = 0.0
+            if kind == "stall":
+                seconds = stall_seconds
+            elif kind == "delay":
+                seconds = delay_seconds
+            events.append(FaultEvent(ordinal, kind, shard, seconds))
+        return cls(events)
+
+    @classmethod
+    def periodic(
+        cls,
+        kind: str = "kill",
+        start: int = 10,
+        every: int = 50,
+        count: int = 3,
+        shard: Optional[int] = None,
+        seconds: float = 0.0,
+    ) -> "FaultSchedule":
+        """``count`` faults of one kind at ``start, start+every, ...``."""
+        return cls(
+            [
+                FaultEvent(start + index * every, kind, shard, seconds)
+                for index in range(count)
+            ]
+        )
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        """The union of two schedules (events re-sorted by ordinal)."""
+        return FaultSchedule(list(self.events) + list(other.events))
+
+    def signature(self) -> str:
+        """A stable fingerprint of the plan (replay identity check)."""
+        digest = hashlib.sha256()
+        for event in self.events:
+            digest.update(
+                f"{event.at}:{event.kind}:{event.shard}:"
+                f"{event.seconds:.6f};".encode()
+            )
+        return digest.hexdigest()[:16]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        parts = ", ".join(f"{kind}={n}" for kind, n in sorted(kinds.items()))
+        return f"FaultSchedule({len(self.events)} events: {parts})"
+
+
+class FaultInjector:
+    """The live harness: counts pool requests and fires due events.
+
+    Thread-safe (the pool issues requests from gather threads).  Events
+    fire at most once; an event pinned to a shard stays armed past its
+    ordinal until a request for that shard arrives.  ``fired`` is the
+    execution log -- benchmarks read it to locate each kill in time.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._pending: List[FaultEvent] = list(schedule.events)
+        self._lock = threading.Lock()
+        self._counter = 0
+        self.fired: List[FiredFault] = []
+
+    @property
+    def request_count(self) -> int:
+        """Pool requests observed so far."""
+        with self._lock:
+            return self._counter
+
+    @property
+    def pending_count(self) -> int:
+        """Scheduled events that have not fired yet."""
+        with self._lock:
+            return len(self._pending)
+
+    def next_event(self, shard_index: int, op: str) -> Optional[FaultEvent]:
+        """The due event for this request, if any (fires at most one)."""
+        with self._lock:
+            self._counter += 1
+            for position, event in enumerate(self._pending):
+                if event.at > self._counter:
+                    break
+                if event.shard is not None and event.shard != shard_index:
+                    continue
+                del self._pending[position]
+                self.fired.append(
+                    FiredFault(
+                        event, self._counter, shard_index, op,
+                        time.monotonic(),
+                    )
+                )
+                return event
+        return None
+
+    def fired_of_kind(self, kind: str) -> List[FiredFault]:
+        """The execution-log entries for one fault kind, in fire order."""
+        return [fired for fired in self.fired if fired.event.kind == kind]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(fired={len(self.fired)}, "
+            f"pending={self.pending_count}, seen={self.request_count})"
+        )

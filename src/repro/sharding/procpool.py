@@ -25,10 +25,23 @@ Summaries and layouts are cached parent-side keyed by the owning shard's
 version, so after one shard's update only that shard's partials are
 re-fetched -- the exact analogue of the warm in-process shard sessions.
 
-Worker death is detected (pipe poll + liveness checks) and surfaced as
-:class:`~repro.exceptions.WorkerCrashError` instead of hanging; closing the
-pool is idempotent, and a closed pool can be rebuilt by the owning
-database's :meth:`~repro.models.sharded.ShardedDatabase.process_pool`.
+Worker death is detected (pipe poll + liveness checks) and, by default,
+**supervised**: the pool respawns the dead worker from the shard's last
+committed units under a :class:`~repro.sharding.supervisor.WorkerSupervisor`
+budget (exponential backoff + jitter), transparently retries idempotent
+requests on the fresh worker, replays a staged-but-uncommitted rebuild
+whose commit raced the crash, and drops only the dead shard's parent-side
+cache entries so the other shards' version-keyed partials survive the
+restart.  When the restart budget is spent (or ``supervise=False``) the
+crash surfaces as :class:`~repro.exceptions.WorkerCrashError` instead of
+hanging; closing the pool is idempotent (``join`` -> ``terminate`` ->
+``kill`` escalation, so a wedged worker cannot hang shutdown), and a
+closed pool can be rebuilt by the owning database's
+:meth:`~repro.models.sharded.ShardedDatabase.process_pool`.
+
+Failure paths are testable deterministically: install a seeded
+:class:`~repro.sharding.faults.FaultInjector` (``fault_injector=``) and
+the pool will kill, stall, delay or drop at scheduled request ordinals.
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ from repro.sharding.procworker import (
     worker_main,
 )
 from repro.sharding.summary import ShardLayout, ShardRankSummary
+from repro.sharding.supervisor import SupervisorPolicy, WorkerSupervisor
 
 #: Environment variable pinning the multiprocessing start method
 #: (``spawn`` / ``fork`` / ``forkserver``); the CI multiprocess leg sets
@@ -64,6 +78,20 @@ _REMOTE_EXCEPTIONS = (
     "ConsensusError",
     "ProcessPoolError",
 )
+
+#: Ops a supervised pool transparently retries on a respawned worker.
+#: All are idempotent reads or re-stageable writes; ``commit`` is absent
+#: (its replay needs the staged units, handled in ``commit_replace``),
+#: and the test hooks (``exit-now``, ``stall``) must never self-heal.
+_RETRYABLE_OPS = frozenset(
+    {"layout", "summary", "cache_info", "stats", "ping", "prepare",
+     "invalidate"}
+)
+
+#: Cap on restart-and-retry cycles within one request (the supervisor's
+#: own per-worker budget is the real limiter; this bounds pathological
+#: single-call loops).
+_MAX_RESTART_RETRIES = 3
 
 
 def resolve_start_method(explicit: Optional[str] = None) -> str:
@@ -102,6 +130,7 @@ class IpcSnapshot:
     summary_deltas: int = 0
     delta_rows: int = 0
     delta_rows_saved: int = 0
+    restarts: int = 0
     workers: int = 0
 
     @property
@@ -123,6 +152,7 @@ class IpcSnapshot:
             summary_deltas=self.summary_deltas - other.summary_deltas,
             delta_rows=self.delta_rows - other.delta_rows,
             delta_rows_saved=self.delta_rows_saved - other.delta_rows_saved,
+            restarts=self.restarts - other.restarts,
             workers=self.workers,
         )
 
@@ -169,7 +199,23 @@ class ShardProcessPool:
         the pipe.
     request_timeout:
         Seconds to wait on one worker reply before giving up (worker
-        death is detected much earlier via liveness polling).
+        death is detected much earlier via liveness polling).  On a
+        supervised pool a blown deadline is treated as a wedged worker:
+        it is restarted and idempotent requests are retried.
+    supervise:
+        When true (the default), dead or wedged workers are respawned
+        under the supervisor's restart budget and idempotent requests
+        retry transparently; when false, the first crash surfaces as
+        :class:`~repro.exceptions.WorkerCrashError` (pre-supervision
+        behaviour).
+    supervisor:
+        A :class:`~repro.sharding.supervisor.WorkerSupervisor` or
+        :class:`~repro.sharding.supervisor.SupervisorPolicy` overriding
+        the default restart budget / backoff / jitter.
+    fault_injector:
+        A :class:`~repro.sharding.faults.FaultInjector` consulted on
+        every worker request (deterministic failure testing); ``None``
+        in production.
     """
 
     def __init__(
@@ -179,6 +225,9 @@ class ShardProcessPool:
         shm: str = "auto",
         shm_min_bytes: int = 1 << 15,
         request_timeout: float = 120.0,
+        supervise: bool = True,
+        supervisor: Optional[Any] = None,
+        fault_injector: Optional[Any] = None,
     ) -> None:
         if shm not in ("auto", "always", "never"):
             raise ProcessPoolError(
@@ -189,9 +238,30 @@ class ShardProcessPool:
         self._shm = shm
         self._shm_min_bytes = int(shm_min_bytes)
         self._request_timeout = float(request_timeout)
+        if not supervise:
+            self._supervisor: Optional[WorkerSupervisor] = None
+        elif supervisor is None:
+            self._supervisor = WorkerSupervisor()
+        elif isinstance(supervisor, WorkerSupervisor):
+            self._supervisor = supervisor
+        elif isinstance(supervisor, SupervisorPolicy):
+            self._supervisor = WorkerSupervisor(supervisor)
+        else:
+            raise ProcessPoolError(
+                "supervisor must be a WorkerSupervisor or SupervisorPolicy, "
+                f"got {type(supervisor).__name__}"
+            )
+        self._faults = fault_injector
+        self._context: Optional[Any] = None
         self._workers: Dict[int, _WorkerHandle] = {}
+        self._restart_locks: Dict[int, threading.Lock] = {}
         self._gather: Optional[ThreadPoolExecutor] = None
         self._tickets = itertools.count(1)
+        # Staged-but-uncommitted rebuild payloads, kept parent-side so a
+        # commit that races a worker crash can be replayed on the
+        # respawned worker: (shard_index, ticket) -> units.
+        self._staged_lock = threading.Lock()
+        self._staged_units: Dict[Tuple[int, int], List[Any]] = {}
         self._started = False
         self._closed = False
         self._stats_lock = threading.Lock()
@@ -201,6 +271,7 @@ class ShardProcessPool:
                 "commands", "summaries", "layouts", "pipe_messages",
                 "shm_messages", "pipe_bytes", "shm_bytes", "updates",
                 "summary_deltas", "delta_rows", "delta_rows_saved",
+                "restarts",
             )
         }
         # version-keyed warm partials: only an updated shard re-fetches.
@@ -230,6 +301,20 @@ class ShardProcessPool:
     def start_method(self) -> str:
         return self._start_method
 
+    @property
+    def supervised(self) -> bool:
+        """Whether dead workers are respawned under a restart budget."""
+        return self._supervisor is not None
+
+    @property
+    def supervisor(self) -> Optional[WorkerSupervisor]:
+        return self._supervisor
+
+    def restart_count(self) -> int:
+        """Workers respawned by supervision over the pool's lifetime."""
+        with self._stats_lock:
+            return self._stats["restarts"]
+
     def worker_count(self) -> int:
         return len(self._workers)
 
@@ -246,30 +331,15 @@ class ShardProcessPool:
             )
         if self._started:
             return self
-        context = multiprocessing.get_context(self._start_method)
-        backend_name = get_backend().name
+        self._context = multiprocessing.get_context(self._start_method)
         try:
             for shard in self._database.shards():
                 if shard.is_empty:
                     continue
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
-                    target=worker_main,
-                    args=(
-                        child_end,
-                        shard.index,
-                        self._database.name,
-                        backend_name,
-                        list(shard.units),
-                    ),
-                    daemon=True,
-                    name=f"repro-shard-{shard.index}",
+                self._workers[shard.index] = self._spawn_worker(
+                    shard.index, list(shard.units)
                 )
-                process.start()
-                child_end.close()
-                self._workers[shard.index] = _WorkerHandle(
-                    shard.index, process, parent_end
-                )
+                self._restart_locks[shard.index] = threading.Lock()
         except BaseException:
             self.close()
             raise
@@ -280,8 +350,35 @@ class ShardProcessPool:
         self._started = True
         return self
 
+    def _spawn_worker(self, shard_index: int, units: List[Any]) -> _WorkerHandle:
+        context = self._context or multiprocessing.get_context(
+            self._start_method
+        )
+        parent_end, child_end = context.Pipe()
+        process = context.Process(
+            target=worker_main,
+            args=(
+                child_end,
+                shard_index,
+                self._database.name,
+                get_backend().name,
+                units,
+            ),
+            daemon=True,
+            name=f"repro-shard-{shard_index}",
+        )
+        process.start()
+        child_end.close()
+        return _WorkerHandle(shard_index, process, parent_end)
+
     def close(self, join_timeout: float = 5.0) -> None:
-        """Shut every worker down and release the pipes (idempotent)."""
+        """Shut every worker down and release the pipes (idempotent).
+
+        Escalates per worker: cooperative ``shutdown`` + ``join``, then
+        ``terminate`` (SIGTERM), then ``kill`` (SIGKILL) -- so a wedged
+        worker (stalled mid-kernel, ignoring SIGTERM) can delay shutdown
+        by at most ``3 * join_timeout``, never hang it.
+        """
         if self._closed:
             return
         self._closed = True
@@ -292,15 +389,11 @@ class ShardProcessPool:
             except (BrokenPipeError, OSError):
                 pass
         for handle in self._workers.values():
-            handle.process.join(join_timeout)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
-                handle.process.join(join_timeout)
-            try:
-                handle.connection.close()
-            except OSError:  # pragma: no cover
-                pass
+            self._reap(handle, join_timeout)
         self._workers.clear()
+        self._restart_locks.clear()
+        with self._staged_lock:
+            self._staged_units.clear()
         if self._gather is not None:
             self._gather.shutdown(wait=True)
             self._gather = None
@@ -341,8 +434,43 @@ class ShardProcessPool:
                 self._stats[key] += delta
 
     def _request(self, shard_index: int, op: str, payload: Any = None) -> Any:
-        handle = self._handle(shard_index)
-        self._count(commands=1)
+        """One request/reply exchange, self-healing when supervised.
+
+        A crash (or a hang past ``request_timeout``, treated as a wedged
+        worker) on a supervised pool respawns the worker under the
+        supervisor's backoff budget and transparently retries idempotent
+        ops; everything else surfaces to the caller.
+        """
+        attempts = 0
+        while True:
+            handle = self._handle(shard_index)
+            self._count(commands=1)
+            try:
+                if self._faults is not None:
+                    self._inject_fault(handle, shard_index, op)
+                status, value = self._exchange(handle, op, payload)
+            except (WorkerCrashError, ProcessPoolError) as error:
+                wedged = isinstance(error, WorkerCrashError) or getattr(
+                    error, "worker_hang", False
+                )
+                if (
+                    wedged
+                    and op in _RETRYABLE_OPS
+                    and attempts < _MAX_RESTART_RETRIES
+                    and self.restart_worker(shard_index, expected=handle)
+                ):
+                    attempts += 1
+                    continue
+                raise
+            if attempts and self._supervisor is not None:
+                self._supervisor.record_recovery(shard_index)
+            if status == "error":
+                self._raise_remote(shard_index, value)
+            return value
+
+    def _exchange(
+        self, handle: _WorkerHandle, op: str, payload: Any
+    ) -> Tuple[str, Any]:
         with handle.lock:
             try:
                 handle.connection.send((op, payload))
@@ -357,26 +485,149 @@ class ShardProcessPool:
                         break
                     raise self._crash(handle, op)
                 if time.monotonic() > deadline:
-                    raise ProcessPoolError(
-                        f"shard worker {shard_index} did not answer "
+                    error = ProcessPoolError(
+                        f"shard worker {handle.shard_index} did not answer "
                         f"{op!r} within {self._request_timeout:.0f}s"
                     )
+                    error.shard_index = handle.shard_index
+                    error.transient = True
+                    error.worker_hang = True
+                    raise error
             try:
-                status, value = handle.connection.recv()
+                return handle.connection.recv()
             except (EOFError, OSError):
                 raise self._crash(handle, op) from None
-        if status == "error":
-            self._raise_remote(shard_index, value)
-        return value
+
+    def _inject_fault(
+        self, handle: _WorkerHandle, shard_index: int, op: str
+    ) -> None:
+        event = self._faults.next_event(shard_index, op)
+        if event is None:
+            return
+        if event.kind == "kill":
+            try:
+                with handle.lock:
+                    handle.connection.send(("exit-now", None))
+            except (BrokenPipeError, OSError):
+                pass  # already dead: the exchange below will notice
+            # Wait for the exit so detection is deterministic, not racy.
+            handle.process.join(5.0)
+        elif event.kind == "stall":
+            # A slow shard: the worker sleeps before serving the request.
+            # Stalls past request_timeout surface as a wedged-worker
+            # ProcessPoolError from this exchange, like a real hang.
+            self._exchange(handle, "stall", event.seconds)
+        elif event.kind == "delay":
+            time.sleep(event.seconds)
+        else:  # drop: fail like a lost message's timeout, without waiting
+            error = ProcessPoolError(
+                f"injected message drop for shard {shard_index} op {op!r}"
+            )
+            error.shard_index = shard_index
+            error.transient = True
+            raise error
 
     def _crash(self, handle: _WorkerHandle, op: str) -> WorkerCrashError:
         handle.process.join(0.5)  # reap, so the exit code is reportable
         code = handle.process.exitcode
-        return WorkerCrashError(
-            f"shard worker {handle.shard_index} (pid {handle.process.pid}) "
-            f"died while handling {op!r} (exit code {code}); close the "
-            "pool and re-request it from the database to rebuild workers"
+        hint = (
+            "the supervisor will respawn it within its restart budget"
+            if self._supervisor is not None
+            else "close the pool and re-request it from the database to "
+            "rebuild workers"
         )
+        error = WorkerCrashError(
+            f"shard worker {handle.shard_index} (pid {handle.process.pid}) "
+            f"died while handling {op!r} (exit code {code}); {hint}"
+        )
+        error.shard_index = handle.shard_index
+        error.transient = True
+        return error
+
+    # ------------------------------------------------------------------
+    # Supervision: respawn, heartbeat
+    # ------------------------------------------------------------------
+    def _reap(self, handle: _WorkerHandle, join_timeout: float = 2.0) -> None:
+        """Take one worker process down for sure: join -> terminate -> kill."""
+        process = handle.process
+        process.join(0.2)
+        if process.is_alive():
+            process.terminate()
+            process.join(join_timeout)
+        if process.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            getattr(process, "kill", process.terminate)()
+            process.join(join_timeout)
+        try:
+            handle.connection.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def restart_worker(
+        self, shard_index: int, expected: Optional[_WorkerHandle] = None
+    ) -> bool:
+        """Respawn one shard's worker from its last committed units.
+
+        Returns ``True`` when a live worker is installed for the shard
+        (whether this call respawned it or a concurrent one already had),
+        ``False`` when supervision is off, the pool is closed, or the
+        supervisor's restart budget for the shard is spent.  Applies the
+        supervisor's exponential backoff + jitter before spawning, bumps
+        the ``restarts`` IPC counter, and drops only this shard's
+        parent-side layout/summary cache entries -- the other shards'
+        version-keyed partials stay warm, so recovery costs one shard
+        re-export, not a pool rebuild.
+
+        ``expected`` guards concurrent restarts: pass the handle that was
+        observed dead and the restart is skipped (reported successful) if
+        another thread already swapped in a fresh worker.
+        """
+        if self._supervisor is None or self._closed or not self._started:
+            return False
+        lock = self._restart_locks.get(shard_index)
+        if lock is None:
+            return False
+        with lock:
+            handle = self._workers.get(shard_index)
+            if handle is None:
+                return False
+            if expected is not None and handle is not expected:
+                return True  # a concurrent restart already replaced it
+            if expected is None and handle.process.is_alive():
+                return True  # already healthy: nothing to respawn
+            backoff = self._supervisor.admit_restart(shard_index)
+            if backoff is None:
+                return False
+            if backoff > 0.0:
+                time.sleep(backoff)
+            self._reap(handle)
+            shard = self._database.shards()[shard_index]
+            self._workers[shard_index] = self._spawn_worker(
+                shard_index, list(shard.units)
+            )
+            self._drop_shard_cache(shard_index)
+            self._count(restarts=1)
+            return True
+
+    def check_workers(self, restart: bool = True) -> List[int]:
+        """Heartbeat sweep: indices of workers found dead.
+
+        Liveness is the process poll (a worker that died *between*
+        requests is caught here rather than on the next request's crash
+        path); with ``restart=True`` on a supervised pool each dead
+        worker is respawned immediately, so callers can use this as a
+        periodic health probe.
+        """
+        if self._closed or not self._started:
+            return []
+        dead = [
+            index
+            for index, handle in sorted(self._workers.items())
+            if not handle.process.is_alive()
+        ]
+        if restart and self._supervisor is not None:
+            for index in dead:
+                self.restart_worker(index)
+        return dead
 
     def _raise_remote(
         self, shard_index: int, value: Tuple[str, str]
@@ -600,9 +851,22 @@ class ShardProcessPool:
     # Update fan-out (staged rebuild protocol)
     # ------------------------------------------------------------------
     def prepare_replace(self, shard_index: int, units: List[Any]) -> int:
-        """Stage a shard rebuild on the owning worker; returns a ticket."""
+        """Stage a shard rebuild on the owning worker; returns a ticket.
+
+        The staged units are retained parent-side until the ticket
+        commits or aborts, so a commit that races a worker crash can be
+        *replayed* -- re-staged and re-committed -- on the respawned
+        worker instead of losing the update.
+        """
         ticket = next(self._tickets)
-        self._request(shard_index, "prepare", (ticket, units))
+        with self._staged_lock:
+            self._staged_units[(shard_index, ticket)] = units
+        try:
+            self._request(shard_index, "prepare", (ticket, units))
+        except BaseException:
+            with self._staged_lock:
+                self._staged_units.pop((shard_index, ticket), None)
+            raise
         return ticket
 
     def commit_replace(self, shard_index: int, ticket: int) -> None:
@@ -612,8 +876,27 @@ class ShardProcessPool:
         check in :meth:`summaries` / :meth:`layouts` already keeps a stale
         entry from being served, and its table is the baseline the worker
         ships a row-suffix delta against on the next fetch.
+
+        A worker crash here (the staged state died with the process) is
+        recovered on a supervised pool by replaying the ticket: the
+        respawned worker rebuilt from the shard's last *committed* units,
+        so the retained staged units are re-staged and committed again --
+        the parent's version check still happens after this returns, so
+        version authority is untouched.  Unsupervised pools surface the
+        crash unchanged (the parent stays at the old version).
         """
-        self._request(shard_index, "commit", ticket)
+        try:
+            self._request(shard_index, "commit", ticket)
+        except WorkerCrashError:
+            with self._staged_lock:
+                units = self._staged_units.get((shard_index, ticket))
+            if units is None or not self.restart_worker(shard_index):
+                raise
+            self._request(shard_index, "prepare", (ticket, units))
+            self._request(shard_index, "commit", ticket)
+        finally:
+            with self._staged_lock:
+                self._staged_units.pop((shard_index, ticket), None)
         self._count(updates=1)
 
     def abort_replace(self, shard_index: int, ticket: int) -> None:
@@ -625,6 +908,9 @@ class ShardProcessPool:
             # stale update and must see StaleUpdateError, not a transport
             # failure; a dead worker's staged state died with it anyway.
             pass
+        finally:
+            with self._staged_lock:
+                self._staged_units.pop((shard_index, ticket), None)
 
     def invalidate(self, shard_index: int) -> None:
         """Drop one worker's memoized artifacts (force-invalidation path)."""

@@ -23,6 +23,7 @@ backend only); everything else travels pickled over the pipe.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine import get_backend, set_backend
@@ -265,6 +266,10 @@ def worker_main(
         "cache_info": state.handle_cache_info,
         "stats": state.handle_stats,
         "ping": lambda _payload: "pong",
+        # Fault-injection hook: a slow shard.  The worker sleeps before
+        # replying, so the stall delays exactly one parent request; the
+        # cap keeps a corrupt schedule from wedging the worker forever.
+        "stall": lambda seconds: time.sleep(min(float(seconds), 60.0)),
     }
     while True:
         try:

@@ -1,0 +1,111 @@
+"""Worker supervision policy: restart budgets with exponential backoff.
+
+:class:`ShardProcessPool` delegates its "should this dead worker come
+back, and how long do we wait first?" decisions to a
+:class:`WorkerSupervisor`.  The supervisor is pure policy -- it never
+touches processes -- which keeps it trivially testable and lets the
+backoff jitter be made deterministic (seed the policy) for the
+fault-injection harness.
+
+The policy is the classic supervised-restart scheme: each worker has a
+budget of ``max_restarts`` *consecutive* crashes; every admitted restart
+waits ``backoff_base * backoff_factor**(crashes - 1)`` seconds (capped
+at ``backoff_cap``) plus up to ``jitter`` of that as random slack, so a
+crash-looping shard backs off instead of spinning, and simultaneous
+restarts de-synchronise.  A successful exchange after a restart resets
+the worker's consecutive-crash count (the budget guards crash *loops*,
+not lifetime crash totals).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Tunables for supervised worker restarts.
+
+    Parameters
+    ----------
+    max_restarts:
+        Consecutive crashes tolerated per worker before the supervisor
+        refuses further restarts (the crash then surfaces to the caller
+        as :class:`~repro.exceptions.WorkerCrashError`).  A recovery
+        resets the count.
+    backoff_base / backoff_factor / backoff_cap:
+        Exponential backoff: crash ``i`` (1-based) waits
+        ``min(base * factor**(i-1), cap)`` seconds before respawning.
+    jitter:
+        Fraction of the backoff added as uniform random slack in
+        ``[0, jitter * backoff]``; de-synchronises simultaneous
+        restarts.
+    seed:
+        Seed for the jitter stream.  Set it to make restart timing
+        replayable (the fault-injection harness does).
+    """
+
+    max_restarts: int = 5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    seed: Optional[int] = None
+
+
+class WorkerSupervisor:
+    """Tracks per-worker crash counts and admits (or refuses) restarts."""
+
+    def __init__(self, policy: Optional[SupervisorPolicy] = None) -> None:
+        self._policy = policy or SupervisorPolicy()
+        self._lock = threading.Lock()
+        self._consecutive: Dict[int, int] = {}
+        self._total: Dict[int, int] = {}
+        self._rng = random.Random(self._policy.seed)
+
+    @property
+    def policy(self) -> SupervisorPolicy:
+        return self._policy
+
+    def admit_restart(self, shard_index: int) -> Optional[float]:
+        """Record a crash; return the backoff in seconds, or ``None``.
+
+        ``None`` means the worker's consecutive-crash budget is spent and
+        the supervisor refuses to bring it back (until a recovery -- via
+        :meth:`record_recovery` -- resets the count).
+        """
+        policy = self._policy
+        with self._lock:
+            crashes = self._consecutive.get(shard_index, 0) + 1
+            if crashes > policy.max_restarts:
+                return None
+            self._consecutive[shard_index] = crashes
+            self._total[shard_index] = self._total.get(shard_index, 0) + 1
+            backoff = min(
+                policy.backoff_base * policy.backoff_factor ** (crashes - 1),
+                policy.backoff_cap,
+            )
+            if policy.jitter > 0.0:
+                backoff += self._rng.uniform(0.0, policy.jitter * backoff)
+            return backoff
+
+    def record_recovery(self, shard_index: int) -> None:
+        """A restarted worker answered successfully: reset its crash loop."""
+        with self._lock:
+            self._consecutive.pop(shard_index, None)
+
+    def restarts(self, shard_index: Optional[int] = None) -> int:
+        """Total admitted restarts, for one shard or across all of them."""
+        with self._lock:
+            if shard_index is not None:
+                return self._total.get(shard_index, 0)
+            return sum(self._total.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkerSupervisor(restarts={self.restarts()}, "
+            f"policy={self._policy!r})"
+        )

@@ -15,7 +15,9 @@ generators for
   style group-by data -- each scalable to serving-benchmark sizes via the
   ``scale`` argument (:mod:`repro.workloads.scenarios`), and
 * concurrent query/update traffic streams driving the serving layer
-  (:mod:`repro.workloads.traffic`).
+  (:mod:`repro.workloads.traffic`), and a chaos-replay harness that
+  accounts for every request under fault injection
+  (:mod:`repro.workloads.chaos`).
 
 Seeds: every generator accepts ``rng`` as a generator or integer seed;
 ``rng=None`` routes through the process-wide ``REPRO_SEED`` generator so
@@ -41,6 +43,11 @@ from repro.workloads.scenarios import (
     movie_rating_scenario,
     scenario,
     sensor_network_scenario,
+)
+from repro.workloads.chaos import (
+    ChaosOutcome,
+    chaos_replay,
+    chaos_summary,
 )
 from repro.workloads.traffic import (
     bursty_traffic,
@@ -74,4 +81,7 @@ __all__ = [
     "bursty_traffic",
     "replay_traffic",
     "traffic_signature",
+    "ChaosOutcome",
+    "chaos_replay",
+    "chaos_summary",
 ]
