@@ -5,9 +5,12 @@ measured quantities -- empirical optimality gaps, approximation ratios,
 runtimes -- alongside the pytest-benchmark timing statistics.  The helpers
 here print those tables and persist them under ``benchmarks/results/`` --
 a text rendering plus a machine-readable JSON document that records the
-active compute backend (``repro.engine``), so BENCH trajectories can tell
-NumPy runs from pure-Python runs.  Everything can be regenerated with a
-single ``pytest benchmarks/ --benchmark-only`` run.
+active compute backend (``repro.engine``) and the host fingerprint
+(cpu count, platform, python version), so BENCH trajectories can tell
+NumPy runs from pure-Python runs and the planner's calibration fitter
+(:mod:`repro.query.calibration`) can reject tables measured on a
+different machine.  Everything can be regenerated with a single
+``pytest benchmarks/ --benchmark-only`` run.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import os
 from typing import Iterable, Sequence
 
 from repro.engine import get_backend
+from repro.query.calibration import host_fingerprint
 
 RESULTS_DIRECTORY = os.path.join(os.path.dirname(__file__), "results")
 
@@ -73,6 +77,7 @@ def report(
         "experiment": experiment,
         "title": title,
         "backend": backend,
+        "host": host_fingerprint(),
         "header": list(header),
         "rows": [[_json_cell(cell) for cell in row] for row in rows],
         "notes": notes,

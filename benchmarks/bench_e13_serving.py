@@ -164,9 +164,13 @@ def test_e13b_coalesced_vs_naive_dispatch(benchmark):
     # coalescing targets (identical queries in flight concurrently).
     events = _traffic(database.tree.keys(), update_ratio=0.1)
     rows = []
+    # The result cache is disabled on both sides: it would absorb every
+    # repeat of a popular query after its first completion, leaving the
+    # in-flight coalescing machinery (the thing this leg isolates) with
+    # nothing to do on either side.
     for label, options in (
-        ("coalesced", dict(coalesce=True)),
-        ("naive", dict(coalesce=False)),
+        ("coalesced", dict(coalesce=True, result_cache=False)),
+        ("naive", dict(coalesce=False, result_cache=False)),
     ):
         sharded = ShardedDatabase(database, 4, partitioner="hash")
         elapsed, metrics = _replay(sharded, events, **options)

@@ -119,8 +119,11 @@ def _run(fault_injector):
         events = _events(sharded.keys())
 
         async def drive():
+            # The fault schedule is armed by shard-request ordinal: the
+            # result cache would suppress repeat requests and shift when
+            # faults fire, so the chaos replay runs uncached.
             async with ServingExecutor(
-                sharded, retry_backoff=0.0
+                sharded, retry_backoff=0.0, result_cache=False
             ) as executor:
                 # One warm query excludes worker spawn + first merge from
                 # the replay window (identical for both runs).

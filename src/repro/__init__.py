@@ -70,6 +70,19 @@ products (O(shards) convolutions per single-shard change), and
 ``coordinator.at(versions)`` pins an MVCC snapshot reader whose answers
 stay bit-identical while writers publish new shard versions.
 
+The planner self-tunes.  Completed answers land in a bounded
+cross-session :class:`~repro.query.ResultCache` keyed by query
+fingerprint, version token and backend -- a repeated query at unchanged
+state replays instantly (``answer.cached``), and any update,
+invalidation, re-scoring or backend switch structurally misses.
+``connection.execute_many(queries)`` fuses a batch wanting the
+rank-matrix artifact at several depths into one ``k_max`` sweep answered
+by exact column-prefix slices (the serving executor fuses its
+micro-batches the same way).  Cost estimates are calibrated: measured
+per-kernel rates (fitted from ``benchmarks/results/`` timings, or
+micro-probed at first use) give ``explain()`` wall-clock estimates and
+set the exact-vs-sampling crossovers from data instead of constants.
+
 The pre-declarative module-level functions
 (``repro.mean_topk_symmetric_difference`` and friends) keep working but
 emit :class:`DeprecationWarning` and re-route through the planner.

@@ -315,6 +315,16 @@ class Backend:
         """Row-wise running sums (``Pr(r(t) = i)`` -> ``Pr(r(t) <= i)``)."""
         raise NotImplementedError
 
+    def truncate_columns(self, matrix: Any, count: int) -> Any:
+        """The first ``count`` columns of a native matrix.
+
+        Rank probabilities do not depend on the truncation bound, so a
+        prefix slice of an ``n x K`` rank matrix *is* the exact ``n x k``
+        matrix for every ``k <= K`` -- the kernel behind fused
+        multi-query plans that answer many Top-k sizes from one sweep.
+        """
+        raise NotImplementedError
+
     def matrix_row(self, matrix: Any, index: int) -> List[float]:
         """One row of a native matrix as a Python list."""
         raise NotImplementedError
@@ -679,6 +689,11 @@ class PurePythonBackend(Backend):
                 cumulative.append(running)
             out.append(cumulative)
         return out
+
+    def truncate_columns(
+        self, matrix: List[List[float]], count: int
+    ) -> List[List[float]]:
+        return [row[:count] for row in matrix]
 
     def matrix_row(self, matrix: List[List[float]], index: int) -> List[float]:
         return list(matrix[index])
@@ -1108,6 +1123,9 @@ class NumpyBackend(Backend):
 
     def cumulative_rows(self, matrix: Any) -> Any:
         return _np.cumsum(matrix, axis=1)
+
+    def truncate_columns(self, matrix: Any, count: int) -> Any:
+        return _np.ascontiguousarray(matrix[:, :count])
 
     def matrix_row(self, matrix: Any, index: int) -> List[float]:
         return matrix[index].tolist()

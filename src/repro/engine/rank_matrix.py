@@ -128,6 +128,31 @@ class RankMatrix:
             cumulative=True,
         )
 
+    def truncated(self, max_rank: int) -> "RankMatrix":
+        """The exact ``n x max_rank`` matrix for a smaller rank bound.
+
+        Cell values are ``Pr(r(t) = i)`` (or ``Pr(r(t) <= i)``), which do
+        not depend on the truncation bound, so a column-prefix slice of a
+        wider matrix is *identical* to recomputing at the smaller bound.
+        Fused multi-query plans rely on this: one ``k_max`` sweep answers
+        every smaller ``k`` in the batch by slicing.
+        """
+        if max_rank == self._max_rank:
+            return self
+        if not 1 <= max_rank <= self._max_rank:
+            raise ValueError(
+                f"truncation bound must lie in 1..{self._max_rank}, "
+                f"got {max_rank}"
+            )
+        return RankMatrix(
+            self._keys,
+            self._backend.truncate_columns(self._matrix, max_rank),
+            self._backend,
+            max_rank,
+            cumulative=self._cumulative,
+            key_index=self._index,
+        )
+
     def membership(self) -> Dict[Hashable, float]:
         """``Pr(r(t) <= max_rank)`` per key.
 

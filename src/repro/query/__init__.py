@@ -22,6 +22,16 @@ The legacy module-level entry points survive as deprecation shims
 """
 
 from repro.query.answers import QueryAnswer
+from repro.query.calibration import (
+    KERNELS,
+    CalibrationTable,
+    derive_batch_size,
+    fit_from_results,
+    host_fingerprint,
+    kendall_crossover,
+    load_calibration,
+    micro_calibrate,
+)
 from repro.query.builder import (
     FAMILIES,
     MODES,
@@ -52,6 +62,12 @@ from repro.query.planner import (
     layout_of_tree,
     resolve_session,
 )
+from repro.query.results import (
+    ResultCache,
+    ResultCacheStats,
+    answer_key,
+    result_cache_for,
+)
 
 __all__ = [
     "ConsensusQuery",
@@ -69,6 +85,18 @@ __all__ = [
     "hardness_of",
     "layout_of_tree",
     "resolve_session",
+    "ResultCache",
+    "ResultCacheStats",
+    "answer_key",
+    "result_cache_for",
+    "CalibrationTable",
+    "KERNELS",
+    "host_fingerprint",
+    "micro_calibrate",
+    "fit_from_results",
+    "load_calibration",
+    "kendall_crossover",
+    "derive_batch_size",
     "LEGACY_KINDS",
     "query_for_kind",
     "required_max_rank",

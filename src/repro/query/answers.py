@@ -50,6 +50,12 @@ class QueryAnswer:
         the query ran over the merged tree minus the unavailable
         shard(s), so the dead shards' tuples are missing and any
         confidence interval is effectively widened.
+    cached:
+        True when the answer was served from the cross-session
+        :class:`~repro.query.ResultCache` -- numerically identical to the
+        original execution (entries are keyed by query fingerprint,
+        version token and backend, so a cached answer can never span a
+        data change or a backend switch).
     """
 
     value: Any
@@ -63,6 +69,7 @@ class QueryAnswer:
     estimate: Optional[Any] = None
     stale: bool = False
     degraded: bool = False
+    cached: bool = False
 
     @property
     def answer(self) -> Any:
@@ -109,6 +116,7 @@ class QueryAnswer:
             "samples": None if self.estimate is None else self.estimate.samples,
             "stale": self.stale,
             "degraded": self.degraded,
+            "cached": self.cached,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -412,8 +412,12 @@ class ConsensusQuery:
         """A stable hex digest of the query's canonical form.
 
         Unlike :func:`hash` this survives process restarts, so it can key
-        persistent result caches or appear in wire protocols.
+        persistent result caches or appear in wire protocols.  Memoized on
+        the instance: result-cache lookups fingerprint every submission.
         """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None:
+            return cached
         canonical = repr(
             (
                 self.family,
@@ -428,7 +432,9 @@ class ConsensusQuery:
                 self.params,
             )
         )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        object.__setattr__(self, "_fingerprint_cache", digest)
+        return digest
 
     # ------------------------------------------------------------------
     # Execution (delegates to the planner)

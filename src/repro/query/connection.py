@@ -20,13 +20,15 @@ session behind it, and delegates route selection to the hardness-aware
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from dataclasses import replace
+from typing import Any, List, Optional, Sequence, Union
 
 from repro.exceptions import PlanningError
 from repro.query.answers import QueryAnswer
 from repro.query.builder import ConsensusQuery
 from repro.query.plan import ExecutionPlan
 from repro.query.planner import DEFAULT_PLANNER, Planner, resolve_session
+from repro.query.results import ResultCache, answer_key, result_cache_for
 from repro.session import CacheInfo, QuerySession
 
 
@@ -47,11 +49,22 @@ class Connection:
         deployment: str,
         executor: Optional[Any] = None,
         planner: Optional[Planner] = None,
+        result_cache: Union[bool, ResultCache] = True,
     ) -> None:
         self._session = session
         self._deployment = deployment
         self._executor = executor
         self._planner = planner if planner is not None else DEFAULT_PLANNER
+        if isinstance(result_cache, ResultCache):
+            self._result_cache: Optional[ResultCache] = result_cache
+        elif result_cache:
+            # Attach to the answering session so every connection (and,
+            # on served targets, the executor via the database holder)
+            # over the same warm state shares one pool of completed
+            # answers.
+            self._result_cache = result_cache_for(session)
+        else:
+            self._result_cache = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -75,6 +88,11 @@ class Connection:
     def planner(self) -> Planner:
         """The planner choosing this connection's execution paths."""
         return self._planner
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The cross-session answer cache (None when disabled)."""
+        return self._result_cache
 
     def keys(self) -> list:
         """The tuple keys of the connected database."""
@@ -132,7 +150,104 @@ class Connection:
                 return asyncio.run_coroutine_threadsafe(
                     self._executor.execute(query), loop
                 ).result()
-        return self.plan(query).execute(rng=rng)
+        cache_key = None
+        if self._result_cache is not None and rng is None:
+            # rng overrides deliberately bypass the cache: a seeded run
+            # is a request for a *specific* sample stream, not for
+            # whichever stream happened to be answered first.
+            cache_key = self._answer_key(query)
+            if cache_key is not None:
+                hit = self._result_cache.get(cache_key)
+                if hit is not None:
+                    # A replayed answer causes no session-cache traffic
+                    # of its own; the hit/miss deltas describe *this*
+                    # execution, not the original compute.
+                    return replace(
+                        hit, cached=True, cache_hits=0, cache_misses=0
+                    )
+        answer = self.plan(query).execute(rng=rng)
+        if cache_key is not None and not answer.stale and not answer.degraded:
+            # Re-key after execution: a sharded session syncs to the
+            # latest shard versions (bumping its generation) while the
+            # query runs, so the ingress key may already be stale.  The
+            # post-execution token is what the next lookup will compute.
+            store_key = self._answer_key(query)
+            if store_key is not None:
+                self._result_cache.put(store_key, answer)
+        return answer
+
+    def _answer_key(self, query: ConsensusQuery) -> Optional[Any]:
+        """The result-cache key of ``query`` at the session's current
+        state (None when the session cannot produce a version token)."""
+        token_of = getattr(self._session, "version_token", None)
+        if token_of is None:
+            return None
+        from repro.engine import get_backend
+
+        try:
+            return answer_key(query, token_of(), get_backend().name)
+        except Exception:
+            return None
+
+    def execute_many(
+        self, queries: Sequence[ConsensusQuery], rng: Any = None
+    ) -> List[QueryAnswer]:
+        """Execute several queries, fusing shared-artifact plans.
+
+        Queries in the batch that consult the rank-matrix artifact at
+        different depths are planned as *one* sweep: the matrix is
+        materialized once at the largest requested ``k`` and the smaller
+        depths answered from exact column-prefix slices
+        (truncation-independence of per-rank probabilities), instead of
+        one full dynamic program per query.  On a served connection with
+        a running executor the whole batch is submitted in one shot so
+        the executor's micro-batching (and its own fusion pass) sees it
+        together.  Answers come back in input order, each identical to
+        what :meth:`execute` would have returned.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if self._executor is not None:
+            loop = getattr(self._executor, "_loop", None)
+            if loop is not None and loop.is_running():
+                import asyncio
+
+                try:
+                    running = asyncio.get_running_loop()
+                except RuntimeError:
+                    running = None
+                if running is loop:
+                    raise PlanningError(
+                        "Connection.execute_many() would deadlock inside "
+                        "the executor's event loop; await the executor "
+                        "directly instead"
+                    )
+                if rng is not None:
+                    raise PlanningError(
+                        "rng overrides are not supported through a running "
+                        "serving executor; use a local/sharded connection"
+                    )
+                executor = self._executor
+
+                async def _gather() -> List[QueryAnswer]:
+                    return list(
+                        await asyncio.gather(
+                            *(executor.execute(q) for q in queries)
+                        )
+                    )
+
+                return asyncio.run_coroutine_threadsafe(
+                    _gather(), loop
+                ).result()
+        plans = [self.plan(query) for query in queries]
+        try:
+            self._planner.fuse_plans(self._session, plans)
+        except Exception:
+            # Fusion is a pure optimization; per-query execution below
+            # answers correctly without it.
+            pass
+        return [self.execute(query, rng=rng) for query in queries]
 
     async def execute_async(self, query: ConsensusQuery) -> QueryAnswer:
         """Execute through the serving executor (awaitable).
@@ -156,6 +271,7 @@ def connect(
     shards: Optional[int] = None,
     partitioner: str = "hash",
     planner: Optional[Planner] = None,
+    result_cache: Union[bool, ResultCache] = True,
 ) -> Connection:
     """Open a :class:`Connection` over any supported target.
 
@@ -179,6 +295,12 @@ def connect(
     planner:
         Optional :class:`Planner` override (defaults to the process-wide
         hardness-aware planner).
+    result_cache:
+        ``True`` (default) attaches the shared cross-session
+        :class:`~repro.query.ResultCache` of the answering session;
+        ``False`` disables answer caching for this connection; an
+        explicit :class:`~repro.query.ResultCache` instance is used
+        as-is (e.g. to bound capacity or set a TTL).
     """
     if isinstance(target, Connection):
         if shards is not None:
@@ -212,4 +334,10 @@ def connect(
     executor = None
     if deployment == "served":
         executor = target
-    return Connection(session, deployment, executor=executor, planner=planner)
+    return Connection(
+        session,
+        deployment,
+        executor=executor,
+        planner=planner,
+        result_cache=result_cache,
+    )

@@ -58,6 +58,7 @@ from repro.models.sharded import ShardedDatabase, StaleUpdateError
 from repro.query.answers import QueryAnswer
 from repro.query.builder import ConsensusQuery
 from repro.query.planner import DEFAULT_PLANNER
+from repro.query.results import ResultCache, answer_key, result_cache_for
 from repro.serving.metrics import ServingMetrics, ServingMetricsSnapshot
 from repro.serving.requests import (
     QueryRequest,
@@ -158,6 +159,23 @@ class ServingExecutor:
         Bounded per-shard queue for updates arriving while the shard is
         down; beyond it updates fail fast with
         :class:`~repro.exceptions.ShardUnavailableError`.
+    result_cache:
+        Serve completed answers from the cross-session
+        :class:`~repro.query.ResultCache` (keyed by query fingerprint,
+        coordinator version token and backend, so data changes,
+        ``invalidate()`` and backend switches all miss structurally).
+        ``True`` attaches to the database's shared cache (every executor
+        and connection over the same database shares one pool of
+        answers); pass a :class:`~repro.query.ResultCache` instance for
+        explicit bounds, or ``False`` to disable (e.g. fault-injection
+        harnesses that align faults with request ordinals).  Lookups are
+        bypassed while any circuit breaker is open, and stale / degraded
+        answers are never stored, so the self-healing provenance ladder
+        is unaffected.
+    fuse_batches:
+        Plan micro-batch members wanting the rank-matrix artifact at
+        different ``k`` as one fused ``k_max`` sweep (smaller ``k``
+        entries are exact column-prefix slices).
     """
 
     def __init__(
@@ -175,6 +193,8 @@ class ServingExecutor:
         degraded_reads: bool = True,
         staleness_bound_s: float = 30.0,
         update_queue_limit: int = 32,
+        result_cache: Union[bool, ResultCache] = True,
+        fuse_batches: bool = True,
     ) -> None:
         self._database = database
         self._coalesce = coalesce
@@ -189,6 +209,13 @@ class ServingExecutor:
         self._degraded_reads = degraded_reads
         self._staleness_bound = max(0.0, staleness_bound_s)
         self._update_queue_limit = max(0, int(update_queue_limit))
+        if isinstance(result_cache, ResultCache):
+            self._result_cache: Optional[ResultCache] = result_cache
+        elif result_cache:
+            self._result_cache = result_cache_for(database)
+        else:
+            self._result_cache = None
+        self._fuse_batches = fuse_batches
         self._breakers: Dict[int, _ShardBreaker] = {}
         #: query -> (QueryAnswer, monotonic time): the stale-serving source.
         self._last_answers: "OrderedDict[ConsensusQuery, Tuple[QueryAnswer, float]]" = OrderedDict()
@@ -212,6 +239,11 @@ class ServingExecutor:
     @property
     def database(self) -> ShardedDatabase:
         return self._database
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The cross-session answer cache (None when disabled)."""
+        return self._result_cache
 
     def metrics(self) -> ServingMetricsSnapshot:
         """A snapshot of the executor's counters and latency quantiles.
@@ -394,6 +426,19 @@ class ServingExecutor:
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
         versions = self._database.versions()
+        cache_key = self._result_cache_key(query, versions)
+        if cache_key is not None:
+            hit = self._result_cache.get(cache_key)
+            if hit is not None:
+                self._metrics.count_query(query.kind)
+                self._metrics.result_cache_hits += 1
+                self._metrics.latency.record(time.perf_counter() - started)
+                # Zero the session-traffic deltas: a replayed answer
+                # causes no artifact computation of its own.
+                return replace(
+                    hit, cached=True, cache_hits=0, cache_misses=0
+                )
+            self._metrics.result_cache_misses += 1
         pending_key = (query, versions)
         if self._coalesce:
             existing = self._pending.get(pending_key)
@@ -416,11 +461,44 @@ class ServingExecutor:
         # The versions captured at ingress pin the read: the batch answers
         # on a snapshot reader at exactly this vector, so a concurrent
         # update landing before the batch runs cannot tear the result.
-        await self._queue.put((query, future, versions))
+        # The cache key computed at ingress rides along so the store after
+        # execution lands under exactly the state the submitter observed.
+        await self._queue.put((query, future, versions, cache_key))
         try:
             return await self._await_result(future)
         finally:
             self._metrics.latency.record(time.perf_counter() - started)
+
+    def _result_cache_key(
+        self, query: ConsensusQuery, versions: Tuple[int, ...]
+    ) -> Optional[Tuple[Any, ...]]:
+        """The answer-cache key of one request at ingress, or None.
+
+        None disables caching for this request: the cache is off, the
+        query is randomized (``rng`` params must never be served a
+        memoized draw), or a circuit breaker is open (while shards are
+        down the self-healing ladder owns provenance -- a cache hit must
+        not mask a stale/degraded answer).  The token is the
+        coordinator's version token, so shard version bumps *and*
+        explicit ``invalidate()`` calls (e.g. a cold-read fault drill)
+        both miss structurally; the backend name keeps answers computed
+        by different backends apart across ``set_backend()`` switches.
+        """
+        if self._result_cache is None:
+            return None
+        if self._breakers and self._open_breaker_shards(time.monotonic()):
+            return None
+        try:
+            coordinator = self._database.coordinator()
+        except Exception:
+            return None
+        from repro.engine import get_backend
+
+        return answer_key(
+            query,
+            coordinator.version_token(versions),
+            get_backend().name,
+        )
 
     @staticmethod
     async def _await_result(future: asyncio.Future) -> QueryAnswer:
@@ -675,7 +753,9 @@ class ServingExecutor:
 
     async def _execute_batch(
         self,
-        batch: List[Tuple[ConsensusQuery, asyncio.Future, Tuple[int, ...]]],
+        batch: List[
+            Tuple[ConsensusQuery, asyncio.Future, Tuple[int, ...], Any]
+        ],
     ) -> None:
         loop = asyncio.get_running_loop()
         self._metrics.count_batch(len(batch))
@@ -686,7 +766,7 @@ class ServingExecutor:
         try:
             coordinator = self._database.coordinator()
         except Exception as error:  # route to waiters, keep dispatching
-            for _, future, _ in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_exception(error)
             return
@@ -697,12 +777,19 @@ class ServingExecutor:
                 # Warming is advisory; the query path surfaces real
                 # failures with retry/degradation applied.
                 pass
-        for query, future, versions in batch:
+        if self._fuse_batches and len(batch) > 1:
+            try:
+                await self._fuse_batch(loop, coordinator, batch)
+            except Exception:
+                # Fusion is an optimization; per-query execution below
+                # recomputes anything the seeds did not cover.
+                pass
+        for query, future, versions, cache_key in batch:
             if future.done():
                 continue
             try:
                 result = await self._answer_query(
-                    loop, coordinator, query, versions
+                    loop, coordinator, query, versions, cache_key
                 )
             except Exception as error:  # surfaced to the submitter
                 if not future.done():
@@ -711,12 +798,58 @@ class ServingExecutor:
                 if not future.done():
                     future.set_result(result)
 
+    async def _fuse_batch(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        coordinator: Any,
+        batch: List[
+            Tuple[ConsensusQuery, asyncio.Future, Tuple[int, ...], Any]
+        ],
+    ) -> None:
+        """Seed fused rank-matrix sweeps for the batch's version groups.
+
+        Batch members pinned at the same version vector that want the
+        rank-matrix artifact at different ``k`` are answered from one
+        ``k_max`` sweep: the sweep runs once on the coordinator worker
+        and the smaller-``k`` entries are seeded into the pinned
+        snapshot's artifact store as exact column-prefix slices, so the
+        per-query executions below all dispatch against warm artifacts.
+        """
+        if self._open_breaker_shards(time.monotonic()):
+            return  # degraded routes don't read the pinned snapshots
+        groups: Dict[Tuple[int, ...], List[ConsensusQuery]] = {}
+        for query, future, versions, _ in batch:
+            if not future.done():
+                groups.setdefault(versions, []).append(query)
+        for versions, queries in groups.items():
+            if len(queries) < 2:
+                continue
+            plans = [
+                DEFAULT_PLANNER.plan_for(query, coordinator, "served")
+                for query in queries
+            ]
+
+            def fuse(
+                pinned: Tuple[int, ...] = versions, group: List[Any] = plans
+            ) -> int:
+                return DEFAULT_PLANNER.fuse_plans(
+                    coordinator.at(pinned), group
+                )
+
+            try:
+                fused = await loop.run_in_executor(self._merge_pool, fuse)
+            except SnapshotTooOldError:
+                continue  # per-query fallback handles aged-out snapshots
+            if fused:
+                self._metrics.fused_plans += fused
+
     async def _answer_query(
         self,
         loop: asyncio.AbstractEventLoop,
         coordinator: Any,
         query: ConsensusQuery,
         versions: Tuple[int, ...],
+        cache_key: Any = None,
     ) -> QueryAnswer:
         """One query through the full robustness ladder.
 
@@ -736,7 +869,7 @@ class ServingExecutor:
         attempt = 0
         while True:
             try:
-                result = await self._run_pinned(
+                result, pinned_ok = await self._run_pinned(
                     loop, coordinator, query, versions
                 )
             except (WorkerCrashError, ProcessPoolError) as error:
@@ -762,6 +895,18 @@ class ServingExecutor:
                 # breakers and refresh the stale-serving cache.
                 self._record_shard_success(None)
                 self._cache_answer(query, result)
+                if (
+                    cache_key is not None
+                    and pinned_ok
+                    and self._result_cache is not None
+                    and not result.stale
+                    and not result.degraded
+                ):
+                    # Store only clean pinned answers: a SnapshotTooOld
+                    # fallback answered at *newer* state than the key's
+                    # version token, and stale/degraded answers belong to
+                    # the self-healing ladder, not the cache.
+                    self._result_cache.put(cache_key, result)
                 return result
 
     async def _run_pinned(
@@ -770,24 +915,30 @@ class ServingExecutor:
         coordinator: Any,
         query: ConsensusQuery,
         versions: Tuple[int, ...],
-    ) -> QueryAnswer:
+    ) -> Tuple[QueryAnswer, bool]:
         # Plan (memoized per session generation) on the live
         # coordinator, then rebind to a reader pinned at the
         # versions captured when the request arrived: the read is
         # isolated from updates that landed while it was queued.
+        # The boolean reports whether the answer really reflects the
+        # pinned vector (False on the aged-out-snapshot fallback).
         plan = DEFAULT_PLANNER.plan_for(query, coordinator, "served")
         reader = coordinator.at(versions)
         self._metrics.snapshot_reads += 1
         if tuple(versions) != self._database.versions():
             self._metrics.stale_reads += 1
         try:
-            return await loop.run_in_executor(
+            answer = await loop.run_in_executor(
                 self._merge_pool, plan.rebound(reader).execute
             )
+            return answer, True
         except SnapshotTooOldError:
             # The pinned state aged out of the bounded history
             # while queued; answer at the current versions instead.
-            return await loop.run_in_executor(self._merge_pool, plan.execute)
+            answer = await loop.run_in_executor(
+                self._merge_pool, plan.execute
+            )
+            return answer, False
 
     def _cache_answer(self, query: ConsensusQuery, answer: QueryAnswer) -> None:
         cache = self._last_answers
@@ -882,13 +1033,15 @@ class ServingExecutor:
     async def _warm_batch(
         self,
         loop: asyncio.AbstractEventLoop,
-        batch: List[Tuple[ConsensusQuery, asyncio.Future, Tuple[int, ...]]],
+        batch: List[
+            Tuple[ConsensusQuery, asyncio.Future, Tuple[int, ...], Any]
+        ],
     ) -> None:
         """Concurrently refresh the shard summaries a batch will merge."""
         truncations = sorted(
             {
                 rank
-                for query, _, _ in batch
+                for query, _, _, _ in batch
                 for rank in (required_max_rank(query),)
                 if rank is not None
             }

@@ -97,6 +97,16 @@ class ServingMetricsSnapshot:
     degraded_served: int = 0
     #: Updates accepted into a dead shard's bounded queue.
     updates_queued: int = 0
+    #: Requests answered from the cross-session result cache (completed
+    #: answers at an unchanged shard-version vector and backend).
+    result_cache_hits: int = 0
+    #: Requests that consulted the result cache and fell through to a
+    #: real execution.
+    result_cache_misses: int = 0
+    #: Plans answered from a fused multi-query artifact sweep (several
+    #: queries wanting the rank-matrix artifact at different ``k``,
+    #: materialized once at ``k_max`` and sliced).
+    fused_plans: int = 0
 
     @property
     def coalesce_rate(self) -> float:
@@ -132,6 +142,11 @@ class ServingMetricsSnapshot:
             stale_served=self.stale_served - other.stale_served,
             degraded_served=self.degraded_served - other.degraded_served,
             updates_queued=self.updates_queued - other.updates_queued,
+            result_cache_hits=self.result_cache_hits
+            - other.result_cache_hits,
+            result_cache_misses=self.result_cache_misses
+            - other.result_cache_misses,
+            fused_plans=self.fused_plans - other.fused_plans,
             queries_by_kind=tuple(
                 (kind, count - other_kinds.get(kind, 0))
                 for kind, count in self.queries_by_kind
@@ -166,6 +181,9 @@ class ServingMetrics:
     stale_served: int = 0
     degraded_served: int = 0
     updates_queued: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    fused_plans: int = 0
     batched_requests: int = 0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     queries_by_kind: Dict[str, int] = field(default_factory=dict)
@@ -198,6 +216,9 @@ class ServingMetrics:
             stale_served=self.stale_served,
             degraded_served=self.degraded_served,
             updates_queued=self.updates_queued,
+            result_cache_hits=self.result_cache_hits,
+            result_cache_misses=self.result_cache_misses,
+            fused_plans=self.fused_plans,
             mean_batch_size=(
                 self.batched_requests / self.batches if self.batches else 0.0
             ),

@@ -39,6 +39,7 @@ True
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -63,6 +64,11 @@ SessionSource = Union[AndXorTree, RankStatistics, "QuerySession"]
 
 #: Cache key of one memoized artifact: (artifact name, parameter tuple).
 ArtifactKey = Tuple[str, Tuple[Any, ...]]
+
+#: Process-wide session identities for result-cache keys.  ``id()`` is
+#: unsafe (addresses are recycled after garbage collection); a monotone
+#: counter never aliases two sessions within one process.
+_SESSION_TOKENS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -208,6 +214,8 @@ class QuerySession:
         self._artifact_hits: Dict[str, int] = {}
         self._artifact_misses: Dict[str, int] = {}
         self._generation = 0
+        self._session_token = next(_SESSION_TOKENS)
+        self._cache_backend = get_backend().name
 
     # ------------------------------------------------------------------
     # Cache machinery
@@ -215,6 +223,16 @@ class QuerySession:
     def _memoized(
         self, artifact: str, params: Tuple[Any, ...], compute: Callable[[], Any]
     ) -> Any:
+        backend = get_backend().name
+        if backend != self._cache_backend:
+            # The compute backend switched under a warm session: every
+            # cached artifact is shaped for the previous backend's
+            # kernels (numpy arrays vs list-of-lists), so the whole
+            # cache rebuilds.  The generation bump also rotates the
+            # session's version token, keeping result caches from
+            # replaying answers across the switch.
+            self.invalidate()
+            self._cache_backend = backend
         key: ArtifactKey = (artifact, params)
         if key in self._cache:
             self._hits += 1
@@ -244,6 +262,20 @@ class QuerySession:
     def generation(self) -> int:
         """Bumped by every :meth:`invalidate` / :meth:`set_scoring` call."""
         return self._generation
+
+    def version_token(self, versions: Any = None) -> Tuple[Any, ...]:
+        """A hashable token identifying the state answers depend on.
+
+        Result caches key completed answers by query fingerprint plus
+        this token: any change that could alter an answer -- an
+        :meth:`invalidate`, a :meth:`set_scoring`, or (on the sharded
+        coordinator, which overrides this) a shard version bump -- must
+        change the token, so stale answers are never served.  The session
+        token keeps two sessions' entries distinct inside one shared
+        cache.  ``versions`` is accepted for signature compatibility with
+        the sharded override; a local session has no shard vector.
+        """
+        return ("local", self._session_token, self._generation)
 
     def cache_info(self) -> CacheInfo:
         """Aggregate and per-artifact hit/miss counters plus backend name.

@@ -444,6 +444,25 @@ class ShardedQuerySession(QuerySession):
         """Counters of the incremental merge engine (snapshot, subtractable)."""
         return self._engine.stats()
 
+    def version_token(self, versions: Any = None) -> Tuple[Any, ...]:
+        """Result-cache token: the shard-version vector, not a generation.
+
+        Database-backed coordinators answer purely from shard state, so
+        the per-shard version vector (plus the coordinator's own
+        generation, which :meth:`invalidate` bumps) is the invalidation
+        signal -- a single-shard update changes the vector and naturally
+        misses the cache, while unrelated shards' entries stay servable.
+        ``versions`` pins the token at an explicit vector (the serving
+        executor passes the vector captured at request ingress).
+        """
+        if versions is not None:
+            vector: Any = tuple(versions)
+        elif self._database is not None:
+            vector = tuple(self._database.versions())
+        else:
+            vector = self._current_versions()
+        return ("sharded", self._session_token, self._generation, vector)
+
     # ------------------------------------------------------------------
     # Snapshot reads
     # ------------------------------------------------------------------
@@ -1105,6 +1124,15 @@ class SnapshotReader(ShardedQuerySession):
 
     def _current_versions(self) -> Tuple[Any, ...]:
         return self._pinned
+
+    def version_token(self, versions: Any = None) -> Tuple[Any, ...]:
+        # Answers computed through a pinned reader are the parent
+        # coordinator's answers at the pinned vector; sharing the
+        # parent's token keeps reader- and coordinator-computed entries
+        # interchangeable in one result cache.
+        if versions is None:
+            versions = self._pinned
+        return self._parent.version_token(versions)
 
     def _live(self) -> bool:
         if self._database is None:
