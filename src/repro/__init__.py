@@ -210,6 +210,38 @@ Failure scenarios are replayable: a seeded
 message drops drives :class:`~repro.sharding.FaultInjector`, and
 :func:`repro.workloads.chaos_replay` accounts for every request under
 faults (see ``benchmarks/bench_e16_faults.py``).
+
+The HTTP front door and the ``repro`` CLI
+-----------------------------------------
+The serving layer speaks HTTP: :class:`repro.server.ReproServer` binds an
+``asyncio`` listener (standard library only -- no web framework) mapping
+``POST /query`` (single or micro-batch), ``POST /update``,
+``GET /health`` / ``/metrics`` / ``/shards`` / ``/plans/<fingerprint>``
+and ``POST /admin/drain`` onto a :class:`~repro.serving.ServingExecutor`.
+The JSON wire format (:mod:`repro.query.wire`) is loss-free -- tuples,
+sets, non-string keys and non-finite floats round-trip exactly, so a
+:class:`~repro.query.QueryAnswer` decoded from the wire equals the
+in-process one, provenance flags and confidence intervals included.
+Robustness is in-protocol: bounded admission sheds load with 429 +
+``Retry-After``, per-request deadlines surface as 504, shard outages as
+503 (degraded answers, when enabled, still arrive as 200 with
+``degraded: true``), and draining finishes in-flight work before 503-ing
+new queries.
+
+>>> from repro.server import ReproClient, ServerThread   # doctest: +SKIP
+>>> with ServerThread(ShardedDatabase(database, 4)) as thread:
+...     client = thread.client()
+...     answer = client.query(QueryRequest.make("mean_topk_footrule", 2))
+...     client.metrics()["admissions"]
+
+The ``repro`` console script (``[project.scripts]``; also
+``python -m``-style via :func:`repro.cli.main`) drives the same wire
+protocol from a terminal -- ``repro serve --scenario movie_ratings
+--shards 4``, then ``repro query mean_topk_footrule -k 5``,
+``repro explain``, ``repro top`` (live qps/latency/admissions deltas) and
+``repro health``.  It renders through ``typer``/``rich`` when they are
+importable and falls back to ``argparse`` + plain tables otherwise
+(``REPRO_CLI_PLAIN=1`` forces the fallback).
 """
 
 from repro.core.tuples import TupleAlternative

@@ -1,0 +1,9 @@
+"""The ``repro`` console script (see :mod:`repro.cli.main`).
+
+Registered as a ``[project.scripts]`` entry point; ``python -m`` style
+callers and tests import :func:`main` directly and pass ``argv``.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -133,3 +133,17 @@ class DeadlineExceededError(ReproError):
     at lower load, is expected to succeed.  The abandoned work is
     cancelled when no other coalesced waiter still wants it.
     """
+
+
+class ServerOverloadedError(ReproError):
+    """Raised client-side when the HTTP front door sheds load (429).
+
+    The server's bounded admission queue was full, so the request was
+    rejected *before* touching the executor.  **Retryable after
+    backing off**: :attr:`retry_after` carries the server's
+    ``Retry-After`` hint in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

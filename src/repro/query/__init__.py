@@ -21,7 +21,13 @@ The legacy module-level entry points survive as deprecation shims
 (:mod:`repro.query.shims`) that re-route through this planner.
 """
 
-from repro.query.answers import QueryAnswer
+from repro.query.answers import PlanSummary, QueryAnswer
+from repro.query.wire import (
+    decode_value,
+    encode_value,
+    query_from_dict,
+    query_to_dict,
+)
 from repro.query.calibration import (
     KERNELS,
     CalibrationTable,
@@ -73,6 +79,11 @@ __all__ = [
     "ConsensusQuery",
     "Query",
     "QueryAnswer",
+    "PlanSummary",
+    "encode_value",
+    "decode_value",
+    "query_to_dict",
+    "query_from_dict",
     "Connection",
     "connect",
     "Planner",

@@ -16,6 +16,23 @@ from typing import Any, Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
+class PlanSummary:
+    """The provenance slice of an :class:`~repro.query.ExecutionPlan`.
+
+    A decoded wire answer cannot carry the full plan (it closes over the
+    answering session), but it keeps everything
+    :meth:`QueryAnswer.provenance` and the value-shape accessors read:
+    the route, the algorithm name, whether the raw value is an
+    ``(answer, expected_distance)`` pair, and the paper's hardness entry.
+    """
+
+    route: str
+    algorithm: str
+    paired: bool
+    hardness: Any
+
+
+@dataclass(frozen=True)
 class QueryAnswer:
     """One executed consensus query: value + provenance + timing.
 
@@ -118,6 +135,110 @@ class QueryAnswer:
             "degraded": self.degraded,
             "cached": self.cached,
         }
+
+    # ------------------------------------------------------------------
+    # Wire form (loss-free JSON; see repro.query.wire)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON-safe wire document of this answer.
+
+        Carries the raw value (loss-free tagged encoding), the full query,
+        the provenance flags (``stale`` / ``degraded`` / ``cached``), the
+        Monte-Carlo estimate when one exists, and a :class:`PlanSummary`
+        slice of the plan -- everything a remote client needs to rebuild
+        an equivalent answer via :meth:`from_wire`.
+        """
+        from repro.query.wire import (
+            encode_value,
+            estimate_to_dict,
+            query_to_dict,
+        )
+
+        plan = None
+        if self.plan is not None:
+            hardness = self.plan.hardness
+            plan = {
+                "route": self.plan.route,
+                "algorithm": self.plan.algorithm,
+                "paired": bool(self.plan.paired),
+                "hardness": {
+                    "complexity": hardness.complexity,
+                    "paper": hardness.paper,
+                    "note": hardness.note,
+                },
+            }
+        return {
+            "value": encode_value(self.value),
+            "query": query_to_dict(self.query),
+            "plan": plan,
+            "elapsed": self.elapsed,
+            "backend": self.backend,
+            "deployment": self.deployment,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "estimate": estimate_to_dict(self.estimate),
+            "stale": self.stale,
+            "degraded": self.degraded,
+            "cached": self.cached,
+        }
+
+    def to_json(self) -> str:
+        """:meth:`to_wire` rendered as canonical JSON text."""
+        from repro.query.wire import dumps
+
+        return dumps(self.to_wire())
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "QueryAnswer":
+        """Rebuild an answer from its wire document.
+
+        The plan comes back as a :class:`PlanSummary`, so the
+        value-shape accessors (:attr:`answer`, :attr:`expected_distance`)
+        and :meth:`provenance` behave identically to the original;
+        ``answer.to_wire()`` round-trips byte-identically.
+        """
+        from repro.query.plan import HardnessEntry
+        from repro.query.wire import (
+            decode_value,
+            estimate_from_dict,
+            query_from_dict,
+        )
+
+        plan_data = data.get("plan")
+        plan: Optional[PlanSummary] = None
+        if plan_data is not None:
+            hardness = plan_data.get("hardness") or {}
+            plan = PlanSummary(
+                route=plan_data.get("route", "?"),
+                algorithm=plan_data.get("algorithm", "?"),
+                paired=bool(plan_data.get("paired", False)),
+                hardness=HardnessEntry(
+                    complexity=hardness.get("complexity", "ptime"),
+                    paper=hardness.get("paper", "?"),
+                    note=hardness.get("note", ""),
+                ),
+            )
+        return cls(
+            value=decode_value(data["value"]),
+            query=query_from_dict(data["query"]),
+            plan=plan,
+            elapsed=float(data.get("elapsed", 0.0)),
+            backend=data.get("backend", "?"),
+            deployment=data.get("deployment", "?"),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            estimate=estimate_from_dict(data.get("estimate")),
+            stale=bool(data.get("stale", False)),
+            degraded=bool(data.get("degraded", False)),
+            cached=bool(data.get("cached", False)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryAnswer":
+        """Parse :meth:`to_json` output back into an answer."""
+        from repro.query.wire import loads
+
+        return cls.from_wire(loads(text))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

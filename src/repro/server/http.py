@@ -1,0 +1,151 @@
+"""Minimal HTTP/1.1 message layer for the front door.
+
+The server speaks just enough HTTP for a JSON API: request line, headers,
+``Content-Length``-framed bodies, keep-alive.  No chunked encoding, no
+multipart, no TLS -- the front door sits on loopback or behind a real
+proxy, and the whole point of this module is that the base image needs
+nothing beyond the standard library (:mod:`asyncio` streams do the I/O).
+
+:func:`read_request` parses one request from a stream reader (returning
+``None`` on a clean EOF between requests) and raises :class:`HttpError`
+on malformed framing; :func:`response_bytes` renders one JSON response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.query.wire import dumps
+
+#: Upper bound on header section and body sizes (1 MiB each) -- the API
+#: ships small JSON documents; anything bigger is a framing error.
+MAX_HEADER_BYTES = 1 << 20
+MAX_BODY_BYTES = 1 << 20
+
+#: Reason phrases for the statuses the API emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """Malformed HTTP framing; the connection answers 400 and closes."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, query params, headers, body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def path_parts(self) -> Tuple[str, ...]:
+        """The decoded, non-empty path segments (``/plans/ab12`` ->
+        ``("plans", "ab12")``)."""
+        return tuple(
+            unquote(part) for part in self.path.split("/") if part
+        )
+
+
+async def read_request(reader: Any) -> Optional[HttpRequest]:
+    """Parse one HTTP/1.1 request off ``reader``.
+
+    Returns ``None`` when the peer closed the connection cleanly before
+    sending another request (the keep-alive idle case).  Raises
+    :class:`HttpError` on anything malformed -- bad request line, missing
+    or non-numeric ``Content-Length``, oversized framing, truncated body.
+    """
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except Exception as error:  # IncompleteReadError, LimitOverrunError
+        partial = getattr(error, "partial", b"")
+        if not partial:
+            return None
+        raise HttpError(f"truncated request head: {error}") from None
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise HttpError("request head exceeds limit")
+    try:
+        head = header_blob.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise HttpError("undecodable request head") from None
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(f"bad Content-Length: {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(f"unacceptable Content-Length: {length}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except Exception as error:
+            raise HttpError(f"truncated body: {error}") from None
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    payload: Any,
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Render one JSON response (canonical wire encoding) as raw bytes."""
+    body = dumps(payload).encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "REASONS",
+    "read_request",
+    "response_bytes",
+]

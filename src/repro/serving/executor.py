@@ -671,6 +671,15 @@ class ServingExecutor:
         """Updates currently parked in the per-shard recovery queues."""
         return sum(len(queue) for queue in self._update_queues.values())
 
+    def pending_count(self) -> int:
+        """Distinct queries currently submitted and not yet answered.
+
+        Coalesced waiters share one pending entry; the HTTP front door's
+        drain path polls this (together with its own in-flight counter)
+        to decide when the executor is quiescent.
+        """
+        return len(self._pending)
+
     async def flush_updates(self) -> int:
         """Try to drain the queued updates now; returns how many remain."""
         if self._dispatcher is None:

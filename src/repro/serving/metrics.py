@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Deque, Dict, Optional, Tuple
 
 
@@ -114,6 +114,63 @@ class ServingMetricsSnapshot:
         identical query."""
         total = self.queries + self.coalesced
         return self.coalesced / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe document of every counter (``/metrics`` wire form).
+
+        ``queries_by_kind`` becomes a plain ``{kind: count}`` object; the
+        nested ``ipc`` / ``merge`` snapshots become flat dictionaries of
+        their dataclass fields (or ``None``).  :meth:`from_dict` rebuilds
+        an equal snapshot, nested snapshots included.
+        """
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("queries_by_kind", "ipc", "merge")
+        }
+        data["queries_by_kind"] = dict(self.queries_by_kind)
+        data["ipc"] = (
+            None
+            if self.ipc is None
+            else {f.name: getattr(self.ipc, f.name) for f in fields(self.ipc)}
+        )
+        data["merge"] = (
+            None
+            if self.merge is None
+            else {
+                f.name: getattr(self.merge, f.name)
+                for f in fields(self.merge)
+            }
+        )
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ServingMetricsSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        The nested transport/merge documents come back as real
+        :class:`~repro.sharding.procpool.IpcSnapshot` /
+        :class:`~repro.sharding.merge.MergeStatsSnapshot` instances, so
+        delta arithmetic keeps working on decoded snapshots.
+        """
+        kwargs = dict(data)
+        kwargs["queries_by_kind"] = tuple(
+            sorted((str(k), int(v)) for k, v in data["queries_by_kind"].items())
+        )
+        ipc = data.get("ipc")
+        if ipc is not None:
+            from repro.sharding.procpool import IpcSnapshot
+
+            kwargs["ipc"] = IpcSnapshot(**ipc)
+        merge = data.get("merge")
+        if merge is not None:
+            from repro.sharding.merge import MergeStatsSnapshot
+
+            kwargs["merge"] = MergeStatsSnapshot(**merge)
+        known = {f.name for f in fields(ServingMetricsSnapshot)}
+        return ServingMetricsSnapshot(
+            **{k: v for k, v in kwargs.items() if k in known}
+        )
 
     def __sub__(
         self, other: "ServingMetricsSnapshot"

@@ -81,6 +81,77 @@ class QueryRequest:
         """
         return query_for_kind(self.kind, self.k, self.params)
 
+    # ------------------------------------------------------------------
+    # Wire form (loss-free JSON; see repro.query.wire)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """The JSON-safe wire document of this request.
+
+        Parameter values travel through the loss-free tagged codec, so
+        non-JSON-native values (tuples, non-string dict keys) round-trip
+        exactly; :meth:`from_wire` rebuilds an equal request.
+        """
+        from repro.query.wire import encode_value
+
+        return {
+            "kind": self.kind,
+            "k": self.k,
+            "params": [
+                [name, encode_value(value)] for name, value in self.params
+            ],
+        }
+
+    def to_json(self) -> str:
+        """:meth:`to_wire` rendered as canonical JSON text."""
+        from repro.query.wire import dumps
+
+        return dumps(self.to_wire())
+
+    @staticmethod
+    def from_wire(data: dict) -> "QueryRequest":
+        """Rebuild a request from its wire document (inverse of
+        :meth:`to_wire`); malformed documents raise
+        :class:`~repro.exceptions.ConsensusError`."""
+        from repro.query.wire import decode_value
+
+        if not isinstance(data, dict):
+            raise ConsensusError(
+                f"a wire request must be a JSON object, got "
+                f"{type(data).__name__!r}"
+            )
+        kind = data.get("kind")
+        if not isinstance(kind, str):
+            raise ConsensusError(
+                f"a wire request needs a string 'kind', got {kind!r}"
+            )
+        k = data.get("k")
+        if k is not None and not isinstance(k, int):
+            raise ConsensusError(f"wire request 'k' must be an int, got {k!r}")
+        params = data.get("params", [])
+        if not isinstance(params, (list, tuple)):
+            raise ConsensusError(
+                "wire request 'params' must be an array of [name, value] "
+                "pairs"
+            )
+        try:
+            decoded = tuple(
+                sorted(
+                    (str(name), decode_value(value)) for name, value in params
+                )
+            )
+        except (TypeError, ValueError) as error:
+            raise ConsensusError(
+                f"malformed wire request params: {error}"
+            ) from None
+        return QueryRequest(kind, k, decoded)
+
+    @staticmethod
+    def from_json(text: str) -> "QueryRequest":
+        """Parse :meth:`to_json` output back into a request."""
+        from repro.query.wire import loads
+
+        return QueryRequest.from_wire(loads(text))
+
 
 def as_query(
     request: Union[QueryRequest, ConsensusQuery]

@@ -56,6 +56,7 @@ from repro.workloads.traffic import (
     TrafficEvent,
     generate_traffic,
     replay_traffic,
+    replay_traffic_http,
     traffic_signature,
 )
 
@@ -80,6 +81,7 @@ __all__ = [
     "update_heavy_traffic",
     "bursty_traffic",
     "replay_traffic",
+    "replay_traffic_http",
     "traffic_signature",
     "ChaosOutcome",
     "chaos_replay",

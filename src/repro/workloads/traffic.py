@@ -385,3 +385,54 @@ async def replay_traffic(
                 await flush()
     await flush()
     return results
+
+
+def replay_traffic_http(
+    client: "Any",
+    events: Sequence[TrafficEvent],
+    concurrency: int = 16,
+) -> List[object]:
+    """Replay an event stream over the HTTP front door.
+
+    The wire twin of :func:`replay_traffic`, same window semantics:
+    queries within a window of ``concurrency`` consecutive events are
+    POSTed concurrently from a thread pool (the blocking
+    :class:`~repro.server.ReproClient` pools its sockets behind a lock,
+    so one client serves every worker), and updates act as barriers.
+    Returns the raw query values in stream order (updates contribute
+    ``None``) -- byte-identical to the in-process replay of the same
+    seeded stream, which the wire-format tests assert together with
+    :func:`traffic_signature` parity.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    results: List[object] = [None] * len(events)
+    window: List[Tuple[int, TrafficEvent]] = []
+    workers = max(1, int(concurrency))
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+
+        def flush() -> None:
+            if not window:
+                return
+            answers = pool.map(
+                lambda item: client.query(item[1].query), window
+            )
+            for (position, _), answer in zip(window, answers):
+                results[position] = answer.value
+            window.clear()
+
+        for position, event in enumerate(events):
+            if event.is_update:
+                flush()
+                client.update(
+                    event.key,
+                    probability=event.probability,
+                    score=event.score,
+                )
+            else:
+                window.append((position, event))
+                if len(window) >= concurrency:
+                    flush()
+        flush()
+    return results
